@@ -1,0 +1,101 @@
+// The related-work progression (paper §VI) on one knowledge-graph task:
+//
+//   heuristic features + decision tree        (Katragadda et al.)
+//   heuristic features + logistic regression  (Vasavada & Wang)
+//   WLNM                                      (Zhang & Chen 2017)
+//   SEAL + vanilla DGCNN                      (Zhang & Chen 2018)
+//   SEAL + AM-DGCNN                           (this paper)
+//
+// All five classify primekg_sim drug-disease links into 3 classes.  The
+// expected ordering is monotone: learned subgraph models beat fixed-feature
+// classifiers, and the edge-aware model beats them all (only it can read
+// the polarity signal).
+#include "bench_common.h"
+
+#include "baselines/decision_tree.h"
+#include "baselines/logistic_regression.h"
+#include "baselines/wlnm.h"
+#include "heuristics/pair_features.h"
+
+int main() {
+  using namespace amdgcnn;
+  const auto scale = core::bench_scale_from_env();
+  bench::print_header(
+      "Related-work baselines vs AM-DGCNN on primekg_sim (3-class)", scale);
+
+  auto data = bench::make_primekg(scale);
+  util::Table table({"method", "AUC", "AP"});
+
+  // ---- Heuristic-feature classifiers ----------------------------------------
+  const auto dims =
+      static_cast<std::int64_t>(heuristics::pair_feature_names().size());
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> train_pairs,
+      test_pairs;
+  std::vector<std::int32_t> train_y, test_y;
+  for (const auto& l : data.train_links) {
+    train_pairs.push_back({l.a, l.b});
+    train_y.push_back(l.label);
+  }
+  for (const auto& l : data.test_links) {
+    test_pairs.push_back({l.a, l.b});
+    test_y.push_back(l.label);
+  }
+  std::cerr << "[baselines] extracting pair features...\n";
+  auto train_x = heuristics::pair_feature_matrix(data.graph, train_pairs);
+  auto test_x = heuristics::pair_feature_matrix(data.graph, test_pairs);
+  const auto scaler = heuristics::FeatureScaler::fit(
+      train_x, static_cast<std::size_t>(dims));
+  scaler.apply(train_x);
+  scaler.apply(test_x);
+
+  auto record = [&](const std::string& name,
+                    const std::vector<double>& probs) {
+    const auto ev =
+        metrics::evaluate_multiclass(probs, data.num_classes, test_y);
+    table.add_row({name, util::Table::fmt(ev.macro_auc, 3),
+                   util::Table::fmt(ev.macro_precision, 3)});
+    std::cerr << "[baselines] " << name << " -> AUC " << ev.macro_auc
+              << "\n";
+  };
+
+  {
+    baselines::DecisionTree tree(dims, data.num_classes);
+    tree.fit(train_x, train_y);
+    record("heuristics + decision tree", tree.predict_proba(test_x));
+  }
+  {
+    baselines::LogisticRegression lr(dims, data.num_classes);
+    lr.fit(train_x, train_y);
+    record("heuristics + logistic regression", lr.predict_proba(test_x));
+  }
+
+  // ---- WLNM ------------------------------------------------------------------
+  {
+    baselines::WlnmOptions wopts;
+    wopts.vertex_budget = 10;
+    wopts.epochs = scale == core::BenchScale::kFull ? 60 : 40;
+    baselines::Wlnm wlnm(data.num_classes, wopts);
+    std::cerr << "[baselines] training WLNM...\n";
+    wlnm.fit(data.graph, data.train_links);
+    record("WLNM", wlnm.predict_proba(data.graph, data.test_links));
+  }
+
+  // ---- SEAL + GNNs --------------------------------------------------------------
+  const auto seal_ds = bench::prepare(data);
+  const auto hp = bench::tuned_params(data.name);
+  for (auto kind :
+       {models::GnnKind::kVanillaDGCNN, models::GnnKind::kAMDGCNN}) {
+    std::cerr << "[baselines] training SEAL + "
+              << models::gnn_kind_name(kind) << "...\n";
+    auto run = core::run_model(seal_ds, kind, hp, /*epochs=*/10);
+    table.add_row({std::string("SEAL + ") + run.model_name,
+                   util::Table::fmt(run.final_eval.metrics.macro_auc, 3),
+                   util::Table::fmt(
+                       run.final_eval.metrics.macro_precision, 3)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

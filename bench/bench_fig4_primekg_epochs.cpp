@@ -1,0 +1,10 @@
+// Reproduces paper Fig. 4 (a, b): AUC vs training epochs on PrimeKG under
+// default (Cora-tuned) and per-dataset auto-tuned hyperparameters.
+#include "bench_common.h"
+
+int main() {
+  using namespace amdgcnn;
+  bench::run_epoch_sweep(bench::make_primekg(core::bench_scale_from_env()),
+                         "Fig4");
+  return 0;
+}

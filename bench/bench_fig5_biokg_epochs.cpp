@@ -1,0 +1,10 @@
+// Reproduces paper Fig. 5 (a, b): AUC vs training epochs on OGBL-BioKG under
+// default (Cora-tuned) and per-dataset auto-tuned hyperparameters.
+#include "bench_common.h"
+
+int main() {
+  using namespace amdgcnn;
+  bench::run_epoch_sweep(bench::make_biokg(core::bench_scale_from_env()),
+                         "Fig5");
+  return 0;
+}

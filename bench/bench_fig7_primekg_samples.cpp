@@ -1,0 +1,11 @@
+// Reproduces paper Fig. 7 (a, b): AUC vs number of training samples on
+// PrimeKG (10 training epochs) under default and auto-tuned
+// hyperparameters.  Paper: AM-DGCNN exceeds 0.9 AUC with half the samples.
+#include "bench_common.h"
+
+int main() {
+  using namespace amdgcnn;
+  bench::run_sample_sweep(bench::make_primekg(core::bench_scale_from_env()),
+                          "Fig7");
+  return 0;
+}

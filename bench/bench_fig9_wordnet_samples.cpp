@@ -1,0 +1,11 @@
+// Reproduces paper Fig. 9 (a, b): AUC vs number of training samples on
+// WordNet-18 (10 training epochs) under default and auto-tuned
+// hyperparameters.
+#include "bench_common.h"
+
+int main() {
+  using namespace amdgcnn;
+  bench::run_sample_sweep(bench::make_wordnet(core::bench_scale_from_env()),
+                          "Fig9");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Baseline study (paper §I / §VI-A): classical heuristic link scorers vs
+// the learned models on the binary link-existence task (cora_sim).
+// Supervised heuristic learning should dominate every fixed heuristic.
+#include "bench_common.h"
+
+#include "heuristics/scorer.h"
+
+int main() {
+  using namespace amdgcnn;
+  const auto scale = core::bench_scale_from_env();
+  bench::print_header(
+      "Heuristic baselines vs supervised heuristic learning (cora_sim)",
+      scale);
+
+  auto data = bench::make_cora(scale);
+  util::Table table({"method", "test AUC"});
+
+  // Fixed heuristics score the test links directly (no training).
+  for (const auto& scorer : heuristics::standard_scorers()) {
+    const double auc =
+        heuristics::scorer_auc(scorer, data.graph, data.test_links);
+    table.add_row({scorer.name, util::Table::fmt(auc, 3)});
+    std::cerr << "[heuristics] " << scorer.name << " done\n";
+  }
+
+  // Learned models.
+  const auto seal_ds = bench::prepare(data);
+  const auto hp = bench::tuned_params(data.name);
+  for (auto kind :
+       {models::GnnKind::kVanillaDGCNN, models::GnnKind::kAMDGCNN}) {
+    auto run = core::run_model(seal_ds, kind, hp, /*epochs=*/10);
+    table.add_row({std::string("SEAL + ") + run.model_name,
+                   util::Table::fmt(run.final_eval.metrics.macro_auc, 3)});
+    std::cerr << "[heuristics] " << run.model_name << " done\n";
+  }
+
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

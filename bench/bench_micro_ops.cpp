@@ -1,0 +1,159 @@
+// google-benchmark micro-benchmarks for the kernels the training loop lives
+// in: GAT vs GCN layer forward/backward (the paper's "without a significant
+// cost to computational latency" claim), subgraph extraction, DRNL, sort
+// pooling and the conv read-out head.
+#include <benchmark/benchmark.h>
+
+#include "datasets/wordnet_sim.h"
+#include "graph/subgraph.h"
+#include "nn/gat_conv.h"
+#include "nn/gcn_conv.h"
+#include "seal/drnl.h"
+#include "seal/feature_builder.h"
+#include "tensor/conv_ops.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace amdgcnn;
+
+/// Random subgraph-shaped inputs: n nodes, ~3n directed edges.
+struct LayerFixture {
+  std::int64_t n;
+  ag::Tensor x;
+  std::vector<std::int64_t> src, dst;
+  ag::Tensor edge_attr;
+
+  LayerFixture(std::int64_t nodes, std::int64_t feat, std::int64_t edge_dim,
+               std::uint64_t seed)
+      : n(nodes) {
+    util::Rng rng(seed);
+    x = ag::Tensor::randn({n, feat}, rng);
+    const std::int64_t e = 3 * n;
+    for (std::int64_t i = 0; i < e; ++i) {
+      auto a = static_cast<std::int64_t>(rng.uniform_int(
+          static_cast<std::uint64_t>(n)));
+      auto b = static_cast<std::int64_t>(rng.uniform_int(
+          static_cast<std::uint64_t>(n)));
+      if (a == b) continue;
+      src.push_back(a);
+      dst.push_back(b);
+      src.push_back(b);
+      dst.push_back(a);
+    }
+    if (edge_dim > 0)
+      edge_attr = ag::Tensor::randn(
+          {static_cast<std::int64_t>(src.size()), edge_dim}, rng);
+  }
+};
+
+void BM_GCNConvForwardBackward(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  LayerFixture fix(n, 32, 0, 1);
+  util::Rng rng(2);
+  nn::GCNConv layer(32, 32, rng);
+  for (auto _ : state) {
+    auto out = layer.forward(fix.x, fix.src, fix.dst, fix.n);
+    auto loss = ag::ops::mean(ag::ops::mul(out, out));
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+    for (auto p : layer.parameters()) p.zero_grad();
+  }
+  state.SetItemsProcessed(state.iterations() * fix.src.size());
+}
+BENCHMARK(BM_GCNConvForwardBackward)->Arg(16)->Arg(48)->Arg(128);
+
+void BM_GATConvForwardBackward(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t edge_dim = state.range(1);
+  LayerFixture fix(n, 32, edge_dim, 1);
+  util::Rng rng(2);
+  nn::GATConv layer(32, 8, 4, edge_dim, rng);
+  for (auto _ : state) {
+    auto out =
+        layer.forward(fix.x, fix.src, fix.dst, fix.edge_attr, fix.n);
+    auto loss = ag::ops::mean(ag::ops::mul(out, out));
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+    for (auto p : layer.parameters()) p.zero_grad();
+  }
+  state.SetItemsProcessed(state.iterations() * fix.src.size());
+}
+BENCHMARK(BM_GATConvForwardBackward)
+    ->Args({16, 0})
+    ->Args({48, 0})
+    ->Args({48, 18})
+    ->Args({128, 18});
+
+void BM_SubgraphExtraction(benchmark::State& state) {
+  datasets::WordNetSimOptions opts;
+  opts.num_nodes = 2000;
+  opts.num_train = 10;
+  opts.num_test = 5;
+  auto data = datasets::make_wordnet_sim(opts);
+  graph::ExtractOptions eo;
+  eo.num_hops = 2;
+  eo.max_nodes = state.range(0);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const auto a = static_cast<graph::NodeId>(
+        rng.uniform_int(static_cast<std::uint64_t>(data.graph.num_nodes())));
+    const auto b = static_cast<graph::NodeId>(
+        rng.uniform_int(static_cast<std::uint64_t>(data.graph.num_nodes())));
+    if (a == b) continue;
+    auto sub = graph::extract_enclosing_subgraph(data.graph, a, b, eo);
+    benchmark::DoNotOptimize(sub.num_nodes());
+  }
+}
+BENCHMARK(BM_SubgraphExtraction)->Arg(32)->Arg(128);
+
+void BM_DrnlLabeling(benchmark::State& state) {
+  datasets::WordNetSimOptions opts;
+  opts.num_nodes = 1000;
+  opts.num_train = 10;
+  opts.num_test = 5;
+  auto data = datasets::make_wordnet_sim(opts);
+  graph::ExtractOptions eo;
+  eo.max_nodes = 64;
+  auto sub = graph::extract_enclosing_subgraph(data.graph, 1, 2, eo);
+  for (auto _ : state) {
+    auto labels = seal::drnl_labels(sub);
+    benchmark::DoNotOptimize(labels.data());
+  }
+}
+BENCHMARK(BM_DrnlLabeling);
+
+void BM_SortPooling(benchmark::State& state) {
+  util::Rng rng(4);
+  auto x = ag::Tensor::randn({state.range(0), 97}, rng);
+  for (auto _ : state) {
+    auto out = ag::ops::sort_pool(x, 30);
+    benchmark::DoNotOptimize(out.item(0));
+  }
+}
+BENCHMARK(BM_SortPooling)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ConvReadoutHead(benchmark::State& state) {
+  util::Rng rng(5);
+  const std::int64_t k = 30, channels = 97;
+  auto pooled = ag::Tensor::randn({k, channels}, rng);
+  auto w1 = ag::Tensor::randn({16, channels}, rng).requires_grad(true);
+  auto w2 = ag::Tensor::randn({32, 16 * 5}, rng).requires_grad(true);
+  for (auto _ : state) {
+    auto seq = ag::ops::reshape(pooled, {1, k * channels});
+    auto c1 = ag::ops::relu(ag::ops::conv1d(seq, w1, ag::Tensor(), channels,
+                                            channels));
+    auto p = ag::ops::max_pool1d(c1, 2, 2);
+    auto c2 = ag::ops::relu(ag::ops::conv1d(p, w2, ag::Tensor(), 5, 1));
+    auto loss = ag::ops::mean(c2);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+    w1.zero_grad();
+    w2.zero_grad();
+  }
+}
+BENCHMARK(BM_ConvReadoutHead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Drug repurposing on primekg_sim — the precision-medicine scenario the
+// paper's introduction motivates (PrimeKG classifies drug-disease links as
+// Indication / Off-label use / Contra-indication).
+//
+//   build/examples/drug_repurposing
+//
+// Trains AM-DGCNN on labeled drug-disease links, then screens a pool of
+// unlabeled candidate pairs and prints the top repurposing candidates —
+// the pairs with the highest predicted Indication probability — together
+// with the model's contra-indication warnings.
+#include <algorithm>
+#include <iostream>
+
+#include "core/seal_link_classifier.h"
+#include "datasets/primekg_sim.h"
+#include "util/table.h"
+
+using namespace amdgcnn;
+
+int main() {
+  // A small PrimeKG-like graph (see DESIGN.md §2 for the substitution).
+  datasets::PrimeKGSimOptions opts;
+  opts.scale = 0.4;
+  opts.num_train = 300;
+  opts.num_test = 120;
+  auto data = datasets::make_primekg_sim(opts);
+  std::cout << "knowledge graph: " << data.graph.num_nodes() << " nodes / "
+            << data.graph.num_edges() << " edges, "
+            << data.train_links.size() << " labeled drug-disease pairs\n";
+
+  core::ClassifierConfig cfg;
+  cfg.model.kind = models::GnnKind::kAMDGCNN;
+  cfg.model.hidden_dim = 32;
+  cfg.model.sort_k = 24;
+  cfg.training.epochs = 10;
+  cfg.training.learning_rate = 3e-3;
+  // Paper §III-A: intersection neighborhoods for PrimeKG.
+  cfg.dataset.extract.mode = graph::NeighborhoodMode::kIntersection;
+  cfg.dataset.extract.max_nodes = 48;
+
+  core::SealLinkClassifier clf(cfg);
+  std::cout << "training AM-DGCNN...\n";
+  clf.fit(data.graph, data.train_links, data.num_classes);
+
+  const auto eval = clf.evaluate(data.graph, data.test_links);
+  std::cout << "held-out AUC " << util::Table::fmt(eval.metrics.macro_auc, 3)
+            << ", AP " << util::Table::fmt(eval.metrics.macro_precision, 3)
+            << "\n\n";
+
+  // Screen the test pairs as "unknown relationship" candidates.
+  const auto probs = clf.predict_proba(data.graph, data.test_links);
+  struct Candidate {
+    seal::LinkExample link;
+    double p_indication;
+    double p_contra;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < data.test_links.size(); ++i)
+    candidates.push_back({data.test_links[i], probs[i * 3 + 0],
+                          probs[i * 3 + 2]});
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.p_indication > b.p_indication;
+            });
+
+  util::Table top({"drug", "disease", "P(indication)", "P(contra)",
+                   "true class"});
+  for (std::size_t i = 0; i < 10 && i < candidates.size(); ++i) {
+    const auto& c = candidates[i];
+    top.add_row({std::to_string(c.link.a), std::to_string(c.link.b),
+                 util::Table::fmt(c.p_indication, 3),
+                 util::Table::fmt(c.p_contra, 3),
+                 data.class_names[c.link.label]});
+  }
+  std::cout << "top repurposing candidates (highest P(indication)):\n";
+  top.print(std::cout);
+
+  // How many of the top-10 shortlist are genuine indications?
+  int hits = 0;
+  for (std::size_t i = 0; i < 10 && i < candidates.size(); ++i)
+    hits += candidates[i].link.label == 0 ? 1 : 0;
+  std::cout << "precision@10 for Indication: " << hits << "/10\n";
+  return hits >= 6 ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// Quickstart: the complete AM-DGCNN pipeline on a small hand-built
+// knowledge graph, in ~60 lines.
+//
+//   build/examples/quickstart
+//
+// We build a toy "pharma" knowledge graph where the polarity of a
+// drug/disease's relations to shared proteins decides whether a target
+// drug-disease link is an indication (class 1) or a contra-indication
+// (class 0), train AM-DGCNN on a handful of labeled links, and classify
+// held-out pairs.
+#include <iostream>
+
+#include "core/seal_link_classifier.h"
+#include "datasets/kg_generator.h"
+#include "util/rng.h"
+
+using namespace amdgcnn;
+
+int main() {
+  // ---- 1. Build a knowledge graph ------------------------------------------
+  // Node types: 0 = drug, 1 = disease, 2 = protein.
+  // Edge types: 0 = activates (positive), 1 = inhibits (negative).
+  graph::KnowledgeGraph g(/*num_node_types=*/3, /*num_edge_types=*/2,
+                          /*edge_attr_dim=*/2);
+  g.set_edge_type_attr(0, std::vector<double>{1.0, 0.0});
+  g.set_edge_type_attr(1, std::vector<double>{0.0, 1.0});
+
+  util::Rng rng(7);
+  std::vector<graph::NodeId> drugs, diseases, proteins;
+  for (int i = 0; i < 40; ++i) drugs.push_back(g.add_node(0));
+  for (int i = 0; i < 40; ++i) diseases.push_back(g.add_node(1));
+  for (int i = 0; i < 120; ++i) proteins.push_back(g.add_node(2));
+
+  // Each labeled pair shares proteins; the relation polarity encodes the
+  // class (the signal AM-DGCNN is built to read).
+  datasets::GraphBuilder builder(g);
+  std::vector<seal::LinkExample> links;
+  for (int i = 0; i < 40; ++i) {
+    const auto drug = drugs[i];
+    const auto disease = diseases[i];
+    const std::int32_t label = i % 2;  // 1 = indication, 0 = contra
+    const std::int32_t rel = label == 1 ? 0 : 1;
+    for (int s = 0; s < 3; ++s) {
+      const auto p = proteins[rng.uniform_int(proteins.size())];
+      builder.add_edge_unique(drug, p, rel);
+      builder.add_edge_unique(disease, p, rel);
+    }
+    links.push_back({drug, disease, label});
+  }
+  // Background noise edges.
+  for (int i = 0; i < 150; ++i) {
+    const auto p1 = proteins[rng.uniform_int(proteins.size())];
+    const auto p2 = proteins[rng.uniform_int(proteins.size())];
+    if (p1 != p2)
+      builder.add_edge_unique(
+          p1, p2, static_cast<std::int32_t>(rng.uniform_int(2ULL)));
+  }
+  g.finalize();
+
+  // ---- 2. Split and train ---------------------------------------------------
+  auto [train, test] = seal::train_test_split(links, 0.25, rng);
+
+  core::ClassifierConfig cfg;
+  cfg.model.kind = models::GnnKind::kAMDGCNN;  // swap for kVanillaDGCNN
+  cfg.model.hidden_dim = 16;
+  cfg.model.heads = 2;
+  cfg.model.sort_k = 10;
+  cfg.training.epochs = 15;
+  cfg.training.learning_rate = 3e-3;
+
+  core::SealLinkClassifier clf(cfg);
+  clf.fit(g, train, /*num_classes=*/2);
+
+  // ---- 3. Evaluate and predict ----------------------------------------------
+  const auto eval = clf.evaluate(g, test);
+  std::cout << "test AUC: " << eval.metrics.macro_auc
+            << "  AP: " << eval.metrics.macro_precision
+            << "  accuracy: " << eval.metrics.accuracy << "\n";
+
+  const auto preds = clf.predict(g, test);
+  int shown = 0;
+  for (std::size_t i = 0; i < test.size() && shown < 5; ++i, ++shown)
+    std::cout << "  drug " << test[i].a << " / disease " << test[i].b
+              << ": predicted " << (preds[i] ? "indication" : "contra")
+              << " (truth " << (test[i].label ? "indication" : "contra")
+              << ")\n";
+  return eval.metrics.macro_auc > 0.8 ? 0 : 1;
+}

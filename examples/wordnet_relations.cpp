@@ -1,0 +1,69 @@
+// Relation typing on wordnet_sim — classify the semantic relation of a word
+// pair into one of 18 classes using ONLY link information (the graph has a
+// single node type and no node features), the ablation the paper uses to
+// show why edge attributes matter.
+//
+//   build/examples/wordnet_relations
+//
+// Trains both AM-DGCNN and vanilla DGCNN and prints their per-class recall
+// side by side: the edge-blind model collapses to the majority classes
+// while the edge-aware one recovers the relation structure.
+#include <iostream>
+
+#include "core/experiment.h"
+#include "datasets/wordnet_sim.h"
+#include "util/table.h"
+
+using namespace amdgcnn;
+
+int main() {
+  datasets::WordNetSimOptions opts;
+  opts.num_nodes = 1500;
+  opts.num_train = 700;
+  opts.num_test = 250;
+  auto data = datasets::make_wordnet_sim(opts);
+  std::cout << "wordnet_sim: " << data.graph.num_nodes() << " words, "
+            << data.graph.num_edges() << " edges, 18 relation classes, "
+            << "no node features\n";
+
+  const auto ds = core::prepare_seal_dataset(data);
+  hpo::HyperParams hp;
+  hp.learning_rate = 3e-3;
+  hp.hidden_dim = 64;
+  hp.sort_k = 20;
+
+  util::Table summary({"model", "AUC", "AP", "accuracy"});
+  std::vector<std::vector<std::int64_t>> confusions;
+  for (auto kind :
+       {models::GnnKind::kAMDGCNN, models::GnnKind::kVanillaDGCNN}) {
+    std::cout << "training " << models::gnn_kind_name(kind) << "...\n";
+    auto run = core::run_model(ds, kind, hp, /*epochs=*/12);
+    summary.add_row({run.model_name,
+                     util::Table::fmt(run.final_eval.metrics.macro_auc, 3),
+                     util::Table::fmt(
+                         run.final_eval.metrics.macro_precision, 3),
+                     util::Table::fmt(run.final_eval.metrics.accuracy, 3)});
+    confusions.push_back(run.final_eval.metrics.confusion);
+  }
+  summary.print(std::cout);
+
+  // Per-class recall comparison from the confusion matrices.
+  util::Table recall({"relation", "support", "AM-DGCNN recall",
+                      "Vanilla recall"});
+  for (std::int64_t c = 0; c < 18; ++c) {
+    std::int64_t support = 0, am_tp = 0, va_tp = 0;
+    for (std::int64_t o = 0; o < 18; ++o)
+      support += confusions[0][c * 18 + o];
+    if (support == 0) continue;
+    am_tp = confusions[0][c * 18 + c];
+    va_tp = confusions[1][c * 18 + c];
+    recall.add_row({data.class_names[c], std::to_string(support),
+                    util::Table::fmt(
+                        static_cast<double>(am_tp) / support, 2),
+                    util::Table::fmt(
+                        static_cast<double>(va_tp) / support, 2)});
+  }
+  std::cout << "\nper-relation recall:\n";
+  recall.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Split a recorded bench_output.txt into per-experiment CSV files.
+
+Each bench binary prints a header line starting with `# <title>` followed by
+an aligned table and a `CSV:` block.  This script extracts every CSV block
+into out_dir/<slug>.csv so results can be plotted with any tool.
+
+Usage: scripts/extract_csv.py [bench_output.txt] [out_dir]
+"""
+import os
+import re
+import sys
+
+
+def slugify(title: str) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")
+    return slug[:60] or "experiment"
+
+
+def main() -> int:
+    src = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else "results"
+    with open(src, encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+
+    os.makedirs(out_dir, exist_ok=True)
+    title = "experiment"
+    in_csv = False
+    rows: list[str] = []
+    written = 0
+
+    def flush() -> None:
+        nonlocal rows, written
+        if not rows:
+            return
+        path = os.path.join(out_dir, f"{slugify(title)}.csv")
+        with open(path, "w", encoding="utf-8") as out:
+            out.write("\n".join(rows) + "\n")
+        print(f"wrote {path} ({len(rows) - 1} rows)")
+        rows = []
+        written += 1
+
+    for line in lines:
+        if line.startswith("# ") and not in_csv:
+            flush()
+            title = line[2:].split(":")[0] + "-" + line[2:].split(":")[-1][:30]
+        if line.strip() == "CSV:":
+            in_csv = True
+            rows = []
+            continue
+        if in_csv:
+            if line.strip() == "" or line.startswith(("#", "+", "|")):
+                in_csv = False
+                flush()
+            else:
+                rows.append(line)
+    flush()
+    print(f"{written} CSV files extracted to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,190 @@
+#include "baselines/decision_tree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "metrics/classification.h"
+
+namespace amdgcnn::baselines {
+
+namespace {
+
+/// Gini impurity of a class histogram.
+double gini(const std::vector<std::int64_t>& counts, std::int64_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (auto c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(std::int64_t num_features,
+                           std::int64_t num_classes,
+                           const DecisionTreeOptions& options)
+    : num_features_(num_features),
+      num_classes_(num_classes),
+      options_(options) {
+  if (num_features < 1 || num_classes < 2)
+    throw std::invalid_argument("DecisionTree: bad dimensions");
+  if (options.max_depth < 1 || options.min_samples_leaf < 1)
+    throw std::invalid_argument("DecisionTree: bad regularisation options");
+}
+
+void DecisionTree::fit(const std::vector<double>& x,
+                       const std::vector<std::int32_t>& y) {
+  if (y.empty() ||
+      x.size() != y.size() * static_cast<std::size_t>(num_features_))
+    throw std::invalid_argument("DecisionTree::fit: shape mismatch");
+  for (auto label : y)
+    if (label < 0 || label >= num_classes_)
+      throw std::invalid_argument("DecisionTree::fit: label out of range");
+  std::vector<std::int64_t> rows(y.size());
+  std::iota(rows.begin(), rows.end(), std::int64_t{0});
+  root_ = build(rows, x, y, 0);
+}
+
+std::unique_ptr<DecisionTree::Node> DecisionTree::build(
+    std::vector<std::int64_t>& rows, const std::vector<double>& x,
+    const std::vector<std::int32_t>& y, std::int32_t depth) const {
+  auto node = std::make_unique<Node>();
+
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_classes_), 0);
+  for (auto r : rows) ++counts[static_cast<std::size_t>(y[r])];
+  const auto total = static_cast<std::int64_t>(rows.size());
+  const double parent_impurity = gini(counts, total);
+
+  auto make_leaf = [&] {
+    node->probabilities.assign(static_cast<std::size_t>(num_classes_), 0.0);
+    for (std::int64_t c = 0; c < num_classes_; ++c)
+      node->probabilities[c] =
+          static_cast<double>(counts[c]) / static_cast<double>(total);
+    return std::move(node);
+  };
+
+  if (depth >= options_.max_depth || total < options_.min_samples_split ||
+      parent_impurity == 0.0)
+    return make_leaf();
+
+  // Exhaustive best-split search over (feature, threshold) midpoints.
+  double best_gain = 1e-12;
+  std::int32_t best_feature = -1;
+  double best_threshold = 0.0;
+  std::vector<std::pair<double, std::int32_t>> column(rows.size());
+  std::vector<std::int64_t> left_counts(
+      static_cast<std::size_t>(num_classes_));
+  for (std::int32_t f = 0; f < num_features_; ++f) {
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      column[i] = {x[rows[i] * num_features_ + f], y[rows[i]]};
+    std::sort(column.begin(), column.end());
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    for (std::size_t i = 0; i + 1 < column.size(); ++i) {
+      ++left_counts[static_cast<std::size_t>(column[i].second)];
+      if (column[i].first == column[i + 1].first) continue;
+      const auto n_left = static_cast<std::int64_t>(i + 1);
+      const auto n_right = total - n_left;
+      if (n_left < options_.min_samples_leaf ||
+          n_right < options_.min_samples_leaf)
+        continue;
+      std::vector<std::int64_t> right_counts(counts);
+      for (std::int64_t c = 0; c < num_classes_; ++c)
+        right_counts[c] -= left_counts[c];
+      const double child_impurity =
+          (static_cast<double>(n_left) * gini(left_counts, n_left) +
+           static_cast<double>(n_right) * gini(right_counts, n_right)) /
+          static_cast<double>(total);
+      const double gain = parent_impurity - child_impurity;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) return make_leaf();
+
+  std::vector<std::int64_t> left_rows, right_rows;
+  for (auto r : rows) {
+    if (x[r * num_features_ + best_feature] <= best_threshold)
+      left_rows.push_back(r);
+    else
+      right_rows.push_back(r);
+  }
+  node->feature = best_feature;
+  node->threshold = best_threshold;
+  node->left = build(left_rows, x, y, depth + 1);
+  node->right = build(right_rows, x, y, depth + 1);
+  return node;
+}
+
+const DecisionTree::Node* DecisionTree::descend(
+    const double* features) const {
+  const Node* node = root_.get();
+  while (node->feature >= 0) {
+    node = features[node->feature] <= node->threshold ? node->left.get()
+                                                      : node->right.get();
+  }
+  return node;
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    const std::vector<double>& x) const {
+  if (!fitted()) throw std::logic_error("DecisionTree: predict before fit");
+  if (x.size() % static_cast<std::size_t>(num_features_) != 0)
+    throw std::invalid_argument("DecisionTree::predict: shape mismatch");
+  const std::size_t n = x.size() / static_cast<std::size_t>(num_features_);
+  std::vector<double> probs(n * static_cast<std::size_t>(num_classes_));
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node* leaf = descend(x.data() + i * num_features_);
+    std::copy(leaf->probabilities.begin(), leaf->probabilities.end(),
+              probs.begin() + i * static_cast<std::size_t>(num_classes_));
+  }
+  return probs;
+}
+
+std::vector<std::int32_t> DecisionTree::predict(
+    const std::vector<double>& x) const {
+  return metrics::argmax_rows(predict_proba(x), num_classes_);
+}
+
+std::int64_t DecisionTree::num_nodes() const {
+  std::int64_t count = 0;
+  std::vector<const Node*> stack;
+  if (root_) stack.push_back(root_.get());
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++count;
+    if (node->feature >= 0) {
+      stack.push_back(node->left.get());
+      stack.push_back(node->right.get());
+    }
+  }
+  return count;
+}
+
+std::int32_t DecisionTree::depth() const {
+  struct Frame {
+    const Node* node;
+    std::int32_t depth;
+  };
+  std::int32_t max_depth = 0;
+  std::vector<Frame> stack;
+  if (root_) stack.push_back({root_.get(), 0});
+  while (!stack.empty()) {
+    const auto [node, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    if (node->feature >= 0) {
+      stack.push_back({node->left.get(), d + 1});
+      stack.push_back({node->right.get(), d + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace amdgcnn::baselines

@@ -1,0 +1,56 @@
+// CART decision tree on dense feature vectors — the classifier Katragadda
+// et al. pair with heuristic link features (paper §VI-A).  Gini-impurity
+// splits, depth / min-samples regularisation, class-probability leaves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace amdgcnn::baselines {
+
+struct DecisionTreeOptions {
+  std::int32_t max_depth = 6;
+  std::int64_t min_samples_split = 8;
+  std::int64_t min_samples_leaf = 3;
+};
+
+class DecisionTree {
+ public:
+  DecisionTree(std::int64_t num_features, std::int64_t num_classes,
+               const DecisionTreeOptions& options = {});
+
+  /// Fit on a row-major [n, d] matrix with labels in [0, num_classes).
+  void fit(const std::vector<double>& x, const std::vector<std::int32_t>& y);
+
+  /// Row-major [n, num_classes] leaf class frequencies.
+  std::vector<double> predict_proba(const std::vector<double>& x) const;
+  std::vector<std::int32_t> predict(const std::vector<double>& x) const;
+
+  bool fitted() const { return root_ != nullptr; }
+  /// Number of nodes in the fitted tree (tests / introspection).
+  std::int64_t num_nodes() const;
+  std::int32_t depth() const;
+
+ private:
+  struct Node {
+    // Internal nodes:
+    std::int32_t feature = -1;  // -1 marks a leaf
+    double threshold = 0.0;     // go left when x[feature] <= threshold
+    std::unique_ptr<Node> left, right;
+    // Leaves:
+    std::vector<double> probabilities;
+  };
+
+  std::unique_ptr<Node> build(std::vector<std::int64_t>& rows,
+                              const std::vector<double>& x,
+                              const std::vector<std::int32_t>& y,
+                              std::int32_t depth) const;
+  const Node* descend(const double* features) const;
+
+  std::int64_t num_features_, num_classes_;
+  DecisionTreeOptions options_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace amdgcnn::baselines

@@ -1,0 +1,64 @@
+#include "baselines/logistic_regression.h"
+
+#include <stdexcept>
+
+#include "metrics/classification.h"
+#include "tensor/ops.h"
+
+namespace amdgcnn::baselines {
+
+LogisticRegression::LogisticRegression(
+    std::int64_t num_features, std::int64_t num_classes,
+    const LogisticRegressionOptions& options)
+    : num_features_(num_features),
+      num_classes_(num_classes),
+      options_(options),
+      rng_(options.seed),
+      linear_(num_features, num_classes, /*bias=*/true, rng_) {
+  if (num_classes < 2)
+    throw std::invalid_argument("LogisticRegression: need >= 2 classes");
+}
+
+ag::Tensor LogisticRegression::to_matrix(const std::vector<double>& x) const {
+  if (x.empty() || x.size() % static_cast<std::size_t>(num_features_) != 0)
+    throw std::invalid_argument(
+        "LogisticRegression: matrix width must equal num_features");
+  const auto n = static_cast<std::int64_t>(x.size()) / num_features_;
+  return ag::Tensor::from_data({n, num_features_}, x);
+}
+
+double LogisticRegression::fit(const std::vector<double>& x,
+                               const std::vector<std::int32_t>& y) {
+  auto xs = to_matrix(x);
+  if (static_cast<std::int64_t>(y.size()) != xs.dim(0))
+    throw std::invalid_argument("LogisticRegression: label count mismatch");
+  std::vector<std::int64_t> targets(y.begin(), y.end());
+  for (auto t : targets)
+    if (t < 0 || t >= num_classes_)
+      throw std::invalid_argument("LogisticRegression: label out of range");
+
+  ag::Adam opt(linear_.parameters(), options_.learning_rate, 0.9, 0.999,
+               1e-8, options_.weight_decay);
+  double loss_value = 0.0;
+  for (std::int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    opt.zero_grad();
+    auto loss = ag::ops::cross_entropy(linear_.forward(xs), targets);
+    loss_value = loss.item();
+    loss.backward();
+    opt.step();
+  }
+  return loss_value;
+}
+
+std::vector<double> LogisticRegression::predict_proba(
+    const std::vector<double>& x) const {
+  auto probs = ag::ops::softmax_rows(linear_.forward(to_matrix(x)));
+  return probs.data();
+}
+
+std::vector<std::int32_t> LogisticRegression::predict(
+    const std::vector<double>& x) const {
+  return metrics::argmax_rows(predict_proba(x), num_classes_);
+}
+
+}  // namespace amdgcnn::baselines

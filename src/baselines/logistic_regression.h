@@ -1,0 +1,48 @@
+// Multinomial logistic regression (softmax regression) on dense feature
+// vectors — the linear classifier of the related-work pipeline (paper
+// §VI-A, Vasavada & Wang).  Built on the ag:: autograd stack: one Linear
+// layer trained with Adam on cross-entropy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/linear.h"
+#include "tensor/optim.h"
+
+namespace amdgcnn::baselines {
+
+struct LogisticRegressionOptions {
+  double learning_rate = 0.05;
+  std::int64_t epochs = 200;
+  double weight_decay = 1e-4;
+  std::uint64_t seed = 3;
+};
+
+class LogisticRegression {
+ public:
+  LogisticRegression(std::int64_t num_features, std::int64_t num_classes,
+                     const LogisticRegressionOptions& options = {});
+
+  /// Full-batch training on a row-major [n, d] matrix with labels in
+  /// [0, num_classes).  Returns the final mean training loss.
+  double fit(const std::vector<double>& x,
+             const std::vector<std::int32_t>& y);
+
+  /// Row-major [n, num_classes] probabilities.
+  std::vector<double> predict_proba(const std::vector<double>& x) const;
+  std::vector<std::int32_t> predict(const std::vector<double>& x) const;
+
+  std::int64_t num_features() const { return num_features_; }
+  std::int64_t num_classes() const { return num_classes_; }
+
+ private:
+  ag::Tensor to_matrix(const std::vector<double>& x) const;
+
+  std::int64_t num_features_, num_classes_;
+  LogisticRegressionOptions options_;
+  util::Rng rng_;
+  nn::Linear linear_;
+};
+
+}  // namespace amdgcnn::baselines

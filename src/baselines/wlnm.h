@@ -1,0 +1,79 @@
+// Weisfeiler-Lehman Neural Machine (Zhang & Chen, KDD 2017) — the
+// supervised heuristic-learning predecessor SEAL improved upon (paper
+// §VI-B).  Pipeline:
+//
+//   1. extract the enclosing subgraph of the target pair;
+//   2. order its vertices with palette-WL (iterative color refinement
+//      seeded by distance to the targets);
+//   3. truncate / zero-pad to exactly K vertices and flatten the upper
+//      triangle of the reordered adjacency matrix;
+//   4. classify the fixed-size vector with a fully-connected network.
+//
+// The paper lists its drawbacks (fixed-size truncation, implicit
+// heuristics, no explicit node features) — this implementation exists so
+// the benchmark suite can show SEAL-style models beating it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/subgraph.h"
+#include "nn/mlp.h"
+#include "seal/sampling.h"
+
+namespace amdgcnn::baselines {
+
+struct WlnmOptions {
+  std::int32_t num_hops = 2;
+  std::int64_t vertex_budget = 10;  // K: vertices kept per subgraph
+  std::int32_t wl_iterations = 3;
+  std::int64_t hidden_dim = 64;
+  double learning_rate = 1e-3;
+  std::int64_t epochs = 30;
+  double dropout = 0.3;
+  std::uint64_t seed = 31;
+};
+
+/// Palette-WL vertex order for an enclosing subgraph: vertices sorted by
+/// final WL color (ascending; targets first by construction since their
+/// seed color — distance sum — is smallest).  Exposed for tests.
+std::vector<std::int32_t> palette_wl_order(
+    const graph::EnclosingSubgraph& sub, std::int32_t iterations);
+
+/// The flattened, WL-ordered, K-truncated upper-triangle adjacency encoding
+/// (length K*(K-1)/2; the entry for the target pair itself is zeroed, as in
+/// the reference implementation).  Exposed for tests.
+std::vector<double> wlnm_encode(const graph::EnclosingSubgraph& sub,
+                                std::int64_t vertex_budget,
+                                std::int32_t wl_iterations);
+
+class Wlnm {
+ public:
+  Wlnm(std::int64_t num_classes, const WlnmOptions& options = {});
+
+  /// Train on labeled links of a knowledge graph.
+  void fit(const graph::KnowledgeGraph& g,
+           const std::vector<seal::LinkExample>& train_links);
+
+  /// Row-major [n, num_classes] probabilities.
+  std::vector<double> predict_proba(
+      const graph::KnowledgeGraph& g,
+      const std::vector<seal::LinkExample>& links) const;
+
+  /// Macro one-vs-rest AUC on labeled links.
+  double evaluate_auc(const graph::KnowledgeGraph& g,
+                      const std::vector<seal::LinkExample>& links) const;
+
+ private:
+  std::vector<double> encode_links(
+      const graph::KnowledgeGraph& g,
+      const std::vector<seal::LinkExample>& links) const;
+
+  std::int64_t num_classes_;
+  WlnmOptions options_;
+  std::int64_t input_dim_;
+  mutable util::Rng rng_;
+  mutable nn::MLP mlp_;  // set_training toggles around const prediction
+};
+
+}  // namespace amdgcnn::baselines

@@ -1,0 +1,124 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/stopwatch.h"
+
+namespace amdgcnn::core {
+
+BenchScale bench_scale_from_env() {
+  const char* env = std::getenv("AMDGCNN_BENCH_SCALE");
+  if (env == nullptr) return BenchScale::kQuick;
+  const std::string value(env);
+  if (value == "full") return BenchScale::kFull;
+  if (value == "quick" || value.empty()) return BenchScale::kQuick;
+  throw std::runtime_error("AMDGCNN_BENCH_SCALE must be 'quick' or 'full'");
+}
+
+const char* bench_scale_name(BenchScale scale) {
+  return scale == BenchScale::kFull ? "full" : "quick";
+}
+
+std::int64_t scaled_links(std::int64_t full_count, BenchScale scale) {
+  if (scale == BenchScale::kFull) return full_count;
+  return std::max<std::int64_t>(50, full_count / 2);
+}
+
+seal::SealDataset prepare_seal_dataset(const datasets::LinkDataset& data,
+                                       std::int64_t max_subgraph_nodes,
+                                       std::int64_t max_drnl_label) {
+  seal::SealDatasetOptions options;
+  options.extract.num_hops = 2;  // paper §III-A
+  options.extract.mode = data.neighborhood_mode;
+  options.extract.max_nodes = max_subgraph_nodes;
+  options.features.max_drnl_label = max_drnl_label;
+  return seal::build_seal_dataset(data.graph, data.train_links,
+                                  data.test_links, data.num_classes, options);
+}
+
+hpo::HyperParams cora_tuned_defaults() {
+  // Result of bayes_opt on cora_sim (bench_fig3 reproduces the tuning);
+  // used as the paper's "default hyperparameters" on the knowledge graphs.
+  hpo::HyperParams hp;
+  hp.learning_rate = 2e-3;
+  hp.hidden_dim = 64;
+  hp.sort_k = 30;
+  return hp;
+}
+
+RunResult run_model(const seal::SealDataset& dataset, models::GnnKind kind,
+                    const hpo::HyperParams& params, std::int64_t epochs,
+                    std::uint64_t seed, std::int64_t eval_every,
+                    std::int64_t train_subset, std::int64_t batch_size) {
+  models::ModelConfig mc;
+  mc.kind = kind;
+  mc.node_feature_dim = dataset.node_feature_dim;
+  mc.edge_attr_dim = dataset.edge_attr_dim;
+  mc.num_classes = dataset.num_classes;
+  mc.hidden_dim = params.hidden_dim;
+  mc.sort_k = params.sort_k;
+
+  models::TrainConfig tc;
+  tc.learning_rate = params.learning_rate;
+  tc.epochs = epochs;
+  tc.seed = seed;
+  tc.batch_size = batch_size;
+
+  util::Rng init_rng(seed ^ 0xA5A5A5A5ULL);
+  auto model = models::make_link_gnn(mc, init_rng);
+  models::Trainer trainer(*model, tc);
+
+  const auto* train_set = &dataset.train;
+  std::vector<seal::SubgraphSample> subset;
+  if (train_subset > 0 &&
+      train_subset < static_cast<std::int64_t>(dataset.train.size())) {
+    subset.assign(dataset.train.begin(), dataset.train.begin() + train_subset);
+    train_set = &subset;
+  }
+
+  RunResult result;
+  result.model_name = models::gnn_kind_name(kind);
+  result.num_parameters = model->num_parameters();
+  util::Stopwatch watch;
+  result.curve = trainer.fit(*train_set, dataset.test, eval_every);
+  result.train_seconds = watch.seconds();
+  result.final_eval = trainer.evaluate(dataset.test);
+  return result;
+}
+
+hpo::TuneResult tune_model(const seal::SealDataset& dataset,
+                           models::GnnKind kind,
+                           const hpo::BayesOptOptions& options,
+                           std::int64_t tune_epochs,
+                           std::int64_t max_train_samples,
+                           std::int64_t max_val_samples) {
+  // Split the training set into a tune-train prefix and validation suffix
+  // (the samples were shuffled at generation time).
+  const auto n = static_cast<std::int64_t>(dataset.train.size());
+  if (n < 20)
+    throw std::invalid_argument("tune_model: too few training samples");
+  const std::int64_t val_size =
+      std::min(max_val_samples, std::max<std::int64_t>(10, n / 4));
+  const std::int64_t train_size =
+      std::min(max_train_samples, n - val_size);
+
+  seal::SealDataset tune_set;
+  tune_set.num_classes = dataset.num_classes;
+  tune_set.node_feature_dim = dataset.node_feature_dim;
+  tune_set.edge_attr_dim = dataset.edge_attr_dim;
+  tune_set.train.assign(dataset.train.begin(),
+                        dataset.train.begin() + train_size);
+  tune_set.test.assign(dataset.train.end() - val_size, dataset.train.end());
+
+  hpo::SearchSpace space;
+  auto evaluator = [&](const hpo::HyperParams& hp) {
+    const auto run =
+        run_model(tune_set, kind, hp, tune_epochs, /*seed=*/101);
+    return run.final_eval.metrics.macro_auc;
+  };
+  return hpo::bayes_opt(space, evaluator, options);
+}
+
+}  // namespace amdgcnn::core

@@ -1,0 +1,69 @@
+#include "core/seal_link_classifier.h"
+
+#include <stdexcept>
+
+namespace amdgcnn::core {
+
+SealLinkClassifier::SealLinkClassifier(ClassifierConfig config)
+    : config_(std::move(config)) {}
+
+std::vector<models::EpochRecord> SealLinkClassifier::fit(
+    const graph::KnowledgeGraph& g,
+    const std::vector<seal::LinkExample>& train_links,
+    std::int64_t num_classes, std::int64_t eval_every) {
+  if (train_links.empty())
+    throw std::invalid_argument("SealLinkClassifier::fit: no training links");
+
+  auto dataset = seal::build_seal_dataset(g, train_links, /*test_links=*/{},
+                                          num_classes, config_.dataset);
+
+  config_.model.num_classes = num_classes;
+  config_.model.node_feature_dim = dataset.node_feature_dim;
+  config_.model.edge_attr_dim = dataset.edge_attr_dim;
+
+  util::Rng init_rng(config_.training.seed);
+  model_ = models::make_link_gnn(config_.model, init_rng);
+  trainer_ = std::make_unique<models::Trainer>(*model_, config_.training);
+  return trainer_->fit(dataset.train, dataset.train, eval_every);
+}
+
+std::vector<double> SealLinkClassifier::predict_proba(
+    const graph::KnowledgeGraph& g,
+    const std::vector<seal::LinkExample>& links) const {
+  require_fitted();
+  std::vector<seal::SubgraphSample> samples(links.size());
+#pragma omp parallel for schedule(dynamic)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(links.size()); ++i)
+    samples[i] = seal::make_sample(g, links[i], config_.dataset);
+  return trainer_->predict_proba(samples);
+}
+
+std::vector<std::int32_t> SealLinkClassifier::predict(
+    const graph::KnowledgeGraph& g,
+    const std::vector<seal::LinkExample>& links) const {
+  const auto probs = predict_proba(g, links);
+  return metrics::argmax_rows(probs, config_.model.num_classes);
+}
+
+models::EvalResult SealLinkClassifier::evaluate(
+    const graph::KnowledgeGraph& g,
+    const std::vector<seal::LinkExample>& links) const {
+  require_fitted();
+  std::vector<seal::SubgraphSample> samples(links.size());
+#pragma omp parallel for schedule(dynamic)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(links.size()); ++i)
+    samples[i] = seal::make_sample(g, links[i], config_.dataset);
+  return trainer_->evaluate(samples);
+}
+
+const models::LinkGNN& SealLinkClassifier::model() const {
+  require_fitted();
+  return *model_;
+}
+
+void SealLinkClassifier::require_fitted() const {
+  if (!fitted())
+    throw std::logic_error("SealLinkClassifier: call fit() first");
+}
+
+}  // namespace amdgcnn::core

@@ -1,0 +1,74 @@
+// SealLinkClassifier — the library's one-stop public API.
+//
+// Wraps the full paper pipeline behind fit/predict/evaluate:
+//
+//   KnowledgeGraph + labeled links
+//     -> enclosing-subgraph extraction (union/intersection, k hops)
+//     -> DRNL + node/edge attribute matrices
+//     -> DGCNN (vanilla) or AM-DGCNN (GAT + edge attributes)
+//     -> training with Adam, evaluation with AUC/AP
+//
+// Quickstart (see examples/quickstart.cpp):
+//
+//   core::ClassifierConfig cfg;
+//   cfg.model.kind = models::GnnKind::kAMDGCNN;
+//   core::SealLinkClassifier clf(cfg);
+//   clf.fit(dataset.graph, dataset.train_links, dataset.num_classes);
+//   auto eval = clf.evaluate(dataset.graph, dataset.test_links);
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "models/trainer.h"
+#include "seal/dataset.h"
+
+namespace amdgcnn::core {
+
+struct ClassifierConfig {
+  models::ModelConfig model;        // node_feature_dim etc. filled by fit()
+  models::TrainConfig training;
+  seal::SealDatasetOptions dataset;
+};
+
+class SealLinkClassifier {
+ public:
+  explicit SealLinkClassifier(ClassifierConfig config);
+
+  /// Extract subgraphs for the training links, build the model and train.
+  /// Returns the per-epoch trajectory (evaluated on the training set when
+  /// `eval_every` > 0).
+  std::vector<models::EpochRecord> fit(
+      const graph::KnowledgeGraph& g,
+      const std::vector<seal::LinkExample>& train_links,
+      std::int64_t num_classes, std::int64_t eval_every = 0);
+
+  /// Row-major [n, num_classes] probabilities for new links.
+  std::vector<double> predict_proba(
+      const graph::KnowledgeGraph& g,
+      const std::vector<seal::LinkExample>& links) const;
+
+  /// Argmax class predictions.
+  std::vector<std::int32_t> predict(
+      const graph::KnowledgeGraph& g,
+      const std::vector<seal::LinkExample>& links) const;
+
+  /// AUC / AP / accuracy on labeled links.
+  models::EvalResult evaluate(
+      const graph::KnowledgeGraph& g,
+      const std::vector<seal::LinkExample>& links) const;
+
+  bool fitted() const { return model_ != nullptr; }
+  const models::LinkGNN& model() const;
+  const ClassifierConfig& config() const { return config_; }
+
+ private:
+  void require_fitted() const;
+
+  ClassifierConfig config_;
+  std::unique_ptr<models::LinkGNN> model_;
+  std::unique_ptr<models::Trainer> trainer_;
+};
+
+}  // namespace amdgcnn::core

@@ -1,0 +1,126 @@
+#include "datasets/cora_sim.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace amdgcnn::datasets {
+
+LinkDataset make_cora_sim(const CoraSimOptions& options) {
+  if (options.num_nodes < 20)
+    throw std::invalid_argument("make_cora_sim: too few nodes");
+  if (options.num_pos_links * 2 > options.num_edges)
+    throw std::invalid_argument(
+        "make_cora_sim: num_pos_links too large for edge budget");
+  util::Rng rng(options.seed);
+  // 7 "node types" model the communities (also exposed as explicit noisy
+  // one-hot features, like Cora's class-correlated words); one edge type,
+  // NO edge attributes.
+  graph::KnowledgeGraph g(kCoraCommunities, /*num_edge_types=*/1,
+                          /*edge_attr_dim=*/0,
+                          /*node_feat_dim=*/kCoraCommunities);
+  GraphBuilder edges(g);
+
+  std::vector<std::int32_t> community(
+      static_cast<std::size_t>(options.num_nodes));
+  std::vector<std::vector<graph::NodeId>> members(kCoraCommunities);
+  std::vector<graph::NodeId> nodes;
+  nodes.reserve(community.size());
+  for (std::int64_t i = 0; i < options.num_nodes; ++i) {
+    const auto c = static_cast<std::int32_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(kCoraCommunities)));
+    const auto v = g.add_node(c);
+    nodes.push_back(v);
+    community[static_cast<std::size_t>(i)] = c;
+    members[static_cast<std::size_t>(c)].push_back(v);
+
+    // Noisy one-hot community feature.
+    std::vector<double> feat(kCoraCommunities, 0.0);
+    std::int32_t observed = c;
+    if (rng.bernoulli(options.feature_noise))
+      observed = static_cast<std::int32_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(kCoraCommunities)));
+    feat[static_cast<std::size_t>(observed)] = 1.0;
+    g.set_node_features(v, feat);
+  }
+
+  // Degree-corrected SBM wiring: hub weights ~ Zipf-ish.
+  std::vector<double> weight(nodes.size());
+  for (auto& w : weight) w = std::exp(rng.normal(0.0, 0.6));
+  std::vector<std::vector<double>> member_weight(kCoraCommunities);
+  for (std::int32_t c = 0; c < kCoraCommunities; ++c) {
+    member_weight[c].reserve(members[c].size());
+    for (auto v : members[c]) member_weight[c].push_back(weight[v]);
+  }
+  std::vector<double> all_weight(weight);
+
+  // Wiring: homophilous DC-SBM edges plus triadic-closure edges (connect
+  // two nodes that already share a neighbor), tracked in a local adjacency
+  // so closures can be sampled cheaply.
+  std::vector<std::vector<graph::NodeId>> adj(nodes.size());
+  auto place = [&](graph::NodeId u, graph::NodeId v) {
+    if (u == v || !edges.add_edge_unique(u, v, 0)) return false;
+    adj[static_cast<std::size_t>(u)].push_back(v);
+    adj[static_cast<std::size_t>(v)].push_back(u);
+    return true;
+  };
+  std::int64_t guard = 0;
+  while (edges.num_edges_added() < options.num_edges) {
+    if (++guard > 200 * options.num_edges)
+      throw std::runtime_error("make_cora_sim: could not place edges");
+    if (edges.num_edges_added() > 50 &&
+        rng.bernoulli(options.triadic_closure)) {
+      // Close a wedge u - v - w.
+      const auto v = nodes[rng.categorical(all_weight)];
+      const auto& nv = adj[static_cast<std::size_t>(v)];
+      if (nv.size() < 2) continue;
+      const auto u = nv[rng.uniform_int(nv.size())];
+      const auto w = nv[rng.uniform_int(nv.size())];
+      place(u, w);
+      continue;
+    }
+    graph::NodeId u, v;
+    if (rng.bernoulli(options.within_community)) {
+      const auto c = static_cast<std::int32_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(kCoraCommunities)));
+      if (members[c].size() < 2) continue;
+      u = members[c][rng.categorical(member_weight[c])];
+      v = members[c][rng.categorical(member_weight[c])];
+    } else {
+      u = nodes[rng.categorical(all_weight)];
+      v = nodes[rng.categorical(all_weight)];
+    }
+    place(u, v);
+  }
+
+  g.finalize();
+
+  // ---- Target links: existing edges vs sampled non-edges -------------------
+  // Positive examples are a random subset of graph edges (SEAL masks the
+  // target edge during extraction, so the label is not leaked).
+  std::vector<seal::LinkExample> links;
+  links.reserve(static_cast<std::size_t>(2 * options.num_pos_links));
+  auto edge_ids = rng.sample_without_replacement(
+      static_cast<std::size_t>(g.num_edges()),
+      static_cast<std::size_t>(options.num_pos_links));
+  for (auto eid : edge_ids) {
+    const auto& e = g.edge(static_cast<graph::EdgeId>(eid));
+    links.push_back({e.src, e.dst, 1});
+  }
+  auto negatives =
+      seal::sample_negative_links(g, options.num_pos_links, /*label=*/0, rng);
+  links.insert(links.end(), negatives.begin(), negatives.end());
+
+  LinkDataset ds;
+  ds.name = "cora_sim";
+  ds.graph = std::move(g);
+  ds.num_classes = kCoraNumClasses;
+  ds.class_names = {"non-edge", "edge"};
+  ds.neighborhood_mode = graph::NeighborhoodMode::kUnion;
+  const auto total = static_cast<std::int64_t>(links.size());
+  const auto num_test =
+      static_cast<std::int64_t>(options.test_fraction * total + 0.5);
+  split_links(std::move(links), total - num_test, num_test, rng, ds);
+  return ds;
+}
+
+}  // namespace amdgcnn::datasets

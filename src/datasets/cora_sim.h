@@ -1,0 +1,44 @@
+// cora_sim — synthetic stand-in for Cora (Planetoid).
+//
+// Paper task (§IV): binary link prediction (edge existence) on a citation
+// network with 7 node classes, ONE edge type and NO edge attributes — the
+// control benchmark where AM-DGCNN's edge machinery is idle and the
+// comparison reduces to GAT-vs-GCN node message passing (paper: 0.91 vs
+// 0.84 AUC).
+//
+// Generator: degree-corrected stochastic block model over 7 communities
+// (within-community edges dominate, matching citation homophily); explicit
+// node features are a noisy community one-hot, the proxy for Cora's
+// class-correlated bag-of-words.  Positives are observed edges (the target
+// edge is masked during subgraph extraction, per SEAL), negatives are
+// uniform non-edges; 80/20 split as in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "datasets/kg_generator.h"
+
+namespace amdgcnn::datasets {
+
+struct CoraSimOptions {
+  std::uint64_t seed = 5;
+  std::int64_t num_nodes = 2708;   // faithful to Cora
+  std::int64_t num_edges = 5429;   // faithful to Cora
+  double within_community = 0.8;   // fraction of homophilous edges
+  double triadic_closure = 0.35;   // fraction of edges closing a wedge
+                                   // (citation graphs are highly clustered —
+                                   // this is what gives SEAL its common-
+                                   // neighbor signal on real Cora)
+  double feature_noise = 0.08;     // P(one-hot feature flipped)
+  /// Number of positive target links (equal negatives are sampled);
+  /// 80/20 train/test split is applied to the union.
+  std::int64_t num_pos_links = 800;
+  double test_fraction = 0.2;
+};
+
+inline constexpr std::int32_t kCoraCommunities = 7;
+inline constexpr std::int64_t kCoraNumClasses = 2;  // non-edge / edge
+
+LinkDataset make_cora_sim(const CoraSimOptions& options = {});
+
+}  // namespace amdgcnn::datasets

@@ -1,0 +1,50 @@
+#include "datasets/kg_generator.h"
+
+#include <stdexcept>
+
+namespace amdgcnn::datasets {
+
+std::uint64_t GraphBuilder::key(graph::NodeId u, graph::NodeId v) {
+  const auto lo = static_cast<std::uint64_t>(std::min(u, v));
+  const auto hi = static_cast<std::uint64_t>(std::max(u, v));
+  return (hi << 32) | lo;
+}
+
+bool GraphBuilder::add_edge_unique(graph::NodeId u, graph::NodeId v,
+                                   std::int32_t type) {
+  if (u == v) return false;
+  if (!seen_.insert(key(u, v)).second) return false;
+  g_->add_edge(u, v, type);
+  ++added_;
+  return true;
+}
+
+bool GraphBuilder::has_edge(graph::NodeId u, graph::NodeId v) const {
+  return seen_.count(key(u, v)) > 0;
+}
+
+graph::NodeId pick(const std::vector<graph::NodeId>& pool, util::Rng& rng) {
+  if (pool.empty()) throw std::invalid_argument("pick: empty pool");
+  return pool[rng.uniform_int(static_cast<std::uint64_t>(pool.size()))];
+}
+
+std::int32_t noisy_label(std::int32_t label, std::int64_t num_classes,
+                         double noise, util::Rng& rng) {
+  if (!rng.bernoulli(noise)) return label;
+  // uniform over the other classes
+  auto other = static_cast<std::int32_t>(
+      rng.uniform_int(static_cast<std::uint64_t>(num_classes - 1)));
+  return other >= label ? other + 1 : other;
+}
+
+void split_links(std::vector<seal::LinkExample> links, std::int64_t num_train,
+                 std::int64_t num_test, util::Rng& rng, LinkDataset& out) {
+  if (num_train + num_test > static_cast<std::int64_t>(links.size()))
+    throw std::invalid_argument("split_links: not enough links generated");
+  rng.shuffle(links);
+  out.train_links.assign(links.begin(), links.begin() + num_train);
+  out.test_links.assign(links.begin() + num_train,
+                        links.begin() + num_train + num_test);
+}
+
+}  // namespace amdgcnn::datasets

@@ -1,0 +1,114 @@
+#include "datasets/wordnet_sim.h"
+
+#include <stdexcept>
+
+namespace amdgcnn::datasets {
+
+std::int32_t wordnet_relation_table(std::int32_t role_u, std::int32_t role_v) {
+  if (role_u < 0 || role_u >= kWordNetRoles || role_v < 0 ||
+      role_v >= kWordNetRoles)
+    throw std::invalid_argument("wordnet_relation_table: role out of range");
+  const std::int32_t lo = std::min(role_u, role_v);
+  const std::int32_t hi = std::max(role_u, role_v);
+  // Enumerate unordered pairs (lo <= hi) row by row; 21 pairs map onto 18
+  // relation ids (the last three wrap), so a few role pairs share a relation
+  // — mirroring WN18's semantically overlapping relations.
+  std::int32_t index = 0;
+  for (std::int32_t i = 0; i < kWordNetRoles; ++i)
+    for (std::int32_t j = i; j < kWordNetRoles; ++j) {
+      if (i == lo && j == hi) return index % kWordNetEdgeTypes;
+      ++index;
+    }
+  throw std::logic_error("wordnet_relation_table: unreachable");
+}
+
+LinkDataset make_wordnet_sim(const WordNetSimOptions& options) {
+  if (options.num_nodes < 10)
+    throw std::invalid_argument("make_wordnet_sim: too few nodes");
+  util::Rng rng(options.seed);
+  // One node type; the 18-dim edge attribute is the relation one-hot.
+  graph::KnowledgeGraph g(/*num_node_types=*/1, kWordNetEdgeTypes,
+                          /*edge_attr_dim=*/kWordNetEdgeTypes);
+  GraphBuilder edges(g);
+
+  std::vector<std::int8_t> role(static_cast<std::size_t>(options.num_nodes));
+  std::vector<graph::NodeId> nodes;
+  nodes.reserve(role.size());
+  for (std::int64_t i = 0; i < options.num_nodes; ++i) {
+    nodes.push_back(g.add_node(0));
+    role[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(kWordNetRoles)));
+  }
+
+  for (std::int32_t t = 0; t < kWordNetEdgeTypes; ++t) {
+    std::vector<double> attr(kWordNetEdgeTypes, 0.0);
+    attr[static_cast<std::size_t>(t)] = 1.0;
+    g.set_edge_type_attr(t, attr);
+  }
+
+  // Background relation of an edge: with probability edge_type_fidelity the
+  // type encodes the lexical role of ONE endpoint (relation block
+  // 3*role + subtype, covering all 18 types = 6 roles x 3 subtypes),
+  // otherwise uniform noise.  A node's incident relation histogram therefore
+  // peaks in its own role block — the signal an edge-aware GNN reads and an
+  // edge-blind one cannot.
+  auto relation = [&](graph::NodeId u, graph::NodeId v) -> std::int32_t {
+    if (rng.bernoulli(options.edge_type_fidelity)) {
+      const auto endpoint = rng.bernoulli(0.5) ? u : v;
+      const auto subtype = static_cast<std::int32_t>(rng.uniform_int(3ULL));
+      return 3 * role[static_cast<std::size_t>(endpoint)] + subtype;
+    }
+    return static_cast<std::int32_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(kWordNetEdgeTypes)));
+  };
+
+  // Role-INDEPENDENT uniform wiring: topology is pure noise w.r.t. class.
+  const auto edges_wanted = static_cast<std::int64_t>(
+      options.mean_degree * static_cast<double>(options.num_nodes) / 2.0);
+  std::int64_t guard = 0;
+  while (edges.num_edges_added() < edges_wanted) {
+    if (++guard > 100 * edges_wanted)
+      throw std::runtime_error("make_wordnet_sim: could not place edges");
+    const auto u = pick(nodes, rng);
+    const auto v = pick(nodes, rng);
+    if (u == v) continue;
+    edges.add_edge_unique(u, v, relation(u, v));
+  }
+
+  // ---- Target links ---------------------------------------------------------
+  const std::int64_t wanted = options.num_train + options.num_test;
+  std::vector<seal::LinkExample> links;
+  links.reserve(static_cast<std::size_t>(wanted));
+  std::unordered_set<std::uint64_t> used_pairs;
+  guard = 0;
+  while (static_cast<std::int64_t>(links.size()) < wanted) {
+    if (++guard > 100 * wanted)
+      throw std::runtime_error("make_wordnet_sim: could not place links");
+    auto a = pick(nodes, rng);
+    auto c = pick(nodes, rng);
+    if (a == c) continue;
+    if (a > c) std::swap(a, c);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(c);
+    if (!used_pairs.insert(key).second) continue;
+    const std::int32_t base = wordnet_relation_table(
+        role[static_cast<std::size_t>(a)], role[static_cast<std::size_t>(c)]);
+    links.push_back({a, c,
+                     noisy_label(base, kWordNetNumClasses,
+                                 options.label_noise, rng)});
+  }
+
+  g.finalize();
+
+  LinkDataset ds;
+  ds.name = "wordnet_sim";
+  ds.graph = std::move(g);
+  ds.num_classes = kWordNetNumClasses;
+  for (std::int32_t t = 0; t < kWordNetEdgeTypes; ++t)
+    ds.class_names.push_back("rel-" + std::to_string(t));
+  ds.neighborhood_mode = graph::NeighborhoodMode::kUnion;
+  split_links(std::move(links), options.num_train, options.num_test, rng, ds);
+  return ds;
+}
+
+}  // namespace amdgcnn::datasets

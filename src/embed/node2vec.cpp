@@ -1,0 +1,108 @@
+#include "embed/node2vec.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace amdgcnn::embed {
+
+namespace {
+double stable_sigmoid(double x) {
+  if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+std::vector<double> node2vec(const graph::KnowledgeGraph& g,
+                             const Node2VecOptions& options) {
+  if (options.dimensions <= 0)
+    throw std::invalid_argument("node2vec: dimensions must be positive");
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const auto dim = static_cast<std::size_t>(options.dimensions);
+  util::Rng rng(options.seed);
+
+  const auto walks = generate_walks(g, options.walk, rng);
+
+  // Unigram^(3/4) negative-sampling table over walk occurrences.
+  std::vector<double> freq(n, 0.0);
+  std::size_t corpus = 0;
+  for (const auto& walk : walks) {
+    for (auto v : walk) freq[static_cast<std::size_t>(v)] += 1.0;
+    corpus += walk.size();
+  }
+  std::vector<double> neg_weight(n);
+  for (std::size_t v = 0; v < n; ++v)
+    neg_weight[v] = std::pow(freq[v], 0.75);
+
+  // Input (emb) and output (ctx) matrices, word2vec-style.
+  std::vector<double> emb(n * dim), ctx(n * dim, 0.0);
+  for (auto& e : emb)
+    e = (rng.uniform() - 0.5) / static_cast<double>(dim);
+
+  const std::int64_t total_steps =
+      static_cast<std::int64_t>(options.epochs) *
+      static_cast<std::int64_t>(corpus);
+  std::int64_t step = 0;
+  std::vector<double> grad_center(dim);
+
+  auto update_pair = [&](std::size_t center, std::size_t context,
+                         double label, double lr) {
+    double* vc = emb.data() + center * dim;
+    double* vo = ctx.data() + context * dim;
+    double dot = 0.0;
+    for (std::size_t k = 0; k < dim; ++k) dot += vc[k] * vo[k];
+    const double gscale = lr * (label - stable_sigmoid(dot));
+    for (std::size_t k = 0; k < dim; ++k) {
+      grad_center[k] += gscale * vo[k];
+      vo[k] += gscale * vc[k];
+    }
+  };
+
+  for (std::int32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    for (const auto& walk : walks) {
+      for (std::size_t i = 0; i < walk.size(); ++i) {
+        const double progress =
+            static_cast<double>(step++) / static_cast<double>(total_steps);
+        const double lr =
+            options.learning_rate * std::max(0.1, 1.0 - progress);
+        const auto center = static_cast<std::size_t>(walk[i]);
+        const auto lo = i >= static_cast<std::size_t>(options.window)
+                            ? i - static_cast<std::size_t>(options.window)
+                            : 0;
+        const auto hi = std::min(walk.size() - 1,
+                                 i + static_cast<std::size_t>(options.window));
+        for (std::size_t j = lo; j <= hi; ++j) {
+          if (j == i) continue;
+          std::fill(grad_center.begin(), grad_center.end(), 0.0);
+          update_pair(center, static_cast<std::size_t>(walk[j]), 1.0, lr);
+          for (std::int32_t neg = 0; neg < options.negatives; ++neg) {
+            const auto sample = rng.categorical(neg_weight);
+            if (sample == center) continue;
+            update_pair(center, sample, 0.0, lr);
+          }
+          double* vc = emb.data() + center * dim;
+          for (std::size_t k = 0; k < dim; ++k) vc[k] += grad_center[k];
+        }
+      }
+    }
+  }
+  return emb;
+}
+
+double embedding_cosine(const std::vector<double>& embedding,
+                        std::int64_t dimensions, graph::NodeId u,
+                        graph::NodeId v) {
+  const auto dim = static_cast<std::size_t>(dimensions);
+  const double* a = embedding.data() + static_cast<std::size_t>(u) * dim;
+  const double* b = embedding.data() + static_cast<std::size_t>(v) * dim;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t k = 0; k < dim; ++k) {
+    dot += a[k] * b[k];
+    na += a[k] * a[k];
+    nb += b[k] * b[k];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0.0 ? dot / denom : 0.0;
+}
+
+}  // namespace amdgcnn::embed

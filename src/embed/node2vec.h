@@ -1,0 +1,35 @@
+// node2vec embeddings: biased random walks + skip-gram with negative
+// sampling (SGNS).  Part (ii) of SEAL's node attribute vector; the paper
+// found no accuracy gain on knowledge graphs and disables it ("we ignore it
+// for faster training and inference") — our dataset presets do the same,
+// and bench_ablation verifies the finding.
+#pragma once
+
+#include <vector>
+
+#include "embed/random_walk.h"
+
+namespace amdgcnn::embed {
+
+struct Node2VecOptions {
+  std::int64_t dimensions = 32;
+  WalkOptions walk;
+  std::int32_t window = 4;       // skip-gram context radius
+  std::int32_t negatives = 3;    // negative samples per positive pair
+  std::int32_t epochs = 2;       // passes over the walk corpus
+  double learning_rate = 0.025;  // linearly decayed to 10% over training
+  std::uint64_t seed = 23;
+};
+
+/// Train embeddings; returns row-major [num_nodes, dimensions].
+/// Negative sampling follows the unigram^(3/4) distribution over walk
+/// occurrences, as in word2vec.
+std::vector<double> node2vec(const graph::KnowledgeGraph& g,
+                             const Node2VecOptions& options = {});
+
+/// Cosine similarity between two embedding rows (test / example helper).
+double embedding_cosine(const std::vector<double>& embedding,
+                        std::int64_t dimensions, graph::NodeId u,
+                        graph::NodeId v);
+
+}  // namespace amdgcnn::embed

@@ -1,0 +1,58 @@
+#include "embed/random_walk.h"
+
+#include <stdexcept>
+
+namespace amdgcnn::embed {
+
+std::vector<graph::NodeId> random_walk(const graph::KnowledgeGraph& g,
+                                       graph::NodeId start,
+                                       const WalkOptions& options,
+                                       util::Rng& rng) {
+  if (options.p <= 0.0 || options.q <= 0.0)
+    throw std::invalid_argument("random_walk: p and q must be positive");
+  std::vector<graph::NodeId> walk;
+  walk.reserve(static_cast<std::size_t>(options.walk_length));
+  walk.push_back(start);
+  graph::NodeId prev = -1;
+  graph::NodeId cur = start;
+  std::vector<double> weights;
+  while (static_cast<std::int32_t>(walk.size()) < options.walk_length) {
+    const auto nbrs = g.neighbors(cur);
+    if (nbrs.empty()) break;
+    graph::NodeId next;
+    if (prev < 0) {
+      next = nbrs[rng.uniform_int(static_cast<std::uint64_t>(nbrs.size()))]
+                 .node;
+    } else {
+      weights.clear();
+      weights.reserve(nbrs.size());
+      for (const auto& a : nbrs) {
+        double w;
+        if (a.node == prev) w = 1.0 / options.p;
+        else if (g.has_edge(a.node, prev)) w = 1.0;
+        else w = 1.0 / options.q;
+        weights.push_back(w);
+      }
+      next = nbrs[rng.categorical(weights)].node;
+    }
+    walk.push_back(next);
+    prev = cur;
+    cur = next;
+  }
+  return walk;
+}
+
+std::vector<std::vector<graph::NodeId>> generate_walks(
+    const graph::KnowledgeGraph& g, const WalkOptions& options,
+    util::Rng& rng) {
+  std::vector<std::vector<graph::NodeId>> walks;
+  walks.reserve(static_cast<std::size_t>(g.num_nodes()) *
+                static_cast<std::size_t>(options.walks_per_node));
+  for (std::int32_t w = 0; w < options.walks_per_node; ++w)
+    for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(g.num_nodes());
+         ++v)
+      walks.push_back(random_walk(g, v, options, rng));
+  return walks;
+}
+
+}  // namespace amdgcnn::embed

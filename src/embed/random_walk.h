@@ -1,0 +1,34 @@
+// Biased second-order random walks (node2vec, Grover & Leskovec 2016).
+//
+// The return parameter p and in-out parameter q bias each step relative to
+// the previous node: weight 1/p to return, 1 to a common neighbor of the
+// previous node, 1/q to move outward.  p = q = 1 reduces to DeepWalk.
+#pragma once
+
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+#include "util/rng.h"
+
+namespace amdgcnn::embed {
+
+struct WalkOptions {
+  std::int32_t walks_per_node = 5;
+  std::int32_t walk_length = 20;
+  double p = 1.0;  // return parameter
+  double q = 1.0;  // in-out parameter
+};
+
+/// One biased walk starting at `start` (length <= walk_length; shorter when
+/// a dead end is reached).
+std::vector<graph::NodeId> random_walk(const graph::KnowledgeGraph& g,
+                                       graph::NodeId start,
+                                       const WalkOptions& options,
+                                       util::Rng& rng);
+
+/// walks_per_node walks from every node, in node order.
+std::vector<std::vector<graph::NodeId>> generate_walks(
+    const graph::KnowledgeGraph& g, const WalkOptions& options,
+    util::Rng& rng);
+
+}  // namespace amdgcnn::embed

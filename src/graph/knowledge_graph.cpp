@@ -1,0 +1,176 @@
+#include "graph/knowledge_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace amdgcnn::graph {
+
+KnowledgeGraph::KnowledgeGraph(std::int32_t num_node_types,
+                               std::int32_t num_edge_types,
+                               std::int64_t edge_attr_dim,
+                               std::int64_t node_feat_dim)
+    : num_node_types_(num_node_types),
+      num_edge_types_(num_edge_types),
+      edge_attr_dim_(edge_attr_dim),
+      node_feat_dim_(node_feat_dim) {
+  if (num_node_types <= 0 || num_edge_types <= 0)
+    throw std::invalid_argument("KnowledgeGraph: type counts must be > 0");
+  if (edge_attr_dim < 0 || node_feat_dim < 0)
+    throw std::invalid_argument("KnowledgeGraph: negative attribute dim");
+  edge_type_attr_.assign(
+      static_cast<std::size_t>(num_edge_types) * edge_attr_dim, 0.0);
+}
+
+void KnowledgeGraph::require_finalized(const char* what) const {
+  if (!finalized_)
+    throw std::logic_error(std::string(what) + ": graph not finalized");
+}
+
+void KnowledgeGraph::require_not_finalized(const char* what) const {
+  if (finalized_)
+    throw std::logic_error(std::string(what) + ": graph already finalized");
+}
+
+NodeId KnowledgeGraph::add_node(std::int32_t type) {
+  require_not_finalized("add_node");
+  if (type < 0 || type >= num_node_types_)
+    throw std::invalid_argument("add_node: type out of range");
+  node_type_.push_back(type);
+  if (node_feat_dim_ > 0)
+    node_feat_.resize(node_feat_.size() + node_feat_dim_, 0.0);
+  return static_cast<NodeId>(node_type_.size() - 1);
+}
+
+EdgeId KnowledgeGraph::add_edge(NodeId u, NodeId v, std::int32_t type) {
+  require_not_finalized("add_edge");
+  const auto n = static_cast<NodeId>(node_type_.size());
+  if (u < 0 || u >= n || v < 0 || v >= n)
+    throw std::invalid_argument("add_edge: endpoint out of range");
+  if (u == v) throw std::invalid_argument("add_edge: self-loop rejected");
+  if (type < 0 || type >= num_edge_types_)
+    throw std::invalid_argument("add_edge: type out of range");
+  edges_.push_back({u, v, type});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+void KnowledgeGraph::set_node_features(NodeId v, std::span<const double> feat) {
+  if (node_feat_dim_ == 0)
+    throw std::logic_error("set_node_features: node_feat_dim is 0");
+  if (v < 0 || v >= static_cast<NodeId>(node_type_.size()))
+    throw std::invalid_argument("set_node_features: node out of range");
+  if (static_cast<std::int64_t>(feat.size()) != node_feat_dim_)
+    throw std::invalid_argument("set_node_features: wrong feature length");
+  std::copy(feat.begin(), feat.end(),
+            node_feat_.begin() + static_cast<std::size_t>(v) * node_feat_dim_);
+}
+
+void KnowledgeGraph::set_edge_type_attr(std::int32_t type,
+                                        std::span<const double> attr) {
+  if (edge_attr_dim_ == 0)
+    throw std::logic_error("set_edge_type_attr: edge_attr_dim is 0");
+  if (type < 0 || type >= num_edge_types_)
+    throw std::invalid_argument("set_edge_type_attr: type out of range");
+  if (static_cast<std::int64_t>(attr.size()) != edge_attr_dim_)
+    throw std::invalid_argument("set_edge_type_attr: wrong attr length");
+  std::copy(attr.begin(), attr.end(),
+            edge_type_attr_.begin() +
+                static_cast<std::size_t>(type) * edge_attr_dim_);
+}
+
+void KnowledgeGraph::finalize() {
+  require_not_finalized("finalize");
+  const std::int64_t n = num_nodes();
+  std::vector<std::int64_t> deg(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& e : edges_) {
+    ++deg[static_cast<std::size_t>(e.src) + 1];
+    ++deg[static_cast<std::size_t>(e.dst) + 1];
+  }
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (std::int64_t i = 0; i < n; ++i)
+    offsets_[i + 1] = offsets_[i] + deg[i + 1];
+  adjacency_.resize(static_cast<std::size_t>(offsets_[n]));
+  std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t eid = 0; eid < edges_.size(); ++eid) {
+    const auto& e = edges_[eid];
+    adjacency_[cursor[e.src]++] = {e.dst, static_cast<EdgeId>(eid)};
+    adjacency_[cursor[e.dst]++] = {e.src, static_cast<EdgeId>(eid)};
+  }
+  finalized_ = true;
+}
+
+std::int32_t KnowledgeGraph::node_type(NodeId v) const {
+  if (v < 0 || v >= static_cast<NodeId>(node_type_.size()))
+    throw std::invalid_argument("node_type: node out of range");
+  return node_type_[v];
+}
+
+const EdgeRecord& KnowledgeGraph::edge(EdgeId e) const {
+  if (e < 0 || e >= static_cast<EdgeId>(edges_.size()))
+    throw std::invalid_argument("edge: id out of range");
+  return edges_[e];
+}
+
+std::span<const double> KnowledgeGraph::edge_attr(EdgeId e) const {
+  return edge_type_attr(edge(e).type);
+}
+
+std::span<const double> KnowledgeGraph::edge_type_attr(
+    std::int32_t type) const {
+  if (type < 0 || type >= num_edge_types_)
+    throw std::invalid_argument("edge_type_attr: type out of range");
+  if (edge_attr_dim_ == 0) return {};
+  return {edge_type_attr_.data() +
+              static_cast<std::size_t>(type) * edge_attr_dim_,
+          static_cast<std::size_t>(edge_attr_dim_)};
+}
+
+std::span<const double> KnowledgeGraph::node_features(NodeId v) const {
+  if (v < 0 || v >= static_cast<NodeId>(node_type_.size()))
+    throw std::invalid_argument("node_features: node out of range");
+  if (node_feat_dim_ == 0) return {};
+  return {node_feat_.data() + static_cast<std::size_t>(v) * node_feat_dim_,
+          static_cast<std::size_t>(node_feat_dim_)};
+}
+
+std::span<const Adjacent> KnowledgeGraph::neighbors(NodeId v) const {
+  require_finalized("neighbors");
+  if (v < 0 || v >= static_cast<NodeId>(node_type_.size()))
+    throw std::invalid_argument("neighbors: node out of range");
+  return {adjacency_.data() + offsets_[v],
+          static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+}
+
+std::int64_t KnowledgeGraph::degree(NodeId v) const {
+  require_finalized("degree");
+  if (v < 0 || v >= static_cast<NodeId>(node_type_.size()))
+    throw std::invalid_argument("degree: node out of range");
+  return offsets_[v + 1] - offsets_[v];
+}
+
+EdgeId KnowledgeGraph::find_edge(NodeId u, NodeId v) const {
+  require_finalized("find_edge");
+  if (u < 0 || u >= static_cast<NodeId>(node_type_.size()) || v < 0 ||
+      v >= static_cast<NodeId>(node_type_.size()))
+    throw std::invalid_argument("find_edge: node out of range");
+  const NodeId from = degree(u) <= degree(v) ? u : v;
+  const NodeId to = from == u ? v : u;
+  for (const auto& a : neighbors(from))
+    if (a.node == to) return a.edge;
+  return -1;
+}
+
+std::vector<std::int64_t> KnowledgeGraph::node_type_counts() const {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_node_types_),
+                                   0);
+  for (auto t : node_type_) ++counts[static_cast<std::size_t>(t)];
+  return counts;
+}
+
+std::vector<std::int64_t> KnowledgeGraph::edge_type_counts() const {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_edge_types_),
+                                   0);
+  for (const auto& e : edges_) ++counts[static_cast<std::size_t>(e.type)];
+  return counts;
+}
+
+}  // namespace amdgcnn::graph

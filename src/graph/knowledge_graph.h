@@ -1,0 +1,117 @@
+// Typed, attributed knowledge-graph container.
+//
+// Nodes carry a type id (paper: 10 types in PrimeKG, 5 in OGBL-BioKG, 1 in
+// WordNet-18) and optionally an explicit feature vector.  Edges are
+// undirected (SEAL treats knowledge graphs as undirected for enclosing-
+// subgraph extraction), carry a relation-type id, and an attribute vector
+// (paper §III-B: e.g. PrimeKG's 30 relations compressed to a 2-d ±polarity
+// one-hot).  Adjacency is CSR over both endpoint directions, built once by
+// finalize() and immutable afterwards.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace amdgcnn::graph {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+struct EdgeRecord {
+  NodeId src = -1;
+  NodeId dst = -1;
+  std::int32_t type = 0;
+};
+
+/// One (neighbor, via-edge) adjacency entry.
+struct Adjacent {
+  NodeId node;
+  EdgeId edge;
+};
+
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph(std::int32_t num_node_types, std::int32_t num_edge_types,
+                 std::int64_t edge_attr_dim = 0,
+                 std::int64_t node_feat_dim = 0);
+
+  /// Default: empty untyped graph (1 node type, 1 edge type, no attributes);
+  /// exists so containers holding graphs are default-constructible.
+  KnowledgeGraph() : KnowledgeGraph(1, 1, 0, 0) {}
+
+  // ---- Construction (before finalize) ------------------------------------
+
+  /// Append a node of the given type; returns its id.
+  NodeId add_node(std::int32_t type);
+
+  /// Append an undirected edge; returns its id.  Self-loops and duplicate
+  /// edges are rejected in finalize() only if `strict` was requested there.
+  EdgeId add_edge(NodeId u, NodeId v, std::int32_t type);
+
+  /// Set explicit features for one node (requires node_feat_dim > 0).
+  void set_node_features(NodeId v, std::span<const double> feat);
+
+  /// Define the attribute vector for one relation type (requires
+  /// edge_attr_dim > 0).  Every edge of that type shares the vector —
+  /// exactly how the paper derives edge attributes from relation ids.
+  void set_edge_type_attr(std::int32_t type, std::span<const double> attr);
+
+  /// Build the CSR adjacency.  Must be called exactly once, after which the
+  /// graph is immutable.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  // ---- Topology queries (after finalize) ----------------------------------
+
+  std::int64_t num_nodes() const { return static_cast<std::int64_t>(node_type_.size()); }
+  std::int64_t num_edges() const { return static_cast<std::int64_t>(edges_.size()); }
+  std::int32_t num_node_types() const { return num_node_types_; }
+  std::int32_t num_edge_types() const { return num_edge_types_; }
+  std::int64_t edge_attr_dim() const { return edge_attr_dim_; }
+  std::int64_t node_feat_dim() const { return node_feat_dim_; }
+
+  std::int32_t node_type(NodeId v) const;
+  const EdgeRecord& edge(EdgeId e) const;
+
+  /// Attribute vector of one edge (via its relation type); empty when
+  /// edge_attr_dim == 0.
+  std::span<const double> edge_attr(EdgeId e) const;
+  std::span<const double> edge_type_attr(std::int32_t type) const;
+  std::span<const double> node_features(NodeId v) const;
+
+  /// All (neighbor, edge) pairs of v.
+  std::span<const Adjacent> neighbors(NodeId v) const;
+  std::int64_t degree(NodeId v) const;
+
+  /// Edge id connecting u and v, or -1.  O(min-degree).
+  EdgeId find_edge(NodeId u, NodeId v) const;
+  bool has_edge(NodeId u, NodeId v) const { return find_edge(u, v) >= 0; }
+
+  /// Count of nodes per type (for dataset-summary tables).
+  std::vector<std::int64_t> node_type_counts() const;
+  /// Count of edges per type.
+  std::vector<std::int64_t> edge_type_counts() const;
+
+ private:
+  void require_finalized(const char* what) const;
+  void require_not_finalized(const char* what) const;
+
+  std::int32_t num_node_types_;
+  std::int32_t num_edge_types_;
+  std::int64_t edge_attr_dim_;
+  std::int64_t node_feat_dim_;
+
+  std::vector<std::int32_t> node_type_;
+  std::vector<EdgeRecord> edges_;
+  std::vector<double> node_feat_;       // num_nodes x node_feat_dim
+  std::vector<double> edge_type_attr_;  // num_edge_types x edge_attr_dim
+
+  // CSR over both directions.
+  std::vector<std::int64_t> offsets_;
+  std::vector<Adjacent> adjacency_;
+  bool finalized_ = false;
+};
+
+}  // namespace amdgcnn::graph

@@ -1,0 +1,68 @@
+// Enclosing-subgraph extraction (SEAL, §III-A of the paper).
+//
+// Given a target node pair (a, b), collect the k-hop neighborhoods of both
+// targets and induce the subgraph on their UNION (default, SEAL's original
+// rule) or INTERSECTION (the paper's choice for PrimeKG, to bound subgraph
+// size around high-degree drug/disease nodes).  The target link itself, when
+// present, is always masked so the model cannot read the answer off the
+// graph.  Per-node distances to each target are computed with the *other*
+// target removed (the DRNL convention of Zhang & Chen 2018).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+
+namespace amdgcnn::graph {
+
+enum class NeighborhoodMode {
+  kUnion,
+  kIntersection,
+};
+
+struct LocalEdge {
+  std::int32_t src;  // local node id
+  std::int32_t dst;  // local node id
+  EdgeId orig;       // edge id in the full graph (for attribute lookup)
+};
+
+/// An induced enclosing subgraph with local (0-based, dense) node ids.
+/// Local id 0 is target a and local id 1 is target b, always.
+struct EnclosingSubgraph {
+  std::vector<NodeId> nodes;          // local id -> original id
+  std::vector<LocalEdge> edges;       // induced edges, target link excluded
+  std::vector<std::int32_t> dist_a;   // per local node; kUnreachable = -1
+  std::vector<std::int32_t> dist_b;
+
+  std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(nodes.size());
+  }
+  static constexpr std::int32_t kTargetA = 0;
+  static constexpr std::int32_t kTargetB = 1;
+};
+
+struct ExtractOptions {
+  std::int32_t num_hops = 2;                          // paper: k = 2
+  NeighborhoodMode mode = NeighborhoodMode::kUnion;   // intersection: PrimeKG
+  /// Hard cap on subgraph size; nodes closest to the targets are kept.
+  /// 0 disables the cap.
+  std::int64_t max_nodes = 0;
+};
+
+/// Extract the enclosing subgraph of (a, b).  Requires a != b.  The returned
+/// subgraph always contains both targets, even if they fall outside each
+/// other's k-hop neighborhood (they then appear isolated, DRNL gives
+/// unreachable nodes label 0 downstream).
+EnclosingSubgraph extract_enclosing_subgraph(const KnowledgeGraph& g, NodeId a,
+                                             NodeId b,
+                                             const ExtractOptions& options);
+
+/// Materialise an enclosing subgraph as a standalone KnowledgeGraph with
+/// local node ids (types, relation types and attribute tables preserved).
+/// Used by the γ-decay reproduction (bench_gamma_decay) to evaluate
+/// heuristics *within* the subgraph, and handy for debugging extractions.
+KnowledgeGraph materialize_subgraph(const KnowledgeGraph& g,
+                                    const EnclosingSubgraph& sub);
+
+}  // namespace amdgcnn::graph

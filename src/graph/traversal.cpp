@@ -1,0 +1,53 @@
+#include "graph/traversal.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace amdgcnn::graph {
+
+std::vector<std::int32_t> bfs_distances(const KnowledgeGraph& g, NodeId source,
+                                        const BfsOptions& options) {
+  if (source < 0 || source >= g.num_nodes())
+    throw std::invalid_argument("bfs_distances: source out of range");
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_nodes()),
+                                 kUnreachable);
+  if (source == options.masked_node) return dist;
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    const std::int32_t du = dist[u];
+    if (options.max_depth >= 0 && du >= options.max_depth) continue;
+    for (const auto& a : g.neighbors(u)) {
+      if (a.edge == options.masked_edge) continue;
+      if (a.node == options.masked_node) continue;
+      if (dist[a.node] != kUnreachable) continue;
+      dist[a.node] = du + 1;
+      queue.push_back(a.node);
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> k_hop_nodes(const KnowledgeGraph& g, NodeId source,
+                                std::int32_t k, const BfsOptions& options) {
+  BfsOptions opts = options;
+  opts.max_depth = k;
+  auto dist = bfs_distances(g, source, opts);
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < static_cast<NodeId>(g.num_nodes()); ++v)
+    if (dist[v] != kUnreachable) out.push_back(v);
+  return out;
+}
+
+std::int32_t shortest_path_length(const KnowledgeGraph& g, NodeId from,
+                                  NodeId to, const BfsOptions& options) {
+  if (to < 0 || to >= g.num_nodes())
+    throw std::invalid_argument("shortest_path_length: target out of range");
+  auto dist = bfs_distances(g, from, options);
+  return dist[to];
+}
+
+}  // namespace amdgcnn::graph

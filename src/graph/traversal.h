@@ -1,0 +1,40 @@
+// Breadth-first traversal utilities on KnowledgeGraph: bounded-depth BFS
+// distances (used by DRNL and k-hop neighborhood collection) with optional
+// masking of one edge (the target link must be hidden from the model — SEAL)
+// and of one node (DRNL computes d(i, a) on the graph with b removed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+
+namespace amdgcnn::graph {
+
+inline constexpr std::int32_t kUnreachable = -1;
+
+struct BfsOptions {
+  /// Stop expanding beyond this depth (-1 = unbounded).
+  std::int32_t max_depth = -1;
+  /// Edge id to ignore during traversal (-1 = none).
+  EdgeId masked_edge = -1;
+  /// Node id to treat as removed (-1 = none).
+  NodeId masked_node = -1;
+};
+
+/// Distances from `source` to every node (kUnreachable when not reached
+/// within max_depth / reachable at all).
+std::vector<std::int32_t> bfs_distances(const KnowledgeGraph& g, NodeId source,
+                                        const BfsOptions& options = {});
+
+/// The set of nodes within `k` hops of `source` (including `source`),
+/// in BFS discovery order.
+std::vector<NodeId> k_hop_nodes(const KnowledgeGraph& g, NodeId source,
+                                std::int32_t k,
+                                const BfsOptions& options = {});
+
+/// Shortest-path distance between two nodes, or kUnreachable.
+std::int32_t shortest_path_length(const KnowledgeGraph& g, NodeId from,
+                                  NodeId to, const BfsOptions& options = {});
+
+}  // namespace amdgcnn::graph

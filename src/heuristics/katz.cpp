@@ -1,0 +1,36 @@
+#include "heuristics/katz.h"
+
+#include <stdexcept>
+
+namespace amdgcnn::heuristics {
+
+std::vector<double> katz_from(const graph::KnowledgeGraph& g, graph::NodeId u,
+                              const KatzOptions& options) {
+  if (options.beta <= 0.0 || options.beta >= 1.0)
+    throw std::invalid_argument("katz: beta must be in (0, 1)");
+  if (options.max_length < 1)
+    throw std::invalid_argument("katz: max_length must be >= 1");
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<double> walk(n, 0.0), next(n, 0.0), katz(n, 0.0);
+  walk[static_cast<std::size_t>(u)] = 1.0;
+  double beta_l = 1.0;
+  for (std::int32_t l = 1; l <= options.max_length; ++l) {
+    beta_l *= options.beta;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t w = 0; w < n; ++w) {
+      if (walk[w] == 0.0) continue;
+      for (const auto& a : g.neighbors(static_cast<graph::NodeId>(w)))
+        next[static_cast<std::size_t>(a.node)] += walk[w];
+    }
+    std::swap(walk, next);
+    for (std::size_t w = 0; w < n; ++w) katz[w] += beta_l * walk[w];
+  }
+  return katz;
+}
+
+double katz_index(const graph::KnowledgeGraph& g, graph::NodeId u,
+                  graph::NodeId v, const KatzOptions& options) {
+  return katz_from(g, u, options)[static_cast<std::size_t>(v)];
+}
+
+}  // namespace amdgcnn::heuristics

@@ -1,0 +1,26 @@
+// Katz index (truncated power series) — a high-order, γ-decaying heuristic
+// (paper §II-B cites it as learnable from low-order enclosing subgraphs).
+//
+//   Katz(u, v) = sum_{l=1..L} beta^l * |paths of length l between u and v|
+//
+// computed by L sparse matvec passes from the indicator vector of u.
+#pragma once
+
+#include "graph/knowledge_graph.h"
+
+namespace amdgcnn::heuristics {
+
+struct KatzOptions {
+  double beta = 0.05;        // must be < 1/spectral-radius for convergence
+  std::int32_t max_length = 4;
+};
+
+/// Katz score between one pair.
+double katz_index(const graph::KnowledgeGraph& g, graph::NodeId u,
+                  graph::NodeId v, const KatzOptions& options = {});
+
+/// Katz scores from `u` to every node (one column of the Katz matrix).
+std::vector<double> katz_from(const graph::KnowledgeGraph& g, graph::NodeId u,
+                              const KatzOptions& options = {});
+
+}  // namespace amdgcnn::heuristics

@@ -1,0 +1,54 @@
+#include "heuristics/local_scores.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace amdgcnn::heuristics {
+
+namespace {
+std::unordered_set<graph::NodeId> neighbor_set(const graph::KnowledgeGraph& g,
+                                               graph::NodeId v) {
+  std::unordered_set<graph::NodeId> out;
+  for (const auto& a : g.neighbors(v)) out.insert(a.node);
+  return out;
+}
+}  // namespace
+
+double common_neighbors(const graph::KnowledgeGraph& g, graph::NodeId u,
+                        graph::NodeId v) {
+  const auto nu = neighbor_set(g, u);
+  double count = 0.0;
+  for (const auto& a : g.neighbors(v))
+    if (nu.count(a.node) && a.node != u && a.node != v) count += 1.0;
+  return count;
+}
+
+double jaccard(const graph::KnowledgeGraph& g, graph::NodeId u,
+               graph::NodeId v) {
+  const auto nu = neighbor_set(g, u);
+  const auto nv = neighbor_set(g, v);
+  double inter = 0.0;
+  for (auto n : nv)
+    if (nu.count(n)) inter += 1.0;
+  const double uni = static_cast<double>(nu.size() + nv.size()) - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+double adamic_adar(const graph::KnowledgeGraph& g, graph::NodeId u,
+                   graph::NodeId v) {
+  const auto nu = neighbor_set(g, u);
+  double score = 0.0;
+  for (const auto& a : g.neighbors(v)) {
+    if (!nu.count(a.node) || a.node == u || a.node == v) continue;
+    const double d = static_cast<double>(g.degree(a.node));
+    if (d > 1.0) score += 1.0 / std::log(d);
+  }
+  return score;
+}
+
+double preferential_attachment(const graph::KnowledgeGraph& g,
+                               graph::NodeId u, graph::NodeId v) {
+  return static_cast<double>(g.degree(u)) * static_cast<double>(g.degree(v));
+}
+
+}  // namespace amdgcnn::heuristics

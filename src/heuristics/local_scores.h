@@ -1,0 +1,29 @@
+// First- and second-order link heuristics (paper §I, §VI-A): Common
+// Neighbors, Jaccard coefficient, Adamic-Adar index, Preferential
+// Attachment.  These are the classical baselines that supervised heuristic
+// learning (SEAL) generalises; they are exercised by bench_heuristics and
+// the heuristic_comparison example.
+#pragma once
+
+#include "graph/knowledge_graph.h"
+
+namespace amdgcnn::heuristics {
+
+/// |N(u) ∩ N(v)|.
+double common_neighbors(const graph::KnowledgeGraph& g, graph::NodeId u,
+                        graph::NodeId v);
+
+/// |N(u) ∩ N(v)| / |N(u) ∪ N(v)| (0 when both neighborhoods are empty).
+double jaccard(const graph::KnowledgeGraph& g, graph::NodeId u,
+               graph::NodeId v);
+
+/// Sum over common neighbors w of 1 / log(deg(w)); neighbors of degree <= 1
+/// are skipped (their log is <= 0).
+double adamic_adar(const graph::KnowledgeGraph& g, graph::NodeId u,
+                   graph::NodeId v);
+
+/// deg(u) * deg(v).
+double preferential_attachment(const graph::KnowledgeGraph& g,
+                               graph::NodeId u, graph::NodeId v);
+
+}  // namespace amdgcnn::heuristics

@@ -1,0 +1,71 @@
+#include "heuristics/pagerank.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace amdgcnn::heuristics {
+
+namespace {
+
+std::vector<double> power_iteration(const graph::KnowledgeGraph& g,
+                                    const std::vector<double>& restart,
+                                    const PageRankOptions& options) {
+  if (options.damping <= 0.0 || options.damping >= 1.0)
+    throw std::invalid_argument("pagerank: damping must be in (0, 1)");
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  if (n == 0) throw std::invalid_argument("pagerank: empty graph");
+  std::vector<double> rank(restart), next(n, 0.0);
+  for (std::int32_t it = 0; it < options.max_iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto deg = g.degree(static_cast<graph::NodeId>(v));
+      if (deg == 0) {
+        dangling += rank[v];
+        continue;
+      }
+      const double share = rank[v] / static_cast<double>(deg);
+      for (const auto& a : g.neighbors(static_cast<graph::NodeId>(v)))
+        next[static_cast<std::size_t>(a.node)] += share;
+    }
+    double delta = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const double mixed = options.damping *
+                               (next[v] + dangling / static_cast<double>(n)) +
+                           (1.0 - options.damping) * restart[v];
+      delta += std::abs(mixed - rank[v]);
+      next[v] = mixed;
+    }
+    std::swap(rank, next);
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace
+
+std::vector<double> pagerank(const graph::KnowledgeGraph& g,
+                             const PageRankOptions& options) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<double> uniform(n, 1.0 / static_cast<double>(n));
+  return power_iteration(g, uniform, options);
+}
+
+std::vector<double> personalized_pagerank(const graph::KnowledgeGraph& g,
+                                          graph::NodeId source,
+                                          const PageRankOptions& options) {
+  if (source < 0 || source >= g.num_nodes())
+    throw std::invalid_argument("personalized_pagerank: bad source");
+  std::vector<double> restart(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  restart[static_cast<std::size_t>(source)] = 1.0;
+  return power_iteration(g, restart, options);
+}
+
+double ppr_link_score(const graph::KnowledgeGraph& g, graph::NodeId u,
+                      graph::NodeId v, const PageRankOptions& options) {
+  const auto pu = personalized_pagerank(g, u, options);
+  const auto pv = personalized_pagerank(g, v, options);
+  return pu[static_cast<std::size_t>(v)] + pv[static_cast<std::size_t>(u)];
+}
+
+}  // namespace amdgcnn::heuristics

@@ -1,0 +1,33 @@
+// PageRank (global, power iteration) and personalized PageRank — the
+// high-order heuristics the paper cites (Bianchini et al. 2005).  As a link
+// scorer the standard construction uses personalized PageRank:
+// score(u, v) = ppr_u(v) + ppr_v(u).
+#pragma once
+
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+
+namespace amdgcnn::heuristics {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  std::int32_t max_iterations = 100;
+  double tolerance = 1e-10;  // L1 change per iteration
+};
+
+/// Global PageRank vector (sums to 1).  Dangling nodes (degree 0)
+/// redistribute uniformly.
+std::vector<double> pagerank(const graph::KnowledgeGraph& g,
+                             const PageRankOptions& options = {});
+
+/// Personalized PageRank with restart at `source`.
+std::vector<double> personalized_pagerank(const graph::KnowledgeGraph& g,
+                                          graph::NodeId source,
+                                          const PageRankOptions& options = {});
+
+/// Symmetric PPR link score.
+double ppr_link_score(const graph::KnowledgeGraph& g, graph::NodeId u,
+                      graph::NodeId v, const PageRankOptions& options = {});
+
+}  // namespace amdgcnn::heuristics

@@ -1,0 +1,47 @@
+#include "heuristics/scorer.h"
+
+#include "heuristics/katz.h"
+#include "heuristics/local_scores.h"
+#include "metrics/ranking.h"
+
+namespace amdgcnn::heuristics {
+
+std::vector<LinkScorer> standard_scorers() {
+  return {
+      {"common-neighbors",
+       [](const graph::KnowledgeGraph& g, graph::NodeId u, graph::NodeId v) {
+         return common_neighbors(g, u, v);
+       }},
+      {"jaccard",
+       [](const graph::KnowledgeGraph& g, graph::NodeId u, graph::NodeId v) {
+         return jaccard(g, u, v);
+       }},
+      {"adamic-adar",
+       [](const graph::KnowledgeGraph& g, graph::NodeId u, graph::NodeId v) {
+         return adamic_adar(g, u, v);
+       }},
+      {"preferential-attachment",
+       [](const graph::KnowledgeGraph& g, graph::NodeId u, graph::NodeId v) {
+         return preferential_attachment(g, u, v);
+       }},
+      {"katz",
+       [](const graph::KnowledgeGraph& g, graph::NodeId u, graph::NodeId v) {
+         return katz_index(g, u, v);
+       }},
+  };
+}
+
+double scorer_auc(const LinkScorer& scorer, const graph::KnowledgeGraph& g,
+                  const std::vector<seal::LinkExample>& links) {
+  std::vector<double> scores;
+  std::vector<std::int32_t> labels;
+  scores.reserve(links.size());
+  labels.reserve(links.size());
+  for (const auto& l : links) {
+    scores.push_back(scorer.score(g, l.a, l.b));
+    labels.push_back(l.label > 0 ? 1 : 0);
+  }
+  return metrics::binary_auc(scores, labels);
+}
+
+}  // namespace amdgcnn::heuristics

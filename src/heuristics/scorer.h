@@ -1,0 +1,30 @@
+// Uniform link-scorer interface over all heuristics, so benches and
+// examples can sweep them (paper §VI: heuristic baselines vs supervised
+// heuristic learning).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+#include "seal/sampling.h"
+
+namespace amdgcnn::heuristics {
+
+struct LinkScorer {
+  std::string name;
+  std::function<double(const graph::KnowledgeGraph&, graph::NodeId,
+                       graph::NodeId)>
+      score;
+};
+
+/// All first-order scorers plus Katz; PPR/SimRank are excluded by default
+/// (O(n) / O(n^2) per pair) and can be appended by the caller.
+std::vector<LinkScorer> standard_scorers();
+
+/// AUC of one scorer on a binary (existence) link task.
+double scorer_auc(const LinkScorer& scorer, const graph::KnowledgeGraph& g,
+                  const std::vector<seal::LinkExample>& links);
+
+}  // namespace amdgcnn::heuristics

@@ -1,0 +1,33 @@
+// SimRank (Jeh & Widom 2002) — "two objects are similar if they are
+// referenced by similar objects".  Iterative fixed point:
+//
+//   s(u, v) = C / (|N(u)||N(v)|) * sum_{a in N(u)} sum_{b in N(v)} s(a, b)
+//   s(v, v) = 1
+//
+// Dense O(n^2) per-pair storage: intended for the small benchmark graphs
+// (the paper classifies SimRank as a γ-decaying heuristic approximable from
+// enclosing subgraphs — we use it as a classical baseline).
+#pragma once
+
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+
+namespace amdgcnn::heuristics {
+
+struct SimRankOptions {
+  double decay = 0.8;          // C
+  std::int32_t iterations = 5;
+  /// Hard limit on node count; dense SimRank on more nodes would be a
+  /// programming error at our scale.
+  std::int64_t max_nodes = 5000;
+};
+
+/// Full SimRank matrix, row-major [n, n].
+std::vector<double> simrank(const graph::KnowledgeGraph& g,
+                            const SimRankOptions& options = {});
+
+double simrank_score(const graph::KnowledgeGraph& g, graph::NodeId u,
+                     graph::NodeId v, const SimRankOptions& options = {});
+
+}  // namespace amdgcnn::heuristics

@@ -1,0 +1,56 @@
+#include "hpo/bayes_opt.h"
+
+#include <stdexcept>
+
+namespace amdgcnn::hpo {
+
+TuneResult bayes_opt(const SearchSpace& space, const Evaluator& evaluate,
+                     const BayesOptOptions& options) {
+  if (options.num_initial < 1)
+    throw std::invalid_argument("bayes_opt: need >= 1 warm-up trial");
+  util::Rng rng(options.seed);
+  TuneResult result;
+  result.best_value = -1e300;
+
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+
+  auto run_trial = [&](const HyperParams& hp) {
+    const double value = evaluate(hp);
+    result.history.push_back({hp, value});
+    const auto enc = space.encode(hp);
+    xs.emplace_back(enc.begin(), enc.end());
+    ys.push_back(value);
+    if (value > result.best_value) {
+      result.best_value = value;
+      result.best = hp;
+    }
+  };
+
+  for (std::int32_t i = 0; i < options.num_initial; ++i)
+    run_trial(space.sample(rng));
+
+  for (std::int32_t it = 0; it < options.num_iterations; ++it) {
+    GaussianProcess gp(SearchSpace::kDims, options.gp);
+    gp.fit(xs, ys);
+
+    // Maximise EI over random candidates (the lattice projection in
+    // decode() keeps candidates legal).
+    double best_ei = -1.0;
+    HyperParams best_candidate = space.sample(rng);
+    for (std::int32_t c = 0; c < options.num_candidates; ++c) {
+      const auto hp = space.sample(rng);
+      const auto enc = space.encode(hp);
+      const auto pred = gp.predict({enc.begin(), enc.end()});
+      const double ei = expected_improvement(pred, result.best_value);
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_candidate = hp;
+      }
+    }
+    run_trial(best_candidate);
+  }
+  return result;
+}
+
+}  // namespace amdgcnn::hpo

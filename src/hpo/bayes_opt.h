@@ -1,0 +1,39 @@
+// Centralized Bayesian optimization over the Table-I space: GP surrogate +
+// expected-improvement acquisition maximised over random candidate points —
+// the same algorithm family as DeepHyper's CBO search (paper §III-D).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hpo/gaussian_process.h"
+#include "hpo/search_space.h"
+
+namespace amdgcnn::hpo {
+
+/// Objective to MAXIMISE (e.g. validation AUC).
+using Evaluator = std::function<double(const HyperParams&)>;
+
+struct Trial {
+  HyperParams params;
+  double value = 0.0;
+};
+
+struct TuneResult {
+  HyperParams best;
+  double best_value = 0.0;
+  std::vector<Trial> history;
+};
+
+struct BayesOptOptions {
+  std::int32_t num_initial = 3;     // random warm-up trials
+  std::int32_t num_iterations = 7;  // BO trials after warm-up
+  std::int32_t num_candidates = 512;  // EI maximisation sample size
+  std::uint64_t seed = 29;
+  GpConfig gp;
+};
+
+TuneResult bayes_opt(const SearchSpace& space, const Evaluator& evaluate,
+                     const BayesOptOptions& options = {});
+
+}  // namespace amdgcnn::hpo

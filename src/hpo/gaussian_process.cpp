@@ -1,0 +1,81 @@
+#include "hpo/gaussian_process.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace amdgcnn::hpo {
+
+GaussianProcess::GaussianProcess(std::size_t input_dim, GpConfig config)
+    : dim_(input_dim), config_(config) {
+  if (input_dim == 0)
+    throw std::invalid_argument("GaussianProcess: zero input dim");
+  if (config_.length_scale <= 0.0 || config_.signal_variance <= 0.0 ||
+      config_.noise_variance <= 0.0)
+    throw std::invalid_argument("GaussianProcess: bad kernel config");
+}
+
+double GaussianProcess::kernel(const std::vector<double>& a,
+                               const std::vector<double>& b) const {
+  if (a.size() != dim_ || b.size() != dim_)
+    throw std::invalid_argument("GaussianProcess::kernel: dim mismatch");
+  double sq = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double d = a[i] - b[i];
+    sq += d * d;
+  }
+  return config_.signal_variance *
+         std::exp(-sq / (2.0 * config_.length_scale * config_.length_scale));
+}
+
+void GaussianProcess::fit(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size())
+    throw std::invalid_argument("GaussianProcess::fit: bad training data");
+  const std::size_t n = x.size();
+  train_x_ = x;
+  y_mean_ = 0.0;
+  for (double v : y) y_mean_ += v;
+  y_mean_ /= static_cast<double>(n);
+
+  std::vector<double> k(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      k[i * n + j] = kernel(x[i], x[j]);
+      if (i == j) k[i * n + j] += config_.noise_variance;
+    }
+  chol_ = linalg::cholesky(k, n);
+
+  std::vector<double> centered(n);
+  for (std::size_t i = 0; i < n; ++i) centered[i] = y[i] - y_mean_;
+  alpha_ = linalg::solve_lower_transpose(
+      chol_, n, linalg::solve_lower(chol_, n, centered));
+}
+
+GaussianProcess::Prediction GaussianProcess::predict(
+    const std::vector<double>& x) const {
+  if (!fitted())
+    throw std::logic_error("GaussianProcess::predict before fit");
+  const std::size_t n = train_x_.size();
+  std::vector<double> kstar(n);
+  for (std::size_t i = 0; i < n; ++i) kstar[i] = kernel(train_x_[i], x);
+
+  Prediction pred;
+  pred.mean = y_mean_ + linalg::dot(kstar, alpha_);
+  // var = k(x,x) - k*^T K^{-1} k*  computed via v = L^{-1} k*.
+  const auto v = linalg::solve_lower(chol_, n, kstar);
+  pred.variance = kernel(x, x) - linalg::dot(v, v);
+  if (pred.variance < 0.0) pred.variance = 0.0;  // numerical floor
+  return pred;
+}
+
+double expected_improvement(const GaussianProcess::Prediction& pred,
+                            double best_so_far, double xi) {
+  const double sigma = std::sqrt(pred.variance);
+  if (sigma < 1e-12) return 0.0;
+  const double z = (pred.mean - best_so_far - xi) / sigma;
+  const double cdf = 0.5 * std::erfc(-z / std::sqrt(2.0));
+  const double pdf = std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+  return (pred.mean - best_so_far - xi) * cdf + sigma * pdf;
+}
+
+}  // namespace amdgcnn::hpo

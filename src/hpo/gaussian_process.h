@@ -1,0 +1,58 @@
+// Gaussian-process regression surrogate (RBF kernel) for Bayesian
+// hyperparameter optimization — the reproduction's stand-in for DeepHyper's
+// centralized Bayesian optimizer (paper §III-D).
+//
+// Standard zero-mean GP over [0,1]^d inputs:
+//   K_ij = signal_variance * exp(-|x_i - x_j|^2 / (2 l^2)) + noise * I
+// posterior mean/variance via one Cholesky factorisation per fit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/linalg.h"
+
+namespace amdgcnn::hpo {
+
+struct GpConfig {
+  double length_scale = 0.25;
+  double signal_variance = 1.0;
+  double noise_variance = 1e-4;
+};
+
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(std::size_t input_dim, GpConfig config = {});
+
+  /// Fit on observations (points are rows of `x`, |y| = rows).  Targets are
+  /// internally centered on their mean (restored in predictions).
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y);
+
+  struct Prediction {
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+  Prediction predict(const std::vector<double>& x) const;
+
+  bool fitted() const { return !train_x_.empty(); }
+  std::size_t num_observations() const { return train_x_.size(); }
+
+  /// RBF kernel (exposed for tests).
+  double kernel(const std::vector<double>& a,
+                const std::vector<double>& b) const;
+
+ private:
+  std::size_t dim_;
+  GpConfig config_;
+  std::vector<std::vector<double>> train_x_;
+  std::vector<double> alpha_;   // K^{-1} (y - mean)
+  std::vector<double> chol_;    // lower Cholesky factor of K
+  double y_mean_ = 0.0;
+};
+
+/// Expected improvement of a candidate over the incumbent best (maximise).
+double expected_improvement(const GaussianProcess::Prediction& pred,
+                            double best_so_far, double xi = 0.01);
+
+}  // namespace amdgcnn::hpo

@@ -1,0 +1,26 @@
+#include "hpo/random_search.h"
+
+#include <stdexcept>
+
+namespace amdgcnn::hpo {
+
+TuneResult random_search(const SearchSpace& space, const Evaluator& evaluate,
+                         const RandomSearchOptions& options) {
+  if (options.num_trials < 1)
+    throw std::invalid_argument("random_search: need >= 1 trial");
+  util::Rng rng(options.seed);
+  TuneResult result;
+  result.best_value = -1e300;
+  for (std::int32_t i = 0; i < options.num_trials; ++i) {
+    const auto hp = space.sample(rng);
+    const double value = evaluate(hp);
+    result.history.push_back({hp, value});
+    if (value > result.best_value) {
+      result.best_value = value;
+      result.best = hp;
+    }
+  }
+  return result;
+}
+
+}  // namespace amdgcnn::hpo

@@ -1,0 +1,18 @@
+// Random search baseline over the same space — the control the paper's
+// hyperparameter-sensitivity analysis (Figs. 4-9 (a) vs (b)) implicitly
+// compares against.
+#pragma once
+
+#include "hpo/bayes_opt.h"
+
+namespace amdgcnn::hpo {
+
+struct RandomSearchOptions {
+  std::int32_t num_trials = 10;
+  std::uint64_t seed = 31;
+};
+
+TuneResult random_search(const SearchSpace& space, const Evaluator& evaluate,
+                         const RandomSearchOptions& options = {});
+
+}  // namespace amdgcnn::hpo

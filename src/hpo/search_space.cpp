@@ -1,0 +1,60 @@
+#include "hpo/search_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace amdgcnn::hpo {
+
+std::string HyperParams::to_string() const {
+  std::ostringstream os;
+  os << "{lr=" << learning_rate << ", hidden=" << hidden_dim
+     << ", k=" << sort_k << "}";
+  return os.str();
+}
+
+HyperParams SearchSpace::sample(util::Rng& rng) const {
+  std::array<double, kDims> x = {rng.uniform(), rng.uniform(), rng.uniform()};
+  return decode(x);
+}
+
+HyperParams SearchSpace::decode(const std::array<double, kDims>& x) const {
+  if (hidden_options.empty())
+    throw std::logic_error("SearchSpace: no hidden_dim options");
+  for (double v : x)
+    if (v < 0.0 || v > 1.0)
+      throw std::invalid_argument("SearchSpace::decode: point outside cube");
+  HyperParams hp;
+  hp.learning_rate =
+      std::exp(std::log(lr_min) + x[0] * (std::log(lr_max) - std::log(lr_min)));
+  const auto idx = std::min<std::size_t>(
+      hidden_options.size() - 1,
+      static_cast<std::size_t>(x[1] * static_cast<double>(hidden_options.size())));
+  hp.hidden_dim = hidden_options[idx];
+  hp.sort_k =
+      k_min + static_cast<std::int64_t>(
+                  std::llround(x[2] * static_cast<double>(k_max - k_min)));
+  hp.sort_k = std::clamp(hp.sort_k, k_min, k_max);
+  return hp;
+}
+
+std::array<double, SearchSpace::kDims> SearchSpace::encode(
+    const HyperParams& hp) const {
+  std::array<double, kDims> x{};
+  x[0] = (std::log(hp.learning_rate) - std::log(lr_min)) /
+         (std::log(lr_max) - std::log(lr_min));
+  const auto it =
+      std::find(hidden_options.begin(), hidden_options.end(), hp.hidden_dim);
+  if (it == hidden_options.end())
+    throw std::invalid_argument("SearchSpace::encode: hidden_dim not legal");
+  const auto idx =
+      static_cast<double>(std::distance(hidden_options.begin(), it));
+  x[1] = (idx + 0.5) / static_cast<double>(hidden_options.size());
+  x[2] = static_cast<double>(hp.sort_k - k_min) /
+         static_cast<double>(k_max - k_min);
+  for (auto& v : x) v = std::clamp(v, 0.0, 1.0);
+  return x;
+}
+
+}  // namespace amdgcnn::hpo

@@ -1,0 +1,50 @@
+// The hyperparameter search space of the paper's Table I:
+//
+//   | Learning rate                    | [1e-6, 1e-2]  (log-uniform) |
+//   | GNN layer hidden dimensions      | {16, 32, 64, 128}           |
+//   | Sort aggregator k                | 5..150 (we clamp to >= 10,  |
+//   |                                  |  the conv head's minimum)   |
+//
+// Points are encoded into the unit cube [0,1]^3 for the Gaussian-process
+// surrogate (log scale for the learning rate, index scale for the
+// categorical hidden dimension, linear for k).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace amdgcnn::hpo {
+
+struct HyperParams {
+  double learning_rate = 1e-3;
+  std::int64_t hidden_dim = 32;
+  std::int64_t sort_k = 30;
+
+  std::string to_string() const;
+};
+
+class SearchSpace {
+ public:
+  double lr_min = 1e-6;
+  double lr_max = 1e-2;
+  std::vector<std::int64_t> hidden_options = {16, 32, 64, 128};
+  std::int64_t k_min = 10;   // paper says 5; the DGCNN conv head needs >= 10
+  std::int64_t k_max = 150;
+
+  static constexpr std::size_t kDims = 3;
+
+  /// Uniform sample (log-uniform learning rate).
+  HyperParams sample(util::Rng& rng) const;
+
+  /// Map a unit-cube point to concrete hyperparameters (and back).  decode
+  /// rounds to the nearest legal categorical / integer value, so
+  /// encode(decode(x)) is a lattice projection of x.
+  HyperParams decode(const std::array<double, kDims>& x) const;
+  std::array<double, kDims> encode(const HyperParams& hp) const;
+};
+
+}  // namespace amdgcnn::hpo

@@ -1,0 +1,128 @@
+#include "metrics/classification.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "metrics/ranking.h"
+
+namespace amdgcnn::metrics {
+
+namespace {
+void check_inputs(const std::vector<double>& probs, std::int64_t num_classes,
+                  const std::vector<std::int32_t>& labels) {
+  if (num_classes < 2)
+    throw std::invalid_argument("multiclass metrics: need >= 2 classes");
+  if (labels.empty())
+    throw std::invalid_argument("multiclass metrics: empty labels");
+  if (probs.size() != labels.size() * static_cast<std::size_t>(num_classes))
+    throw std::invalid_argument("multiclass metrics: probs size mismatch");
+  for (auto l : labels)
+    if (l < 0 || l >= num_classes)
+      throw std::invalid_argument("multiclass metrics: label out of range");
+}
+}  // namespace
+
+std::vector<std::int32_t> argmax_rows(const std::vector<double>& probs,
+                                      std::int64_t num_classes) {
+  if (num_classes <= 0 || probs.size() % static_cast<std::size_t>(num_classes))
+    throw std::invalid_argument("argmax_rows: bad shape");
+  const std::size_t n = probs.size() / static_cast<std::size_t>(num_classes);
+  std::vector<std::int32_t> out(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < num_classes; ++c)
+      if (probs[r * num_classes + c] > probs[r * num_classes + best]) best = c;
+    out[r] = static_cast<std::int32_t>(best);
+  }
+  return out;
+}
+
+double one_vs_rest_auc(const std::vector<double>& probs,
+                       std::int64_t num_classes,
+                       const std::vector<std::int32_t>& labels,
+                       std::int32_t class_id) {
+  check_inputs(probs, num_classes, labels);
+  if (class_id < 0 || class_id >= num_classes)
+    throw std::invalid_argument("one_vs_rest_auc: class out of range");
+  std::vector<double> scores(labels.size());
+  std::vector<std::int32_t> binary(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    scores[i] = probs[i * num_classes + class_id];
+    binary[i] = labels[i] == class_id ? 1 : 0;
+  }
+  return binary_auc(scores, binary);
+}
+
+MulticlassEval evaluate_multiclass(const std::vector<double>& probs,
+                                   std::int64_t num_classes,
+                                   const std::vector<std::int32_t>& labels) {
+  check_inputs(probs, num_classes, labels);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  MulticlassEval ev;
+  ev.per_class_auc.assign(static_cast<std::size_t>(num_classes), nan);
+  ev.per_class_precision.assign(static_cast<std::size_t>(num_classes), nan);
+  ev.confusion.assign(static_cast<std::size_t>(num_classes * num_classes), 0);
+
+  const auto pred = argmax_rows(probs, num_classes);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    ++ev.confusion[static_cast<std::size_t>(labels[i]) * num_classes +
+                   pred[i]];
+
+  // Per-class AUC (one-vs-rest) averaged over classes that appear with both
+  // polarities.
+  double auc_sum = 0.0;
+  std::int64_t auc_count = 0;
+  for (std::int32_t c = 0; c < num_classes; ++c) {
+    std::vector<std::int32_t> binary(labels.size());
+    bool pos = false, neg = false;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      binary[i] = labels[i] == c ? 1 : 0;
+      (binary[i] ? pos : neg) = true;
+    }
+    if (!pos || !neg) continue;
+    std::vector<double> scores(labels.size());
+    for (std::size_t i = 0; i < labels.size(); ++i)
+      scores[i] = probs[i * num_classes + c];
+    ev.per_class_auc[c] = binary_auc(scores, binary);
+    auc_sum += ev.per_class_auc[c];
+    ++auc_count;
+  }
+  if (auc_count == 0)
+    throw std::invalid_argument(
+        "evaluate_multiclass: AUC undefined (single-class labels)");
+  ev.macro_auc = auc_sum / static_cast<double>(auc_count);
+
+  // Macro precision / recall / F1 over classes present in the ground truth.
+  double prec_sum = 0.0, rec_sum = 0.0, f1_sum = 0.0;
+  std::int64_t class_count = 0, correct = 0;
+  for (std::int32_t c = 0; c < num_classes; ++c) {
+    std::int64_t tp = ev.confusion[static_cast<std::size_t>(c) * num_classes + c];
+    std::int64_t truth = 0, predicted = 0;
+    for (std::int32_t o = 0; o < num_classes; ++o) {
+      truth += ev.confusion[static_cast<std::size_t>(c) * num_classes + o];
+      predicted += ev.confusion[static_cast<std::size_t>(o) * num_classes + c];
+    }
+    correct += tp;
+    if (truth == 0) continue;  // class absent from ground truth
+    ++class_count;
+    // Convention: precision of a never-predicted class counts as 0 toward
+    // the macro mean (sklearn's zero_division=0).
+    const double prec =
+        predicted > 0 ? static_cast<double>(tp) / static_cast<double>(predicted)
+                      : 0.0;
+    if (predicted > 0)
+      ev.per_class_precision[c] = prec;
+    const double rec = static_cast<double>(tp) / static_cast<double>(truth);
+    prec_sum += prec;
+    rec_sum += rec;
+    f1_sum += (prec + rec) > 0.0 ? 2.0 * prec * rec / (prec + rec) : 0.0;
+  }
+  ev.macro_precision = prec_sum / static_cast<double>(class_count);
+  ev.macro_recall = rec_sum / static_cast<double>(class_count);
+  ev.macro_f1 = f1_sum / static_cast<double>(class_count);
+  ev.accuracy = static_cast<double>(correct) / static_cast<double>(labels.size());
+  return ev;
+}
+
+}  // namespace amdgcnn::metrics

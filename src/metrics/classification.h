@@ -1,0 +1,46 @@
+// Multiclass classification metrics matching the paper's §V-A definitions:
+//
+//  * AUC — one class is treated as positive and the rest as negative; we
+//    report both the paper's single-class variant and the macro average
+//    across all classes present (the macro average is what the benches
+//    print, it is the stabler estimate of the same quantity).
+//  * AP — "the mean of precision values for all the classes", i.e. macro
+//    precision of the argmax classifier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace amdgcnn::metrics {
+
+/// probs is row-major [n, C] with rows summing to ~1; labels holds n class
+/// ids in [0, C).
+struct MulticlassEval {
+  double macro_auc = 0.0;       // mean over classes (present in labels) of
+                                // one-vs-rest AUC
+  double macro_precision = 0.0; // the paper's "AP"
+  double macro_recall = 0.0;
+  double macro_f1 = 0.0;
+  double accuracy = 0.0;
+  std::vector<double> per_class_auc;        // NaN where undefined
+  std::vector<double> per_class_precision;  // NaN where class never predicted
+  std::vector<std::int64_t> confusion;      // row-major [C, C], rows = truth
+};
+
+MulticlassEval evaluate_multiclass(const std::vector<double>& probs,
+                                   std::int64_t num_classes,
+                                   const std::vector<std::int32_t>& labels);
+
+/// The paper's literal AUC protocol: "randomly choose one class from all the
+/// classes as the positive class".  Exposed for completeness; `class_id`
+/// selects the positive class.
+double one_vs_rest_auc(const std::vector<double>& probs,
+                       std::int64_t num_classes,
+                       const std::vector<std::int32_t>& labels,
+                       std::int32_t class_id);
+
+/// Argmax of each probability row.
+std::vector<std::int32_t> argmax_rows(const std::vector<double>& probs,
+                                      std::int64_t num_classes);
+
+}  // namespace amdgcnn::metrics

@@ -1,0 +1,138 @@
+#include "metrics/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace amdgcnn::metrics {
+
+namespace {
+void check_inputs(const std::vector<double>& scores,
+                  const std::vector<std::int32_t>& labels) {
+  if (scores.size() != labels.size())
+    throw std::invalid_argument("ranking metric: size mismatch");
+  if (scores.empty())
+    throw std::invalid_argument("ranking metric: empty input");
+  for (auto l : labels)
+    if (l != 0 && l != 1)
+      throw std::invalid_argument("ranking metric: labels must be 0/1");
+}
+}  // namespace
+
+bool has_both_classes(const std::vector<std::int32_t>& labels) {
+  bool pos = false, neg = false;
+  for (auto l : labels) (l ? pos : neg) = true;
+  return pos && neg;
+}
+
+double binary_auc(const std::vector<double>& scores,
+                  const std::vector<std::int32_t>& labels) {
+  check_inputs(scores, labels);
+  if (!has_both_classes(labels))
+    throw std::invalid_argument("binary_auc: needs both classes present");
+
+  // Midrank assignment: sort by score, average ranks over tie groups.
+  const std::size_t n = scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  std::vector<double> rank(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double mid = 0.5 * static_cast<double>(i + j) + 1.0;  // 1-based
+    for (std::size_t t = i; t <= j; ++t) rank[order[t]] = mid;
+    i = j + 1;
+  }
+
+  double rank_sum_pos = 0.0;
+  std::size_t n_pos = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (labels[t] == 1) {
+      rank_sum_pos += rank[t];
+      ++n_pos;
+    }
+  }
+  const std::size_t n_neg = n - n_pos;
+  const double u = rank_sum_pos -
+                   static_cast<double>(n_pos) * (static_cast<double>(n_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+double binary_average_precision(const std::vector<double>& scores,
+                                const std::vector<std::int32_t>& labels) {
+  check_inputs(scores, labels);
+  std::size_t total_pos = 0;
+  for (auto l : labels) total_pos += static_cast<std::size_t>(l);
+  if (total_pos == 0)
+    throw std::invalid_argument("average_precision: no positives");
+
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+
+  // AP = sum over thresholds of (recall_i - recall_{i-1}) * precision_i,
+  // processing score-tie groups atomically.
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  std::size_t tp = 0, seen = 0;
+  std::size_t i = 0;
+  const std::size_t n = order.size();
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    for (std::size_t t = i; t <= j; ++t) {
+      tp += static_cast<std::size_t>(labels[order[t]]);
+      ++seen;
+    }
+    const double recall = static_cast<double>(tp) / static_cast<double>(total_pos);
+    const double precision = static_cast<double>(tp) / static_cast<double>(seen);
+    ap += (recall - prev_recall) * precision;
+    prev_recall = recall;
+    i = j + 1;
+  }
+  return ap;
+}
+
+std::vector<std::pair<double, double>> roc_curve(
+    const std::vector<double>& scores,
+    const std::vector<std::int32_t>& labels) {
+  check_inputs(scores, labels);
+  std::size_t total_pos = 0;
+  for (auto l : labels) total_pos += static_cast<std::size_t>(l);
+  const std::size_t total_neg = labels.size() - total_pos;
+  if (total_pos == 0 || total_neg == 0)
+    throw std::invalid_argument("roc_curve: needs both classes");
+
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::vector<std::pair<double, double>> pts;
+  pts.emplace_back(0.0, 0.0);
+  std::size_t tp = 0, fp = 0;
+  std::size_t i = 0;
+  const std::size_t n = order.size();
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    for (std::size_t t = i; t <= j; ++t) {
+      if (labels[order[t]]) ++tp;
+      else ++fp;
+    }
+    pts.emplace_back(static_cast<double>(fp) / static_cast<double>(total_neg),
+                     static_cast<double>(tp) / static_cast<double>(total_pos));
+    i = j + 1;
+  }
+  return pts;
+}
+
+}  // namespace amdgcnn::metrics

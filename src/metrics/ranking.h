@@ -1,0 +1,33 @@
+// Ranking metrics: ROC-AUC and precision-recall AUC.
+//
+// The paper's headline metric is AUC; we compute it exactly via the
+// Mann-Whitney U statistic (rank-sum with midrank tie handling), which equals
+// the area under the empirically-interpolated ROC curve.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace amdgcnn::metrics {
+
+/// Exact binary ROC-AUC.  `labels[i]` is 0/1, `scores[i]` the model's score
+/// for the positive class.  Throws when either class is absent (AUC is
+/// undefined then) — callers that sweep classes should guard with
+/// has_both_classes().
+double binary_auc(const std::vector<double>& scores,
+                  const std::vector<std::int32_t>& labels);
+
+bool has_both_classes(const std::vector<std::int32_t>& labels);
+
+/// Area under the precision-recall curve (step-wise interpolation, the
+/// sklearn "average_precision_score" definition).
+double binary_average_precision(const std::vector<double>& scores,
+                                const std::vector<std::int32_t>& labels);
+
+/// ROC curve points (FPR, TPR) at every distinct threshold, including the
+/// (0,0) and (1,1) endpoints — used by tests to cross-check binary_auc via
+/// trapezoidal integration.
+std::vector<std::pair<double, double>> roc_curve(
+    const std::vector<double>& scores, const std::vector<std::int32_t>& labels);
+
+}  // namespace amdgcnn::metrics

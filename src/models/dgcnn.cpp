@@ -1,0 +1,112 @@
+#include "models/dgcnn.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace amdgcnn::models {
+
+namespace {
+/// Smallest SortPooling k the fixed conv head supports:
+/// (k/2 - conv2_kernel + 1) >= 1  with pool size 2  =>  k >= 2*conv2_kernel.
+std::int64_t min_sort_k(const ModelConfig& c) { return 2 * c.conv2_kernel; }
+}  // namespace
+
+DGCNN::DGCNN(const ModelConfig& config, util::Rng& rng) : config_(config) {
+  ag::check(config_.node_feature_dim > 0, "DGCNN: node_feature_dim not set");
+  ag::check(config_.num_classes >= 2, "DGCNN: need >= 2 classes");
+  ag::check(config_.hidden_dim > 0 && config_.num_layers > 0,
+            "DGCNN: bad architecture sizes");
+  config_.sort_k = std::max(config_.sort_k, min_sort_k(config_));
+
+  const bool attention = config_.kind == GnnKind::kAMDGCNN;
+  const std::int64_t edge_dim =
+      attention && config_.use_edge_attr ? config_.edge_attr_dim : 0;
+
+  std::int64_t in = config_.node_feature_dim;
+  if (attention) {
+    ag::check(config_.heads > 0 && config_.hidden_dim % config_.heads == 0,
+              "DGCNN: hidden_dim must be divisible by heads");
+    for (std::int64_t l = 0; l < config_.num_layers; ++l) {
+      gat_layers_.push_back(std::make_unique<nn::GATConv>(
+          in, config_.hidden_dim / config_.heads, config_.heads, edge_dim,
+          rng));
+      register_module(gat_layers_.back().get());
+      in = config_.hidden_dim;
+    }
+    // Sort-channel layer: single head, single feature.
+    gat_layers_.push_back(
+        std::make_unique<nn::GATConv>(in, 1, 1, edge_dim, rng));
+    register_module(gat_layers_.back().get());
+  } else {
+    for (std::int64_t l = 0; l < config_.num_layers; ++l) {
+      gcn_layers_.push_back(
+          std::make_unique<nn::GCNConv>(in, config_.hidden_dim, rng));
+      register_module(gcn_layers_.back().get());
+      in = config_.hidden_dim;
+    }
+    gcn_layers_.push_back(std::make_unique<nn::GCNConv>(in, 1, rng));
+    register_module(gcn_layers_.back().get());
+  }
+
+  total_channels_ = config_.num_layers * config_.hidden_dim + 1;
+  sort_pool_ = std::make_unique<nn::SortPooling>(config_.sort_k);
+  register_module(sort_pool_.get());
+
+  conv1_ = std::make_unique<nn::Conv1d>(1, config_.conv1_channels,
+                                        total_channels_, total_channels_, rng);
+  register_module(conv1_.get());
+  pool_ = std::make_unique<nn::MaxPool1d>(2, 2);
+  register_module(pool_.get());
+  conv2_ = std::make_unique<nn::Conv1d>(config_.conv1_channels,
+                                        config_.conv2_channels,
+                                        config_.conv2_kernel, 1, rng);
+  register_module(conv2_.get());
+
+  const std::int64_t conv_out_len =
+      config_.sort_k / 2 - config_.conv2_kernel + 1;
+  ag::check(conv_out_len >= 1, "DGCNN: sort_k too small for the conv head");
+  classifier_ = std::make_unique<nn::MLP>(
+      std::vector<std::int64_t>{config_.conv2_channels * conv_out_len,
+                                config_.dense_dim, config_.num_classes},
+      config_.dropout, rng);
+  register_module(classifier_.get());
+}
+
+ag::Tensor DGCNN::message_pass(std::size_t l, const ag::Tensor& h,
+                               const seal::SubgraphSample& sample) const {
+  if (config_.kind == GnnKind::kAMDGCNN) {
+    return gat_layers_[l]->forward(h, sample.src, sample.dst,
+                                   sample.edge_attr, sample.num_nodes);
+  }
+  return gcn_layers_[l]->forward(h, sample.src, sample.dst, sample.num_nodes);
+}
+
+ag::Tensor DGCNN::forward(const seal::SubgraphSample& sample,
+                          util::Rng& rng) const {
+  namespace ops = ag::ops;
+  ag::check(sample.node_feat.defined() &&
+                sample.node_feat.dim(1) == config_.node_feature_dim,
+            "DGCNN::forward: sample feature width mismatch");
+
+  const std::size_t num_mp =
+      config_.kind == GnnKind::kAMDGCNN ? gat_layers_.size()
+                                        : gcn_layers_.size();
+  std::vector<ag::Tensor> layer_outputs;
+  layer_outputs.reserve(num_mp);
+  ag::Tensor h = sample.node_feat;
+  for (std::size_t l = 0; l < num_mp; ++l) {
+    h = ops::tanh_act(message_pass(l, h, sample));
+    layer_outputs.push_back(h);
+  }
+
+  auto z = ops::concat_cols(layer_outputs);   // [n, total_channels]
+  auto pooled = sort_pool_->forward(z);       // [k, C]
+  auto seq = ops::reshape(pooled, {1, config_.sort_k * total_channels_});
+  auto c = ops::relu(conv1_->forward(seq));   // [16, k]
+  c = pool_->forward(c);                      // [16, k/2]
+  c = ops::relu(conv2_->forward(c));          // [32, k/2 - kernel + 1]
+  auto flat = ops::reshape(c, {1, c.numel()});
+  return classifier_->forward(flat, rng);     // [1, num_classes]
+}
+
+}  // namespace amdgcnn::models

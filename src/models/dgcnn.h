@@ -1,0 +1,58 @@
+// The DGCNN architecture (Zhang et al. 2018) with pluggable message passing:
+// GCN layers for the vanilla baseline, edge-attribute GAT layers for
+// AM-DGCNN (paper Fig. 2).
+//
+// Forward pass per subgraph:
+//   h_0 = X
+//   h_l = tanh(MP_l(h_{l-1}))                 l = 1..num_layers (hidden_dim)
+//   h_s = tanh(MP_last(h_L))                  1 channel, the sort channel
+//   Z   = [h_1 | ... | h_L | h_s]             column concat
+//   P   = SortPool_k(Z)                       [k, C]
+//   v   = reshape(P, [1, kC])
+//   c   = relu(Conv1d(1 -> 16, kernel=C, stride=C))       [16, k]
+//   c   = MaxPool1d(2, 2)                                  [16, k/2]
+//   c   = relu(Conv1d(16 -> 32, kernel=5, stride=1))       [32, k/2-4]
+//   out = MLP([flatten, 128, num_classes]) with dropout
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/link_gnn.h"
+#include "nn/conv1d.h"
+#include "nn/gat_conv.h"
+#include "nn/gcn_conv.h"
+#include "nn/mlp.h"
+#include "nn/sort_pooling.h"
+
+namespace amdgcnn::models {
+
+class DGCNN final : public LinkGNN {
+ public:
+  DGCNN(const ModelConfig& config, util::Rng& rng);
+
+  ag::Tensor forward(const seal::SubgraphSample& sample,
+                     util::Rng& rng) const override;
+  const ModelConfig& config() const override { return config_; }
+
+  /// Total embedding channels entering SortPooling.
+  std::int64_t total_channels() const { return total_channels_; }
+
+ private:
+  /// One message-passing step through layer `l` (dispatches on kind).
+  ag::Tensor message_pass(std::size_t l, const ag::Tensor& h,
+                          const seal::SubgraphSample& sample) const;
+
+  ModelConfig config_;
+  std::int64_t total_channels_ = 0;
+
+  std::vector<std::unique_ptr<nn::GCNConv>> gcn_layers_;
+  std::vector<std::unique_ptr<nn::GATConv>> gat_layers_;
+  std::unique_ptr<nn::SortPooling> sort_pool_;
+  std::unique_ptr<nn::Conv1d> conv1_;
+  std::unique_ptr<nn::MaxPool1d> pool_;
+  std::unique_ptr<nn::Conv1d> conv2_;
+  std::unique_ptr<nn::MLP> classifier_;
+};
+
+}  // namespace amdgcnn::models

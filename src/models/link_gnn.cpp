@@ -1,0 +1,24 @@
+#include "models/link_gnn.h"
+
+#include <stdexcept>
+
+#include "models/dgcnn.h"
+
+namespace amdgcnn::models {
+
+const char* gnn_kind_name(GnnKind kind) {
+  switch (kind) {
+    case GnnKind::kVanillaDGCNN:
+      return "Vanilla-DGCNN";
+    case GnnKind::kAMDGCNN:
+      return "AM-DGCNN";
+  }
+  throw std::logic_error("gnn_kind_name: unknown kind");
+}
+
+std::unique_ptr<LinkGNN> make_link_gnn(const ModelConfig& config,
+                                       util::Rng& rng) {
+  return std::make_unique<DGCNN>(config, rng);
+}
+
+}  // namespace amdgcnn::models

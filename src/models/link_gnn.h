@@ -1,0 +1,65 @@
+// Link-classification GNN interface and configuration.
+//
+// Both models under comparison share the DGCNN skeleton (message passing ->
+// concat -> SortPooling -> 1-D conv head -> dense classifier); they differ
+// only in the message-passing layer:
+//
+//   * kVanillaDGCNN — GCNConv (edge-attribute blind), the SEAL baseline.
+//   * kAMDGCNN     — GATConv with edge-attribute-aware attention, the
+//                     paper's contribution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "nn/module.h"
+#include "seal/feature_builder.h"
+#include "util/rng.h"
+
+namespace amdgcnn::models {
+
+enum class GnnKind {
+  kVanillaDGCNN,
+  kAMDGCNN,
+};
+
+const char* gnn_kind_name(GnnKind kind);
+
+struct ModelConfig {
+  GnnKind kind = GnnKind::kAMDGCNN;
+  std::int64_t node_feature_dim = 0;  // must match the dataset
+  std::int64_t edge_attr_dim = 0;     // 0 = no edge attributes available
+  std::int64_t num_classes = 2;
+
+  // Tunable hyperparameters (paper Table I).
+  std::int64_t hidden_dim = 32;  // GNN layer width: {16, 32, 64, 128}
+  std::int64_t sort_k = 30;      // SortPooling k: 5..150 (clamped to >= 10,
+                                 // the smallest k the conv head supports)
+  // Fixed architecture constants (DGCNN defaults from Zhang et al. 2018).
+  std::int64_t num_layers = 3;   // hidden message-passing layers
+  std::int64_t heads = 4;        // attention heads (AM-DGCNN only)
+  double dropout = 0.5;
+  std::int64_t conv1_channels = 16;
+  std::int64_t conv2_channels = 32;
+  std::int64_t conv2_kernel = 5;
+  std::int64_t dense_dim = 128;
+
+  /// AM-DGCNN ablation hook: ignore edge attributes even when present
+  /// (reduces the model to plain multi-head GAT message passing).
+  bool use_edge_attr = true;
+};
+
+class LinkGNN : public nn::Module {
+ public:
+  /// Logits [1, num_classes] for one subgraph sample.  `rng` drives dropout
+  /// in training mode.
+  virtual ag::Tensor forward(const seal::SubgraphSample& sample,
+                             util::Rng& rng) const = 0;
+  virtual const ModelConfig& config() const = 0;
+};
+
+/// Build a model from a configuration (weights initialised from `rng`).
+std::unique_ptr<LinkGNN> make_link_gnn(const ModelConfig& config,
+                                       util::Rng& rng);
+
+}  // namespace amdgcnn::models

@@ -1,0 +1,72 @@
+#include "models/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace amdgcnn::models {
+
+namespace {
+constexpr char kMagic[4] = {'A', 'M', 'D', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("load_weights: truncated file");
+  return value;
+}
+}  // namespace
+
+void save_weights(const nn::Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_weights: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  const auto params = module.parameters();
+  write_pod(out, static_cast<std::uint64_t>(params.size()));
+  for (const auto& p : params) {
+    write_pod(out, static_cast<std::uint32_t>(p.shape().size()));
+    for (auto d : p.shape()) write_pod(out, d);
+    out.write(reinterpret_cast<const char*>(p.data().data()),
+              static_cast<std::streamsize>(p.data().size() * sizeof(double)));
+  }
+  if (!out) throw std::runtime_error("save_weights: write failed to " + path);
+}
+
+void load_weights(nn::Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_weights: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string(magic, 4) != std::string(kMagic, 4))
+    throw std::runtime_error("load_weights: bad magic in " + path);
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion)
+    throw std::runtime_error("load_weights: unsupported version");
+  const auto count = read_pod<std::uint64_t>(in);
+
+  auto params = module.parameters();
+  if (count != params.size())
+    throw std::runtime_error("load_weights: parameter count mismatch");
+  for (auto& p : params) {
+    const auto rank = read_pod<std::uint32_t>(in);
+    ag::Shape shape(rank);
+    for (auto& d : shape) d = read_pod<std::int64_t>(in);
+    if (shape != p.shape())
+      throw std::runtime_error("load_weights: shape mismatch, file " +
+                               ag::shape_str(shape) + " vs model " +
+                               ag::shape_str(p.shape()));
+    in.read(reinterpret_cast<char*>(p.data().data()),
+            static_cast<std::streamsize>(p.data().size() * sizeof(double)));
+    if (!in) throw std::runtime_error("load_weights: truncated tensor data");
+  }
+}
+
+}  // namespace amdgcnn::models

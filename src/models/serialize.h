@@ -1,0 +1,27 @@
+// Weight serialization for trained models.
+//
+// Format (little-endian, versioned):
+//   magic "AMDG" | u32 version | u64 tensor-count |
+//   per tensor: u32 rank | i64 dims... | f64 data...
+//
+// Weights are written in parameter-registration order, which is fully
+// determined by the ModelConfig — loading requires a model built with the
+// same configuration (shape mismatches are detected and rejected).
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace amdgcnn::models {
+
+/// Write all parameters of `module` to `path`.  Throws std::runtime_error
+/// on I/O failure.
+void save_weights(const nn::Module& module, const std::string& path);
+
+/// Load parameters saved by save_weights into `module` (in place).
+/// Throws std::runtime_error on I/O failure, format error, or any
+/// count/shape mismatch with the module's current parameters.
+void load_weights(nn::Module& module, const std::string& path);
+
+}  // namespace amdgcnn::models

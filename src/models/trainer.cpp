@@ -1,0 +1,116 @@
+#include "models/trainer.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+#include "util/stopwatch.h"
+
+namespace amdgcnn::models {
+
+Trainer::Trainer(LinkGNN& model, const TrainConfig& config)
+    : model_(model), config_(config), rng_(config.seed) {
+  if (config_.learning_rate <= 0.0)
+    throw std::invalid_argument("Trainer: learning_rate must be positive");
+  if (config_.batch_size <= 0)
+    throw std::invalid_argument("Trainer: batch_size must be positive");
+  optimizer_ =
+      std::make_unique<ag::Adam>(model_.parameters(), config_.learning_rate);
+}
+
+double Trainer::train_epoch(
+    const std::vector<seal::SubgraphSample>& samples) {
+  if (samples.empty())
+    throw std::invalid_argument("train_epoch: no samples");
+  model_.set_training(true);
+
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng_.shuffle(order);
+
+  double total_loss = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const std::size_t batch_end =
+        std::min(order.size(), i + static_cast<std::size_t>(config_.batch_size));
+    const double inv_batch = 1.0 / static_cast<double>(batch_end - i);
+    optimizer_->zero_grad();
+    for (; i < batch_end; ++i) {
+      const auto& sample = samples[order[i]];
+      auto logits = model_.forward(sample, rng_);
+      auto loss = ag::ops::cross_entropy(
+          logits, {static_cast<std::int64_t>(sample.label)});
+      total_loss += loss.item();
+      // Scale so accumulated gradients average over the batch.
+      auto scaled = ag::ops::mul_scalar(loss, inv_batch);
+      scaled.backward();
+    }
+    if (config_.grad_clip > 0.0) optimizer_->clip_grad_norm(config_.grad_clip);
+    optimizer_->step();
+  }
+  return total_loss / static_cast<double>(samples.size());
+}
+
+std::vector<EpochRecord> Trainer::fit(
+    const std::vector<seal::SubgraphSample>& train,
+    const std::vector<seal::SubgraphSample>& test, std::int64_t eval_every) {
+  std::vector<EpochRecord> records;
+  util::Stopwatch watch;
+  for (std::int64_t epoch = 1; epoch <= config_.epochs; ++epoch) {
+    const double loss = train_epoch(train);
+    if (eval_every > 0 && (epoch % eval_every == 0 || epoch == config_.epochs)) {
+      EpochRecord rec;
+      rec.epoch = epoch;
+      rec.train_loss = loss;
+      if (!test.empty()) {
+        auto ev = evaluate(test);
+        rec.test_auc = ev.metrics.macro_auc;
+        rec.test_ap = ev.metrics.macro_precision;
+      }
+      rec.seconds = watch.seconds();
+      records.push_back(rec);
+    }
+  }
+  return records;
+}
+
+std::vector<double> Trainer::predict_proba(
+    const std::vector<seal::SubgraphSample>& samples) const {
+  model_.set_training(false);
+  const std::int64_t c = model_.config().num_classes;
+  std::vector<double> probs(samples.size() * static_cast<std::size_t>(c));
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    auto logits = model_.forward(samples[i], rng_);
+    auto p = ag::ops::softmax_rows(logits);
+    for (std::int64_t j = 0; j < c; ++j)
+      probs[i * static_cast<std::size_t>(c) + j] = p.item(j);
+  }
+  model_.set_training(true);
+  return probs;
+}
+
+EvalResult Trainer::evaluate(
+    const std::vector<seal::SubgraphSample>& samples) const {
+  if (samples.empty()) throw std::invalid_argument("evaluate: no samples");
+  model_.set_training(false);
+  const std::int64_t c = model_.config().num_classes;
+  std::vector<double> probs(samples.size() * static_cast<std::size_t>(c));
+  std::vector<std::int32_t> labels(samples.size());
+  double loss_sum = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    auto logits = model_.forward(samples[i], rng_);
+    auto logp = ag::ops::log_softmax_rows(logits);
+    loss_sum -= logp.item(samples[i].label);
+    for (std::int64_t j = 0; j < c; ++j)
+      probs[i * static_cast<std::size_t>(c) + j] = std::exp(logp.item(j));
+    labels[i] = samples[i].label;
+  }
+  model_.set_training(true);
+  EvalResult result;
+  result.metrics = metrics::evaluate_multiclass(probs, c, labels);
+  result.mean_loss = loss_sum / static_cast<double>(samples.size());
+  return result;
+}
+
+}  // namespace amdgcnn::models

@@ -1,0 +1,72 @@
+// Training / evaluation loop for LinkGNN models.
+//
+// Mini-batching is implemented as gradient accumulation: each subgraph is a
+// single-graph forward pass (subgraphs are tens of nodes, so per-sample
+// passes are cheap and avoid padded batching entirely); gradients of
+// `batch_size` samples are averaged before each Adam step.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "metrics/classification.h"
+#include "models/link_gnn.h"
+#include "tensor/optim.h"
+
+namespace amdgcnn::models {
+
+struct TrainConfig {
+  double learning_rate = 1e-3;  // paper Table I: [1e-6, 1e-2]
+  std::int64_t epochs = 10;     // paper §V-D: both models peak around 10
+  std::int64_t batch_size = 32;
+  double grad_clip = 5.0;       // 0 disables clipping
+  std::uint64_t seed = 17;
+};
+
+struct EvalResult {
+  metrics::MulticlassEval metrics;
+  double mean_loss = 0.0;
+};
+
+/// Per-epoch progress record (feeds the Fig. 3-6 epoch-sweep benches).
+struct EpochRecord {
+  std::int64_t epoch = 0;
+  double train_loss = 0.0;
+  double test_auc = 0.0;
+  double test_ap = 0.0;
+  double seconds = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(LinkGNN& model, const TrainConfig& config);
+
+  /// One pass over `samples` (shuffled); returns mean training loss.
+  double train_epoch(const std::vector<seal::SubgraphSample>& samples);
+
+  /// Full training run; when `eval_every > 0`, evaluates on `test` after
+  /// every `eval_every` epochs and records the trajectory.
+  std::vector<EpochRecord> fit(
+      const std::vector<seal::SubgraphSample>& train,
+      const std::vector<seal::SubgraphSample>& test,
+      std::int64_t eval_every = 0);
+
+  /// Forward the whole set in eval mode; returns row-major [n, C]
+  /// probabilities.
+  std::vector<double> predict_proba(
+      const std::vector<seal::SubgraphSample>& samples) const;
+
+  EvalResult evaluate(const std::vector<seal::SubgraphSample>& samples) const;
+
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  LinkGNN& model_;
+  TrainConfig config_;
+  std::unique_ptr<ag::Adam> optimizer_;
+  mutable util::Rng rng_;
+};
+
+}  // namespace amdgcnn::models

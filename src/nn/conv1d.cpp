@@ -1,0 +1,31 @@
+#include "nn/conv1d.h"
+
+namespace amdgcnn::nn {
+
+Conv1d::Conv1d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride) {
+  ag::check(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+            "Conv1d: sizes must be positive");
+  weight_ = register_parameter(
+      ag::Tensor::xavier(out_channels_, in_channels_ * kernel_, rng));
+  bias_ = register_parameter(ag::Tensor::zeros({out_channels_}));
+}
+
+ag::Tensor Conv1d::forward(const ag::Tensor& x) const {
+  return ag::ops::conv1d(x, weight_, bias_, kernel_, stride_);
+}
+
+MaxPool1d::MaxPool1d(std::int64_t size, std::int64_t stride)
+    : size_(size), stride_(stride) {
+  ag::check(size > 0 && stride > 0, "MaxPool1d: sizes must be positive");
+}
+
+ag::Tensor MaxPool1d::forward(const ag::Tensor& x) const {
+  return ag::ops::max_pool1d(x, size_, stride_);
+}
+
+}  // namespace amdgcnn::nn

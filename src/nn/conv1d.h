@@ -1,0 +1,38 @@
+// Learnable 1-D convolution and max-pooling layers for the DGCNN read-out
+// head (operate on [channels, length] signals).
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/conv_ops.h"
+
+namespace amdgcnn::nn {
+
+class Conv1d final : public Module {
+ public:
+  Conv1d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, util::Rng& rng);
+
+  /// x: [in_channels, L] -> [out_channels, (L-kernel)/stride + 1].
+  ag::Tensor forward(const ag::Tensor& x) const;
+
+  std::int64_t out_channels() const { return out_channels_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+
+ private:
+  std::int64_t in_channels_, out_channels_, kernel_, stride_;
+  ag::Tensor weight_;  // [out_channels, in_channels * kernel]
+  ag::Tensor bias_;    // [out_channels]
+};
+
+class MaxPool1d final : public Module {
+ public:
+  MaxPool1d(std::int64_t size, std::int64_t stride);
+
+  ag::Tensor forward(const ag::Tensor& x) const;
+
+ private:
+  std::int64_t size_, stride_;
+};
+
+}  // namespace amdgcnn::nn

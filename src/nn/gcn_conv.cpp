@@ -1,0 +1,50 @@
+#include "nn/gcn_conv.h"
+
+#include <cmath>
+
+namespace amdgcnn::nn {
+
+GCNConv::GCNConv(std::int64_t in_features, std::int64_t out_features,
+                 util::Rng& rng)
+    : in_(in_features), out_(out_features) {
+  ag::check(in_features > 0 && out_features > 0,
+            "GCNConv: feature sizes must be positive");
+  weight_ = register_parameter(ag::Tensor::xavier(in_, out_, rng));
+  bias_ = register_parameter(ag::Tensor::zeros({1, out_}));
+}
+
+ag::Tensor GCNConv::forward(const ag::Tensor& x,
+                            const std::vector<std::int64_t>& src,
+                            const std::vector<std::int64_t>& dst,
+                            std::int64_t num_nodes) const {
+  ag::check(x.rank() == 2 && x.dim(0) == num_nodes,
+            "GCNConv: node feature shape mismatch");
+  ag::check(src.size() == dst.size(), "GCNConv: edge array size mismatch");
+
+  // Edge list with self-loops appended.
+  std::vector<std::int64_t> s(src), d(dst);
+  s.reserve(src.size() + static_cast<std::size_t>(num_nodes));
+  d.reserve(dst.size() + static_cast<std::size_t>(num_nodes));
+  for (std::int64_t i = 0; i < num_nodes; ++i) {
+    s.push_back(i);
+    d.push_back(i);
+  }
+
+  // In-degree including the self-loop; (src,dst) lists both orientations of
+  // each undirected edge so in-degree equals the undirected degree + 1.
+  std::vector<double> deg(static_cast<std::size_t>(num_nodes), 0.0);
+  for (auto v : d) deg[static_cast<std::size_t>(v)] += 1.0;
+
+  std::vector<double> coef(s.size());
+  for (std::size_t e = 0; e < s.size(); ++e)
+    coef[e] = 1.0 / std::sqrt(deg[static_cast<std::size_t>(s[e])] *
+                              deg[static_cast<std::size_t>(d[e])]);
+
+  auto xw = ag::ops::matmul(x, weight_);
+  auto msg = ag::ops::gather_rows(xw, s);
+  msg = ag::ops::scale_rows(msg, coef);
+  auto agg = ag::ops::scatter_add_rows(msg, d, num_nodes);
+  return ag::ops::add_rowvec(agg, bias_);
+}
+
+}  // namespace amdgcnn::nn

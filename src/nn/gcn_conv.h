@@ -1,0 +1,37 @@
+// Graph Convolution layer (Kipf & Welling 2017), the message-passing layer
+// of the VANILLA DGCNN baseline.  Symmetric normalisation with self-loops:
+//
+//   H' = D^{-1/2} (A + I) D^{-1/2} X W,   D = diag(deg + 1)
+//
+// Note what is *absent*: edge attributes play no role — this is exactly the
+// limitation the paper's AM-DGCNN addresses (§III-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "tensor/segment_ops.h"
+
+namespace amdgcnn::nn {
+
+class GCNConv final : public Module {
+ public:
+  GCNConv(std::int64_t in_features, std::int64_t out_features, util::Rng& rng);
+
+  /// x: [n, in]; (src, dst) directed edges WITHOUT self-loops (the layer
+  /// adds them).  Returns [n, out] (no activation; the model applies tanh).
+  ag::Tensor forward(const ag::Tensor& x, const std::vector<std::int64_t>& src,
+                     const std::vector<std::int64_t>& dst,
+                     std::int64_t num_nodes) const;
+
+  std::int64_t out_features() const { return out_; }
+
+ private:
+  std::int64_t in_, out_;
+  ag::Tensor weight_;  // [in, out]
+  ag::Tensor bias_;    // [1, out]
+};
+
+}  // namespace amdgcnn::nn

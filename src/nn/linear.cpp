@@ -1,0 +1,20 @@
+#include "nn/linear.h"
+
+namespace amdgcnn::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
+               util::Rng& rng)
+    : in_(in_features), out_(out_features) {
+  ag::check(in_features > 0 && out_features > 0,
+            "Linear: feature sizes must be positive");
+  weight_ = register_parameter(ag::Tensor::xavier(in_, out_, rng));
+  if (bias) bias_ = register_parameter(ag::Tensor::zeros({1, out_}));
+}
+
+ag::Tensor Linear::forward(const ag::Tensor& x) const {
+  auto y = ag::ops::matmul(x, weight_);
+  if (bias_.defined()) y = ag::ops::add_rowvec(y, bias_);
+  return y;
+}
+
+}  // namespace amdgcnn::nn

@@ -1,0 +1,26 @@
+// Fully-connected layer: y = x W + b.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace amdgcnn::nn {
+
+class Linear final : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
+         util::Rng& rng);
+
+  /// x: [n, in] -> [n, out].
+  ag::Tensor forward(const ag::Tensor& x) const;
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+
+ private:
+  std::int64_t in_, out_;
+  ag::Tensor weight_;  // [in, out]
+  ag::Tensor bias_;    // [1, out] or undefined
+};
+
+}  // namespace amdgcnn::nn

@@ -1,0 +1,29 @@
+#include "nn/mlp.h"
+
+namespace amdgcnn::nn {
+
+MLP::MLP(const std::vector<std::int64_t>& dims, double dropout,
+         util::Rng& rng)
+    : dropout_(dropout) {
+  ag::check(dims.size() >= 2, "MLP: need at least input and output dims");
+  ag::check(dropout >= 0.0 && dropout < 1.0, "MLP: dropout out of range");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(
+        std::make_unique<Linear>(dims[i], dims[i + 1], /*bias=*/true, rng));
+    register_module(layers_.back().get());
+  }
+}
+
+ag::Tensor MLP::forward(const ag::Tensor& x, util::Rng& rng) const {
+  ag::Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(h);
+    if (i + 1 < layers_.size()) {
+      h = ag::ops::relu(h);
+      h = ag::ops::dropout(h, dropout_, training(), rng);
+    }
+  }
+  return h;
+}
+
+}  // namespace amdgcnn::nn

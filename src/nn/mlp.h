@@ -1,0 +1,26 @@
+// Dense classifier head: Linear -> ReLU -> Dropout -> ... -> Linear.
+// The final layer produces raw logits (softmax is applied by the loss /
+// evaluation code).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+
+namespace amdgcnn::nn {
+
+class MLP final : public Module {
+ public:
+  /// dims = {in, hidden..., out}; dropout applies after every hidden ReLU.
+  MLP(const std::vector<std::int64_t>& dims, double dropout, util::Rng& rng);
+
+  /// x: [n, in] -> [n, out].  `rng` drives dropout masks in training mode.
+  ag::Tensor forward(const ag::Tensor& x, util::Rng& rng) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  double dropout_;
+};
+
+}  // namespace amdgcnn::nn

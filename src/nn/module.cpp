@@ -1,0 +1,41 @@
+#include "nn/module.h"
+
+#include <stdexcept>
+
+namespace amdgcnn::nn {
+
+std::vector<ag::Tensor> Module::parameters() const {
+  std::vector<ag::Tensor> out = params_;
+  for (const Module* c : children_) {
+    auto sub = c->parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::int64_t Module::num_parameters() const {
+  std::int64_t n = 0;
+  for (const auto& p : parameters()) n += p.numel();
+  return n;
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (Module* c : children_) c->set_training(training);
+}
+
+ag::Tensor Module::register_parameter(ag::Tensor t) {
+  if (!t.defined())
+    throw std::invalid_argument("register_parameter: undefined tensor");
+  t.requires_grad(true);
+  params_.push_back(t);
+  return t;
+}
+
+void Module::register_module(Module* child) {
+  if (child == nullptr)
+    throw std::invalid_argument("register_module: null child");
+  children_.push_back(child);
+}
+
+}  // namespace amdgcnn::nn

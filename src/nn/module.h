@@ -1,0 +1,41 @@
+// Minimal Module abstraction: a tree of parameter owners, mirroring the
+// torch.nn.Module contract the reference implementation is written against
+// (parameters() feeds the optimizer; train/eval mode gates dropout).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace amdgcnn::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All learnable tensors of this module and its registered children.
+  std::vector<ag::Tensor> parameters() const;
+
+  /// Total scalar parameter count (for model-size reporting).
+  std::int64_t num_parameters() const;
+
+  /// Toggle training mode recursively (affects dropout).
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+ protected:
+  /// Register a learnable tensor; flips requires_grad on and returns it.
+  ag::Tensor register_parameter(ag::Tensor t);
+  /// Register a child module (must outlive this module; typically a member).
+  void register_module(Module* child);
+
+ private:
+  std::vector<ag::Tensor> params_;
+  std::vector<Module*> children_;
+  bool training_ = true;
+};
+
+}  // namespace amdgcnn::nn

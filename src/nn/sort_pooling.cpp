@@ -1,0 +1,13 @@
+#include "nn/sort_pooling.h"
+
+namespace amdgcnn::nn {
+
+SortPooling::SortPooling(std::int64_t k) : k_(k) {
+  ag::check(k > 0, "SortPooling: k must be positive");
+}
+
+ag::Tensor SortPooling::forward(const ag::Tensor& x) const {
+  return ag::ops::sort_pool(x, k_);
+}
+
+}  // namespace amdgcnn::nn

@@ -1,0 +1,26 @@
+// SortPooling graph-aggregation layer (Zhang et al., AAAI 2018): turns a
+// variable-size node-embedding matrix into a fixed [k, C] tensor by sorting
+// nodes on their last embedding channel and keeping the top k (zero-padding
+// small graphs).  Parameter-free; kept as a Module for architectural
+// symmetry and to carry the tuned k (paper Table I: k in 5..150).
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/conv_ops.h"
+
+namespace amdgcnn::nn {
+
+class SortPooling final : public Module {
+ public:
+  explicit SortPooling(std::int64_t k);
+
+  /// x: [n, C] -> [k, C].
+  ag::Tensor forward(const ag::Tensor& x) const;
+
+  std::int64_t k() const { return k_; }
+
+ private:
+  std::int64_t k_;
+};
+
+}  // namespace amdgcnn::nn

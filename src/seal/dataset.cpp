@@ -1,0 +1,56 @@
+#include "seal/dataset.h"
+
+#include <stdexcept>
+
+namespace amdgcnn::seal {
+
+double SealDataset::mean_subgraph_nodes() const {
+  const std::size_t total = train.size() + test.size();
+  if (total == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : train) sum += static_cast<double>(s.num_nodes);
+  for (const auto& s : test) sum += static_cast<double>(s.num_nodes);
+  return sum / static_cast<double>(total);
+}
+
+SubgraphSample make_sample(const graph::KnowledgeGraph& g,
+                           const LinkExample& link,
+                           const SealDatasetOptions& options) {
+  const auto sub =
+      graph::extract_enclosing_subgraph(g, link.a, link.b, options.extract);
+  return build_sample(g, sub, link.label, options.features);
+}
+
+SealDataset build_seal_dataset(const graph::KnowledgeGraph& g,
+                               const std::vector<LinkExample>& train_links,
+                               const std::vector<LinkExample>& test_links,
+                               std::int64_t num_classes,
+                               const SealDatasetOptions& options) {
+  if (num_classes < 2)
+    throw std::invalid_argument("build_seal_dataset: need >= 2 classes");
+  for (const auto* links : {&train_links, &test_links})
+    for (const auto& l : *links)
+      if (l.label < 0 || l.label >= num_classes)
+        throw std::invalid_argument("build_seal_dataset: label out of range");
+
+  SealDataset ds;
+  ds.num_classes = num_classes;
+  ds.node_feature_dim = node_feature_dim(g, options.features);
+  ds.edge_attr_dim = g.edge_attr_dim();
+  ds.train.resize(train_links.size());
+  ds.test.resize(test_links.size());
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(train_links.size());
+       ++i)
+    ds.train[i] = make_sample(g, train_links[i], options);
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(test_links.size());
+       ++i)
+    ds.test[i] = make_sample(g, test_links[i], options);
+
+  return ds;
+}
+
+}  // namespace amdgcnn::seal

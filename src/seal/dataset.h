@@ -1,0 +1,48 @@
+// SEAL dataset assembly: turn labeled target links into ready-to-train
+// subgraph samples (extract enclosing subgraph -> DRNL -> feature tensors).
+//
+// Samples are materialised once and shared across epochs and across the two
+// models under comparison — matching the reference pipeline, where subgraph
+// extraction happens in the dataset loader, not in the training loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+#include "graph/subgraph.h"
+#include "seal/feature_builder.h"
+#include "seal/sampling.h"
+
+namespace amdgcnn::seal {
+
+struct SealDatasetOptions {
+  graph::ExtractOptions extract;
+  FeatureOptions features;
+};
+
+struct SealDataset {
+  std::vector<SubgraphSample> train;
+  std::vector<SubgraphSample> test;
+  std::int64_t num_classes = 0;
+  std::int64_t node_feature_dim = 0;
+  std::int64_t edge_attr_dim = 0;
+
+  /// Mean subgraph node count over train+test (reported by the benches).
+  double mean_subgraph_nodes() const;
+};
+
+/// Convert one labeled link to a sample.
+SubgraphSample make_sample(const graph::KnowledgeGraph& g,
+                           const LinkExample& link,
+                           const SealDatasetOptions& options);
+
+/// Build the full dataset.  Sample construction is embarrassingly parallel
+/// and is OpenMP-parallelised over links.
+SealDataset build_seal_dataset(const graph::KnowledgeGraph& g,
+                               const std::vector<LinkExample>& train_links,
+                               const std::vector<LinkExample>& test_links,
+                               std::int64_t num_classes,
+                               const SealDatasetOptions& options);
+
+}  // namespace amdgcnn::seal

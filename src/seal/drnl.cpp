@@ -1,0 +1,23 @@
+#include "seal/drnl.h"
+
+#include <algorithm>
+
+namespace amdgcnn::seal {
+
+std::int64_t drnl_label(std::int32_t x, std::int32_t y) {
+  if (x < 0 || y < 0) return 0;  // unreachable from at least one target
+  const std::int64_t d = static_cast<std::int64_t>(x) + y;
+  const std::int64_t half = d / 2;
+  return 1 + std::min<std::int64_t>(x, y) + half * (half + (d % 2) - 1);
+}
+
+std::vector<std::int64_t> drnl_labels(const graph::EnclosingSubgraph& sub) {
+  std::vector<std::int64_t> labels(sub.nodes.size(), 0);
+  for (std::size_t i = 0; i < sub.nodes.size(); ++i)
+    labels[i] = drnl_label(sub.dist_a[i], sub.dist_b[i]);
+  labels[graph::EnclosingSubgraph::kTargetA] = 1;
+  labels[graph::EnclosingSubgraph::kTargetB] = 1;
+  return labels;
+}
+
+}  // namespace amdgcnn::seal

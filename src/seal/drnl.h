@@ -1,0 +1,28 @@
+// Double-Radius Node Labeling (DRNL) — SEAL's structural node label.
+//
+// Each subgraph node gets an integer encoding its (shortest-distance-to-a,
+// shortest-distance-to-b) pair through the symmetric perfect hash of
+// Zhang & Chen (2018), §II-B of the paper:
+//
+//   label(x, y) = 1 + min(x, y) + (d/2) * ((d/2) + (d % 2) - 1),  d = x + y
+//
+// with integer division.  Both target nodes receive the distinctive label 1
+// and any node unreachable from either target receives the null label 0.
+// The label is one-hot encoded into the node feature vector downstream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/subgraph.h"
+
+namespace amdgcnn::seal {
+
+/// Label for a node at distances (x, y) from the two targets.  Passing a
+/// negative distance means "unreachable" and yields 0.
+std::int64_t drnl_label(std::int32_t x, std::int32_t y);
+
+/// Labels for every node of an enclosing subgraph (targets get 1).
+std::vector<std::int64_t> drnl_labels(const graph::EnclosingSubgraph& sub);
+
+}  // namespace amdgcnn::seal

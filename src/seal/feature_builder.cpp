@@ -1,0 +1,93 @@
+#include "seal/feature_builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "seal/drnl.h"
+
+namespace amdgcnn::seal {
+
+std::int64_t node_feature_dim(const graph::KnowledgeGraph& g,
+                              const FeatureOptions& options) {
+  std::int64_t f = 0;
+  if (options.use_drnl) f += options.max_drnl_label + 1;
+  if (options.use_node_type) f += g.num_node_types();
+  if (options.use_explicit) f += g.node_feat_dim();
+  f += options.embedding_dim;
+  return f;
+}
+
+SubgraphSample build_sample(const graph::KnowledgeGraph& g,
+                            const graph::EnclosingSubgraph& sub,
+                            std::int32_t label,
+                            const FeatureOptions& options) {
+  if (options.max_drnl_label < 1)
+    throw std::invalid_argument("build_sample: max_drnl_label must be >= 1");
+  if (options.embedding_dim > 0 &&
+      options.embedding.size() !=
+          static_cast<std::size_t>(g.num_nodes() * options.embedding_dim))
+    throw std::invalid_argument("build_sample: embedding table size mismatch");
+
+  const std::int64_t n = sub.num_nodes();
+  const std::int64_t f = node_feature_dim(g, options);
+  if (f == 0)
+    throw std::invalid_argument("build_sample: empty feature configuration");
+
+  SubgraphSample sample;
+  sample.num_nodes = n;
+  sample.label = label;
+
+  // ---- Node features -------------------------------------------------------
+  const auto labels = drnl_labels(sub);
+  std::vector<double> feat(static_cast<std::size_t>(n * f), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int64_t off = 0;
+    if (options.use_drnl) {
+      const std::int64_t l =
+          std::min<std::int64_t>(labels[i], options.max_drnl_label);
+      feat[i * f + off + l] = 1.0;
+      off += options.max_drnl_label + 1;
+    }
+    if (options.use_node_type) {
+      feat[i * f + off + g.node_type(sub.nodes[i])] = 1.0;
+      off += g.num_node_types();
+    }
+    if (options.use_explicit && g.node_feat_dim() > 0) {
+      auto nf = g.node_features(sub.nodes[i]);
+      std::copy(nf.begin(), nf.end(), feat.begin() + i * f + off);
+      off += g.node_feat_dim();
+    } else if (options.use_explicit) {
+      // no explicit features on this graph: contributes zero width
+    }
+    if (options.embedding_dim > 0) {
+      const auto* row = options.embedding.data() +
+                        static_cast<std::size_t>(sub.nodes[i]) *
+                            options.embedding_dim;
+      std::copy_n(row, options.embedding_dim, feat.begin() + i * f + off);
+    }
+  }
+  sample.node_feat = ag::Tensor::from_data({n, f}, std::move(feat));
+
+  // ---- Directed edge arrays + edge attributes ------------------------------
+  const std::int64_t e2 = 2 * static_cast<std::int64_t>(sub.edges.size());
+  sample.src.reserve(static_cast<std::size_t>(e2));
+  sample.dst.reserve(static_cast<std::size_t>(e2));
+  const std::int64_t ed = g.edge_attr_dim();
+  std::vector<double> eattr;
+  if (ed > 0) eattr.reserve(static_cast<std::size_t>(e2 * ed));
+  for (const auto& le : sub.edges) {
+    for (int orient = 0; orient < 2; ++orient) {
+      sample.src.push_back(orient == 0 ? le.src : le.dst);
+      sample.dst.push_back(orient == 0 ? le.dst : le.src);
+      if (ed > 0) {
+        auto a = g.edge_attr(le.orig);
+        eattr.insert(eattr.end(), a.begin(), a.end());
+      }
+    }
+  }
+  if (ed > 0)
+    sample.edge_attr = ag::Tensor::from_data({e2, ed}, std::move(eattr));
+  return sample;
+}
+
+}  // namespace amdgcnn::seal

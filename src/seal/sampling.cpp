@@ -1,0 +1,65 @@
+#include "seal/sampling.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace amdgcnn::seal {
+
+std::pair<std::vector<LinkExample>, std::vector<LinkExample>> train_test_split(
+    std::vector<LinkExample> examples, double test_fraction, util::Rng& rng) {
+  if (test_fraction < 0.0 || test_fraction > 1.0)
+    throw std::invalid_argument("train_test_split: fraction out of [0,1]");
+  rng.shuffle(examples);
+  const auto n_test = static_cast<std::size_t>(
+      static_cast<double>(examples.size()) * test_fraction + 0.5);
+  std::vector<LinkExample> test(examples.end() - n_test, examples.end());
+  examples.resize(examples.size() - n_test);
+  return {std::move(examples), std::move(test)};
+}
+
+std::vector<LinkExample> sample_negative_links(const graph::KnowledgeGraph& g,
+                                               std::int64_t count,
+                                               std::int32_t label,
+                                               util::Rng& rng) {
+  if (count < 0)
+    throw std::invalid_argument("sample_negative_links: negative count");
+  const std::int64_t n = g.num_nodes();
+  if (n < 2)
+    throw std::invalid_argument("sample_negative_links: graph too small");
+  std::vector<LinkExample> out;
+  out.reserve(static_cast<std::size_t>(count));
+  std::unordered_set<std::int64_t> used;
+  const std::int64_t max_attempts = 1000 + 200 * count;
+  std::int64_t attempts = 0;
+  while (static_cast<std::int64_t>(out.size()) < count) {
+    if (++attempts > max_attempts)
+      throw std::runtime_error(
+          "sample_negative_links: graph too dense to find enough non-edges");
+    const auto a = static_cast<graph::NodeId>(rng.uniform_int(
+        static_cast<std::uint64_t>(n)));
+    const auto b = static_cast<graph::NodeId>(rng.uniform_int(
+        static_cast<std::uint64_t>(n)));
+    if (a == b) continue;
+    const auto lo = static_cast<std::int64_t>(std::min(a, b));
+    const auto hi = static_cast<std::int64_t>(std::max(a, b));
+    const std::int64_t key = lo * n + hi;
+    if (used.count(key)) continue;
+    if (g.has_edge(a, b)) continue;
+    used.insert(key);
+    out.push_back({a, b, label});
+  }
+  return out;
+}
+
+std::vector<std::int64_t> label_histogram(
+    const std::vector<LinkExample>& examples, std::int64_t num_classes) {
+  std::vector<std::int64_t> hist(static_cast<std::size_t>(num_classes), 0);
+  for (const auto& e : examples) {
+    if (e.label < 0 || e.label >= num_classes)
+      throw std::invalid_argument("label_histogram: label out of range");
+    ++hist[static_cast<std::size_t>(e.label)];
+  }
+  return hist;
+}
+
+}  // namespace amdgcnn::seal

@@ -1,0 +1,37 @@
+// Link-example bookkeeping: labeled target links, train/test splitting and
+// negative sampling (used for the binary link-existence task on Cora, where
+// negatives are uniformly sampled non-edges — the standard SEAL protocol).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+#include "util/rng.h"
+
+namespace amdgcnn::seal {
+
+struct LinkExample {
+  graph::NodeId a = -1;
+  graph::NodeId b = -1;
+  std::int32_t label = 0;
+};
+
+/// Shuffle and split examples into (train, test); test gets
+/// round(test_fraction * size) examples.
+std::pair<std::vector<LinkExample>, std::vector<LinkExample>> train_test_split(
+    std::vector<LinkExample> examples, double test_fraction, util::Rng& rng);
+
+/// Sample `count` distinct node pairs (a, b), a != b, that are NOT edges of
+/// g, labeled `label`.  Rejection sampling; throws if the graph is too dense
+/// to find enough non-edges within a bounded number of attempts.
+std::vector<LinkExample> sample_negative_links(const graph::KnowledgeGraph& g,
+                                               std::int64_t count,
+                                               std::int32_t label,
+                                               util::Rng& rng);
+
+/// Histogram of labels (for dataset summaries and stratification checks).
+std::vector<std::int64_t> label_histogram(
+    const std::vector<LinkExample>& examples, std::int64_t num_classes);
+
+}  // namespace amdgcnn::seal

@@ -1,0 +1,137 @@
+#include "tensor/conv_ops.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace amdgcnn::ag::ops {
+
+Tensor sort_pool(const Tensor& x, std::int64_t k) {
+  check(x.rank() == 2, "sort_pool: input must be rank-2");
+  check(k > 0, "sort_pool: k must be positive");
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  check(c > 0, "sort_pool: zero-width embeddings");
+
+  // Stable sort of row indices by descending last column, then by descending
+  // earlier columns, finally by ascending original index (determinism).
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), std::int64_t{0});
+  const auto& d = x.data();
+  std::sort(perm.begin(), perm.end(), [&](std::int64_t a, std::int64_t b) {
+    for (std::int64_t col = c - 1; col >= 0; --col) {
+      const double va = d[a * c + col], vb = d[b * c + col];
+      if (va != vb) return va > vb;
+    }
+    return a < b;
+  });
+
+  const std::int64_t keep = std::min(n, k);
+  std::vector<double> out(static_cast<std::size_t>(k * c), 0.0);
+  for (std::int64_t r = 0; r < keep; ++r)
+    std::copy_n(d.begin() + perm[r] * c, c, out.begin() + r * c);
+
+  std::vector<std::int64_t> sel(perm.begin(), perm.begin() + keep);
+  return Tensor::make_op_result(
+      {k, c}, std::move(out), {x},
+      [x, sel, c](detail::TensorImpl& self) {
+        if (!x.requires_grad()) return;
+        auto& g = x.impl()->grad;
+        for (std::size_t r = 0; r < sel.size(); ++r)
+          for (std::int64_t col = 0; col < c; ++col)
+            g[sel[r] * c + col] += self.grad[r * c + col];
+      });
+}
+
+Tensor conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+              std::int64_t kernel, std::int64_t stride) {
+  check(x.rank() == 2, "conv1d: input must be [C_in, L]");
+  check(weight.rank() == 2, "conv1d: weight must be [C_out, C_in*K]");
+  check(kernel > 0 && stride > 0, "conv1d: kernel and stride must be > 0");
+  const std::int64_t cin = x.dim(0), len = x.dim(1);
+  check(weight.dim(1) == cin * kernel,
+        "conv1d: weight inner dim must be C_in*K");
+  const std::int64_t cout = weight.dim(0);
+  check(len >= kernel, "conv1d: input shorter than kernel");
+  const std::int64_t lout = (len - kernel) / stride + 1;
+  const bool has_bias = bias.defined();
+  if (has_bias)
+    check(bias.numel() == cout, "conv1d: bias length must equal C_out");
+
+  std::vector<double> out(static_cast<std::size_t>(cout * lout), 0.0);
+  const auto& xd = x.data();
+  const auto& wd = weight.data();
+  for (std::int64_t oc = 0; oc < cout; ++oc)
+    for (std::int64_t j = 0; j < lout; ++j) {
+      double acc = has_bias ? bias.data()[oc] : 0.0;
+      const std::int64_t base = j * stride;
+      for (std::int64_t ic = 0; ic < cin; ++ic)
+        for (std::int64_t t = 0; t < kernel; ++t)
+          acc += xd[ic * len + base + t] * wd[oc * cin * kernel + ic * kernel + t];
+      out[oc * lout + j] = acc;
+    }
+
+  std::vector<Tensor> parents = {x, weight};
+  if (has_bias) parents.push_back(bias);
+  return Tensor::make_op_result(
+      {cout, lout}, std::move(out), parents,
+      [x, weight, bias, kernel, stride, cin, cout, len, lout,
+       has_bias](detail::TensorImpl& self) {
+        const auto& xd = x.data();
+        const auto& wd = weight.data();
+        for (std::int64_t oc = 0; oc < cout; ++oc)
+          for (std::int64_t j = 0; j < lout; ++j) {
+            const double go = self.grad[oc * lout + j];
+            if (go == 0.0) continue;
+            const std::int64_t base = j * stride;
+            if (x.requires_grad()) {
+              auto& gx = x.impl()->grad;
+              for (std::int64_t ic = 0; ic < cin; ++ic)
+                for (std::int64_t t = 0; t < kernel; ++t)
+                  gx[ic * len + base + t] +=
+                      go * wd[oc * cin * kernel + ic * kernel + t];
+            }
+            if (weight.requires_grad()) {
+              auto& gw = weight.impl()->grad;
+              for (std::int64_t ic = 0; ic < cin; ++ic)
+                for (std::int64_t t = 0; t < kernel; ++t)
+                  gw[oc * cin * kernel + ic * kernel + t] +=
+                      go * xd[ic * len + base + t];
+            }
+            if (has_bias && bias.requires_grad())
+              bias.impl()->grad[oc] += go;
+          }
+      });
+}
+
+Tensor max_pool1d(const Tensor& x, std::int64_t size, std::int64_t stride) {
+  check(x.rank() == 2, "max_pool1d: input must be [C, L]");
+  check(size > 0 && stride > 0, "max_pool1d: size and stride must be > 0");
+  const std::int64_t c = x.dim(0), len = x.dim(1);
+  check(len >= size, "max_pool1d: input shorter than window");
+  const std::int64_t lout = (len - size) / stride + 1;
+
+  std::vector<double> out(static_cast<std::size_t>(c * lout));
+  auto argmax = std::make_shared<std::vector<std::int64_t>>(
+      static_cast<std::size_t>(c * lout));
+  const auto& xd = x.data();
+  for (std::int64_t ch = 0; ch < c; ++ch)
+    for (std::int64_t j = 0; j < lout; ++j) {
+      std::int64_t best = j * stride;
+      for (std::int64_t t = 1; t < size; ++t)
+        if (xd[ch * len + j * stride + t] > xd[ch * len + best])
+          best = j * stride + t;
+      out[ch * lout + j] = xd[ch * len + best];
+      (*argmax)[ch * lout + j] = best;
+    }
+  return Tensor::make_op_result(
+      {c, lout}, std::move(out), {x},
+      [x, argmax, c, len, lout](detail::TensorImpl& self) {
+        if (!x.requires_grad()) return;
+        auto& g = x.impl()->grad;
+        for (std::int64_t ch = 0; ch < c; ++ch)
+          for (std::int64_t j = 0; j < lout; ++j)
+            g[ch * len + (*argmax)[ch * lout + j]] +=
+                self.grad[ch * lout + j];
+      });
+}
+
+}  // namespace amdgcnn::ag::ops

@@ -1,0 +1,32 @@
+// DGCNN "read-out head" operations: SortPooling, 1-D convolution and
+// max-pooling over the pooled node-embedding sequence (Zhang et al., AAAI'18).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace amdgcnn::ag::ops {
+
+/// SortPooling (Zhang et al. 2018): sort the rows of the node-embedding
+/// matrix x [n, C] in DESCENDING order of the LAST column (ties broken by
+/// earlier columns, then by original row id for determinism), keep the first
+/// k rows, zero-pad when n < k.  Output is [k, C].
+///
+/// Gradient flows to the selected rows only (padding rows receive none);
+/// the sort permutation is treated as constant, matching the reference
+/// implementation.
+Tensor sort_pool(const Tensor& x, std::int64_t k);
+
+/// 1-D convolution over a [C_in, L] signal.
+/// weight is [C_out, C_in * K] (kernel K laid out innermost), bias is
+/// [C_out] (pass an undefined Tensor for no bias).  Output [C_out, L_out]
+/// with L_out = (L - K) / stride + 1; requires L >= K.
+Tensor conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+              std::int64_t kernel, std::int64_t stride);
+
+/// Non-overlapping-by-default 1-D max pooling over [C, L]:
+/// out[c, j] = max over the window [j*stride, j*stride+size).
+Tensor max_pool1d(const Tensor& x, std::int64_t size, std::int64_t stride);
+
+}  // namespace amdgcnn::ag::ops

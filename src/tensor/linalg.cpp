@@ -1,0 +1,76 @@
+#include "tensor/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace amdgcnn::linalg {
+
+std::vector<double> cholesky(const std::vector<double>& a, std::size_t n) {
+  if (a.size() != n * n) throw std::invalid_argument("cholesky: bad size");
+  std::vector<double> l(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) s -= l[i * n + k] * l[j * n + k];
+      if (i == j) {
+        if (s <= 0.0)
+          throw std::runtime_error("cholesky: matrix not positive definite");
+        l[i * n + j] = std::sqrt(s);
+      } else {
+        l[i * n + j] = s / l[j * n + j];
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> solve_lower(const std::vector<double>& l, std::size_t n,
+                                const std::vector<double>& b) {
+  if (b.size() != n) throw std::invalid_argument("solve_lower: bad rhs");
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l[i * n + k] * y[k];
+    y[i] = s / l[i * n + i];
+  }
+  return y;
+}
+
+std::vector<double> solve_lower_transpose(const std::vector<double>& l,
+                                          std::size_t n,
+                                          const std::vector<double>& y) {
+  if (y.size() != n)
+    throw std::invalid_argument("solve_lower_transpose: bad rhs");
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l[k * n + ii] * x[k];
+    x[ii] = s / l[ii * n + ii];
+  }
+  return x;
+}
+
+std::vector<double> solve_spd(const std::vector<double>& a, std::size_t n,
+                              const std::vector<double>& b) {
+  auto l = cholesky(a, n);
+  return solve_lower_transpose(l, n, solve_lower(l, n, b));
+}
+
+std::vector<double> matvec(const std::vector<double>& a, std::size_t n,
+                           std::size_t m, const std::vector<double>& x) {
+  if (a.size() != n * m || x.size() != m)
+    throw std::invalid_argument("matvec: size mismatch");
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j) y[i] += a[i * m + j] * x[j];
+  return y;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace amdgcnn::linalg

@@ -1,0 +1,38 @@
+// Small dense linear-algebra kernels on plain vectors (no autograd).
+//
+// Used by the Gaussian-process surrogate in src/hpo (Cholesky factorisation,
+// triangular solves) — the reproduction's stand-in for DeepHyper's Bayesian
+// optimiser.  Matrices are row-major n x n in std::vector<double>.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace amdgcnn::linalg {
+
+/// In-place lower Cholesky factor of a symmetric positive-definite matrix.
+/// Returns L (row-major, upper triangle zeroed) with A = L L^T.
+/// Throws std::runtime_error if A is not (numerically) positive definite.
+std::vector<double> cholesky(const std::vector<double>& a, std::size_t n);
+
+/// Solve L y = b for lower-triangular L.
+std::vector<double> solve_lower(const std::vector<double>& l, std::size_t n,
+                                const std::vector<double>& b);
+
+/// Solve L^T x = y for lower-triangular L.
+std::vector<double> solve_lower_transpose(const std::vector<double>& l,
+                                          std::size_t n,
+                                          const std::vector<double>& y);
+
+/// Solve A x = b via Cholesky for SPD A (convenience wrapper).
+std::vector<double> solve_spd(const std::vector<double>& a, std::size_t n,
+                              const std::vector<double>& b);
+
+/// Dense matrix-vector product (row-major n x m by m).
+std::vector<double> matvec(const std::vector<double>& a, std::size_t n,
+                           std::size_t m, const std::vector<double>& x);
+
+/// Dot product.
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace amdgcnn::linalg

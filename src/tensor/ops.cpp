@@ -1,0 +1,632 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace amdgcnn::ag::ops {
+
+namespace {
+
+/// True when gradient must be accumulated into `t` during backward.
+bool wants_grad(const Tensor& t) { return t.requires_grad(); }
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  check(a.shape() == b.shape(),
+        std::string(op) + ": shape mismatch " + shape_str(a.shape()) +
+            " vs " + shape_str(b.shape()));
+}
+
+void check_rank2(const Tensor& a, const char* op) {
+  check(a.rank() == 2, std::string(op) + ": expected rank-2 tensor, got " +
+                           shape_str(a.shape()));
+}
+
+}  // namespace
+
+// ---- Elementwise arithmetic -------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  std::vector<double> out(a.data().size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = a.data()[i] + b.data()[i];
+  return Tensor::make_op_result(
+      a.shape(), std::move(out), {a, b},
+      [a, b](detail::TensorImpl& self) {
+        if (wants_grad(a)) {
+          auto& ga = a.impl()->grad;
+          for (std::size_t i = 0; i < self.grad.size(); ++i)
+            ga[i] += self.grad[i];
+        }
+        if (wants_grad(b)) {
+          auto& gb = b.impl()->grad;
+          for (std::size_t i = 0; i < self.grad.size(); ++i)
+            gb[i] += self.grad[i];
+        }
+      });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  std::vector<double> out(a.data().size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = a.data()[i] - b.data()[i];
+  return Tensor::make_op_result(
+      a.shape(), std::move(out), {a, b},
+      [a, b](detail::TensorImpl& self) {
+        if (wants_grad(a)) {
+          auto& ga = a.impl()->grad;
+          for (std::size_t i = 0; i < self.grad.size(); ++i)
+            ga[i] += self.grad[i];
+        }
+        if (wants_grad(b)) {
+          auto& gb = b.impl()->grad;
+          for (std::size_t i = 0; i < self.grad.size(); ++i)
+            gb[i] -= self.grad[i];
+        }
+      });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  std::vector<double> out(a.data().size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = a.data()[i] * b.data()[i];
+  return Tensor::make_op_result(
+      a.shape(), std::move(out), {a, b},
+      [a, b](detail::TensorImpl& self) {
+        if (wants_grad(a)) {
+          auto& ga = a.impl()->grad;
+          for (std::size_t i = 0; i < self.grad.size(); ++i)
+            ga[i] += self.grad[i] * b.data()[i];
+        }
+        if (wants_grad(b)) {
+          auto& gb = b.impl()->grad;
+          for (std::size_t i = 0; i < self.grad.size(); ++i)
+            gb[i] += self.grad[i] * a.data()[i];
+        }
+      });
+}
+
+Tensor add_scalar(const Tensor& a, double s) {
+  std::vector<double> out(a.data().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] + s;
+  return Tensor::make_op_result(
+      a.shape(), std::move(out), {a}, [a](detail::TensorImpl& self) {
+        if (!wants_grad(a)) return;
+        auto& ga = a.impl()->grad;
+        for (std::size_t i = 0; i < self.grad.size(); ++i)
+          ga[i] += self.grad[i];
+      });
+}
+
+Tensor mul_scalar(const Tensor& a, double s) {
+  std::vector<double> out(a.data().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] * s;
+  return Tensor::make_op_result(
+      a.shape(), std::move(out), {a}, [a, s](detail::TensorImpl& self) {
+        if (!wants_grad(a)) return;
+        auto& ga = a.impl()->grad;
+        for (std::size_t i = 0; i < self.grad.size(); ++i)
+          ga[i] += self.grad[i] * s;
+      });
+}
+
+Tensor add_rowvec(const Tensor& a, const Tensor& bias) {
+  check_rank2(a, "add_rowvec");
+  check(bias.numel() == a.dim(1),
+        "add_rowvec: bias length " + std::to_string(bias.numel()) +
+            " vs columns " + std::to_string(a.dim(1)));
+  const std::int64_t n = a.dim(0), m = a.dim(1);
+  std::vector<double> out(a.data().size());
+  for (std::int64_t r = 0; r < n; ++r)
+    for (std::int64_t c = 0; c < m; ++c)
+      out[r * m + c] = a.data()[r * m + c] + bias.data()[c];
+  return Tensor::make_op_result(
+      a.shape(), std::move(out), {a, bias},
+      [a, bias, n, m](detail::TensorImpl& self) {
+        if (wants_grad(a)) {
+          auto& ga = a.impl()->grad;
+          for (std::size_t i = 0; i < self.grad.size(); ++i)
+            ga[i] += self.grad[i];
+        }
+        if (wants_grad(bias)) {
+          auto& gb = bias.impl()->grad;
+          for (std::int64_t r = 0; r < n; ++r)
+            for (std::int64_t c = 0; c < m; ++c)
+              gb[c] += self.grad[r * m + c];
+        }
+      });
+}
+
+// ---- Linear algebra ---------------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul");
+  check_rank2(b, "matmul");
+  check(a.dim(1) == b.dim(0),
+        "matmul: inner dimensions differ, " + shape_str(a.shape()) + " x " +
+            shape_str(b.shape()));
+  const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  std::vector<double> out(static_cast<std::size_t>(n * m), 0.0);
+  const auto& A = a.data();
+  const auto& B = b.data();
+  // i-k-j loop order: unit-stride inner loop over B and out.
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const double av = A[i * k + p];
+      if (av == 0.0) continue;
+      const double* brow = B.data() + p * m;
+      double* orow = out.data() + i * m;
+      for (std::int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return Tensor::make_op_result(
+      {n, m}, std::move(out), {a, b},
+      [a, b, n, k, m](detail::TensorImpl& self) {
+        // dA = dOut * B^T; dB = A^T * dOut.
+        if (wants_grad(a)) {
+          auto& ga = a.impl()->grad;
+          const auto& B = b.data();
+          for (std::int64_t i = 0; i < n; ++i)
+            for (std::int64_t p = 0; p < k; ++p) {
+              double acc = 0.0;
+              const double* grow = self.grad.data() + i * m;
+              const double* brow = B.data() + p * m;
+              for (std::int64_t j = 0; j < m; ++j) acc += grow[j] * brow[j];
+              ga[i * k + p] += acc;
+            }
+        }
+        if (wants_grad(b)) {
+          auto& gb = b.impl()->grad;
+          const auto& A = a.data();
+          for (std::int64_t p = 0; p < k; ++p)
+            for (std::int64_t i = 0; i < n; ++i) {
+              const double av = A[i * k + p];
+              if (av == 0.0) continue;
+              const double* grow = self.grad.data() + i * m;
+              double* brow = gb.data() + p * m;
+              for (std::int64_t j = 0; j < m; ++j) brow[j] += av * grow[j];
+            }
+        }
+      });
+}
+
+Tensor transpose(const Tensor& a) {
+  check_rank2(a, "transpose");
+  const std::int64_t n = a.dim(0), m = a.dim(1);
+  std::vector<double> out(a.data().size());
+  for (std::int64_t r = 0; r < n; ++r)
+    for (std::int64_t c = 0; c < m; ++c)
+      out[c * n + r] = a.data()[r * m + c];
+  return Tensor::make_op_result(
+      {m, n}, std::move(out), {a}, [a, n, m](detail::TensorImpl& self) {
+        if (!wants_grad(a)) return;
+        auto& ga = a.impl()->grad;
+        for (std::int64_t r = 0; r < n; ++r)
+          for (std::int64_t c = 0; c < m; ++c)
+            ga[r * m + c] += self.grad[c * n + r];
+      });
+}
+
+// ---- Shape manipulation -----------------------------------------------------
+
+Tensor reshape(const Tensor& a, Shape new_shape) {
+  check(ag::numel(new_shape) == a.numel(),
+        "reshape: numel mismatch " + shape_str(a.shape()) + " -> " +
+            shape_str(new_shape));
+  std::vector<double> out = a.data();
+  return Tensor::make_op_result(
+      std::move(new_shape), std::move(out), {a},
+      [a](detail::TensorImpl& self) {
+        if (!wants_grad(a)) return;
+        auto& ga = a.impl()->grad;
+        for (std::size_t i = 0; i < self.grad.size(); ++i)
+          ga[i] += self.grad[i];
+      });
+}
+
+Tensor concat_cols(const std::vector<Tensor>& parts) {
+  check(!parts.empty(), "concat_cols: no inputs");
+  const std::int64_t n = parts[0].dim(0);
+  std::int64_t total_cols = 0;
+  for (const auto& p : parts) {
+    check_rank2(p, "concat_cols");
+    check(p.dim(0) == n, "concat_cols: row count mismatch");
+    total_cols += p.dim(1);
+  }
+  std::vector<double> out(static_cast<std::size_t>(n * total_cols));
+  std::int64_t col_off = 0;
+  for (const auto& p : parts) {
+    const std::int64_t m = p.dim(1);
+    for (std::int64_t r = 0; r < n; ++r)
+      for (std::int64_t c = 0; c < m; ++c)
+        out[r * total_cols + col_off + c] = p.data()[r * m + c];
+    col_off += m;
+  }
+  auto parts_copy = parts;
+  return Tensor::make_op_result(
+      {n, total_cols}, std::move(out), parts,
+      [parts_copy, n, total_cols](detail::TensorImpl& self) {
+        std::int64_t off = 0;
+        for (const auto& p : parts_copy) {
+          const std::int64_t m = p.dim(1);
+          if (wants_grad(p)) {
+            auto& gp = p.impl()->grad;
+            for (std::int64_t r = 0; r < n; ++r)
+              for (std::int64_t c = 0; c < m; ++c)
+                gp[r * m + c] += self.grad[r * total_cols + off + c];
+          }
+          off += m;
+        }
+      });
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  check(!parts.empty(), "concat_rows: no inputs");
+  const std::int64_t m = parts[0].dim(1);
+  std::int64_t total_rows = 0;
+  for (const auto& p : parts) {
+    check_rank2(p, "concat_rows");
+    check(p.dim(1) == m, "concat_rows: column count mismatch");
+    total_rows += p.dim(0);
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(total_rows * m));
+  for (const auto& p : parts)
+    out.insert(out.end(), p.data().begin(), p.data().end());
+  auto parts_copy = parts;
+  return Tensor::make_op_result(
+      {total_rows, m}, std::move(out), parts,
+      [parts_copy](detail::TensorImpl& self) {
+        std::size_t off = 0;
+        for (const auto& p : parts_copy) {
+          const std::size_t sz = p.data().size();
+          if (wants_grad(p)) {
+            auto& gp = p.impl()->grad;
+            for (std::size_t i = 0; i < sz; ++i)
+              gp[i] += self.grad[off + i];
+          }
+          off += sz;
+        }
+      });
+}
+
+Tensor slice_rows(const Tensor& a, std::int64_t start, std::int64_t len) {
+  check_rank2(a, "slice_rows");
+  check(start >= 0 && len >= 0 && start + len <= a.dim(0),
+        "slice_rows: range out of bounds");
+  const std::int64_t m = a.dim(1);
+  std::vector<double> out(a.data().begin() + start * m,
+                          a.data().begin() + (start + len) * m);
+  return Tensor::make_op_result(
+      {len, m}, std::move(out), {a},
+      [a, start, m](detail::TensorImpl& self) {
+        if (!wants_grad(a)) return;
+        auto& ga = a.impl()->grad;
+        for (std::size_t i = 0; i < self.grad.size(); ++i)
+          ga[static_cast<std::size_t>(start * m) + i] += self.grad[i];
+      });
+}
+
+Tensor gather_rows(const Tensor& a, const std::vector<std::int64_t>& index) {
+  check_rank2(a, "gather_rows");
+  const std::int64_t n = a.dim(0), m = a.dim(1);
+  for (auto i : index)
+    check(i >= 0 && i < n, "gather_rows: index out of bounds");
+  const auto e = static_cast<std::int64_t>(index.size());
+  std::vector<double> out(static_cast<std::size_t>(e * m));
+  for (std::int64_t r = 0; r < e; ++r)
+    std::copy_n(a.data().begin() + index[r] * m, m, out.begin() + r * m);
+  return Tensor::make_op_result(
+      {e, m}, std::move(out), {a},
+      [a, index, m](detail::TensorImpl& self) {
+        if (!wants_grad(a)) return;
+        auto& ga = a.impl()->grad;
+        for (std::size_t r = 0; r < index.size(); ++r)
+          for (std::int64_t c = 0; c < m; ++c)
+            ga[index[r] * m + c] += self.grad[r * m + c];
+      });
+}
+
+Tensor scale_rows(const Tensor& a, const std::vector<double>& scale) {
+  check_rank2(a, "scale_rows");
+  check(static_cast<std::int64_t>(scale.size()) == a.dim(0),
+        "scale_rows: scale length mismatch");
+  const std::int64_t n = a.dim(0), m = a.dim(1);
+  std::vector<double> out(a.data().size());
+  for (std::int64_t r = 0; r < n; ++r)
+    for (std::int64_t c = 0; c < m; ++c)
+      out[r * m + c] = a.data()[r * m + c] * scale[r];
+  return Tensor::make_op_result(
+      a.shape(), std::move(out), {a},
+      [a, scale, n, m](detail::TensorImpl& self) {
+        if (!wants_grad(a)) return;
+        auto& ga = a.impl()->grad;
+        for (std::int64_t r = 0; r < n; ++r)
+          for (std::int64_t c = 0; c < m; ++c)
+            ga[r * m + c] += self.grad[r * m + c] * scale[r];
+      });
+}
+
+// ---- Activations ------------------------------------------------------------
+
+Tensor relu(const Tensor& a) {
+  std::vector<double> out(a.data().size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = a.data()[i] > 0.0 ? a.data()[i] : 0.0;
+  return Tensor::make_op_result(
+      a.shape(), std::move(out), {a}, [a](detail::TensorImpl& self) {
+        if (!wants_grad(a)) return;
+        auto& ga = a.impl()->grad;
+        for (std::size_t i = 0; i < self.grad.size(); ++i)
+          if (a.data()[i] > 0.0) ga[i] += self.grad[i];
+      });
+}
+
+Tensor leaky_relu(const Tensor& a, double negative_slope) {
+  std::vector<double> out(a.data().size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = a.data()[i] > 0.0 ? a.data()[i] : negative_slope * a.data()[i];
+  return Tensor::make_op_result(
+      a.shape(), std::move(out), {a},
+      [a, negative_slope](detail::TensorImpl& self) {
+        if (!wants_grad(a)) return;
+        auto& ga = a.impl()->grad;
+        for (std::size_t i = 0; i < self.grad.size(); ++i)
+          ga[i] += self.grad[i] * (a.data()[i] > 0.0 ? 1.0 : negative_slope);
+      });
+}
+
+Tensor tanh_act(const Tensor& a) {
+  std::vector<double> out(a.data().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(a.data()[i]);
+  return Tensor::make_op_result(
+      a.shape(), std::move(out), {a}, [a](detail::TensorImpl& self) {
+        if (!wants_grad(a)) return;
+        auto& ga = a.impl()->grad;
+        for (std::size_t i = 0; i < self.grad.size(); ++i) {
+          const double y = self.data[i];
+          ga[i] += self.grad[i] * (1.0 - y * y);
+        }
+      });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  std::vector<double> out(a.data().size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = 1.0 / (1.0 + std::exp(-a.data()[i]));
+  return Tensor::make_op_result(
+      a.shape(), std::move(out), {a}, [a](detail::TensorImpl& self) {
+        if (!wants_grad(a)) return;
+        auto& ga = a.impl()->grad;
+        for (std::size_t i = 0; i < self.grad.size(); ++i) {
+          const double y = self.data[i];
+          ga[i] += self.grad[i] * y * (1.0 - y);
+        }
+      });
+}
+
+// ---- Reductions / losses ------------------------------------------------------
+
+Tensor sum(const Tensor& a) {
+  double total = 0.0;
+  for (double v : a.data()) total += v;
+  return Tensor::make_op_result(
+      {1}, {total}, {a}, [a](detail::TensorImpl& self) {
+        if (!wants_grad(a)) return;
+        auto& ga = a.impl()->grad;
+        for (auto& g : ga) g += self.grad[0];
+      });
+}
+
+Tensor mean(const Tensor& a) {
+  check(a.numel() > 0, "mean of empty tensor");
+  double total = 0.0;
+  for (double v : a.data()) total += v;
+  const double inv = 1.0 / static_cast<double>(a.numel());
+  return Tensor::make_op_result(
+      {1}, {total * inv}, {a}, [a, inv](detail::TensorImpl& self) {
+        if (!wants_grad(a)) return;
+        auto& ga = a.impl()->grad;
+        for (auto& g : ga) g += self.grad[0] * inv;
+      });
+}
+
+Tensor softmax_rows(const Tensor& a) {
+  check_rank2(a, "softmax_rows");
+  const std::int64_t n = a.dim(0), m = a.dim(1);
+  check(m > 0, "softmax_rows: zero columns");
+  std::vector<double> out(a.data().size());
+  for (std::int64_t r = 0; r < n; ++r) {
+    double mx = -std::numeric_limits<double>::infinity();
+    for (std::int64_t c = 0; c < m; ++c)
+      mx = std::max(mx, a.data()[r * m + c]);
+    double z = 0.0;
+    for (std::int64_t c = 0; c < m; ++c) {
+      out[r * m + c] = std::exp(a.data()[r * m + c] - mx);
+      z += out[r * m + c];
+    }
+    for (std::int64_t c = 0; c < m; ++c) out[r * m + c] /= z;
+  }
+  return Tensor::make_op_result(
+      a.shape(), std::move(out), {a}, [a, n, m](detail::TensorImpl& self) {
+        if (!wants_grad(a)) return;
+        auto& ga = a.impl()->grad;
+        for (std::int64_t r = 0; r < n; ++r) {
+          double dot = 0.0;
+          for (std::int64_t c = 0; c < m; ++c)
+            dot += self.grad[r * m + c] * self.data[r * m + c];
+          for (std::int64_t c = 0; c < m; ++c)
+            ga[r * m + c] +=
+                self.data[r * m + c] * (self.grad[r * m + c] - dot);
+        }
+      });
+}
+
+Tensor log_softmax_rows(const Tensor& a) {
+  check_rank2(a, "log_softmax_rows");
+  const std::int64_t n = a.dim(0), m = a.dim(1);
+  check(m > 0, "log_softmax_rows: zero columns");
+  std::vector<double> out(a.data().size());
+  for (std::int64_t r = 0; r < n; ++r) {
+    double mx = -std::numeric_limits<double>::infinity();
+    for (std::int64_t c = 0; c < m; ++c)
+      mx = std::max(mx, a.data()[r * m + c]);
+    double z = 0.0;
+    for (std::int64_t c = 0; c < m; ++c)
+      z += std::exp(a.data()[r * m + c] - mx);
+    const double logz = mx + std::log(z);
+    for (std::int64_t c = 0; c < m; ++c)
+      out[r * m + c] = a.data()[r * m + c] - logz;
+  }
+  return Tensor::make_op_result(
+      a.shape(), std::move(out), {a}, [a, n, m](detail::TensorImpl& self) {
+        if (!wants_grad(a)) return;
+        auto& ga = a.impl()->grad;
+        for (std::int64_t r = 0; r < n; ++r) {
+          double gsum = 0.0;
+          for (std::int64_t c = 0; c < m; ++c) gsum += self.grad[r * m + c];
+          for (std::int64_t c = 0; c < m; ++c)
+            ga[r * m + c] += self.grad[r * m + c] -
+                             std::exp(self.data[r * m + c]) * gsum;
+        }
+      });
+}
+
+Tensor nll_loss(const Tensor& logp, const std::vector<std::int64_t>& targets) {
+  check_rank2(logp, "nll_loss");
+  const std::int64_t n = logp.dim(0), m = logp.dim(1);
+  check(static_cast<std::int64_t>(targets.size()) == n,
+        "nll_loss: target count mismatch");
+  double loss = 0.0;
+  for (std::int64_t r = 0; r < n; ++r) {
+    check(targets[r] >= 0 && targets[r] < m,
+          "nll_loss: target class out of range");
+    loss -= logp.data()[r * m + targets[r]];
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+  return Tensor::make_op_result(
+      {1}, {loss * inv}, {logp},
+      [logp, targets, m, inv](detail::TensorImpl& self) {
+        if (!wants_grad(logp)) return;
+        auto& g = logp.impl()->grad;
+        for (std::size_t r = 0; r < targets.size(); ++r)
+          g[r * m + targets[r]] -= self.grad[0] * inv;
+      });
+}
+
+Tensor cross_entropy(const Tensor& logits,
+                     const std::vector<std::int64_t>& targets) {
+  return nll_loss(log_softmax_rows(logits), targets);
+}
+
+// ---- Regularisation -----------------------------------------------------------
+
+Tensor dropout(const Tensor& a, double p, bool training, util::Rng& rng) {
+  check(p >= 0.0 && p < 1.0, "dropout: p must be in [0, 1)");
+  if (!training || p == 0.0) {
+    // Identity pass-through that still participates in the tape.
+    return mul_scalar(a, 1.0);
+  }
+  const double keep = 1.0 - p;
+  auto mask = std::make_shared<std::vector<double>>(a.data().size());
+  std::vector<double> out(a.data().size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    (*mask)[i] = rng.bernoulli(keep) ? 1.0 / keep : 0.0;
+    out[i] = a.data()[i] * (*mask)[i];
+  }
+  return Tensor::make_op_result(
+      a.shape(), std::move(out), {a}, [a, mask](detail::TensorImpl& self) {
+        if (!wants_grad(a)) return;
+        auto& ga = a.impl()->grad;
+        for (std::size_t i = 0; i < self.grad.size(); ++i)
+          ga[i] += self.grad[i] * (*mask)[i];
+      });
+}
+
+// ---- Multi-head attention helpers ---------------------------------------------
+
+Tensor heads_dot(const Tensor& x, const Tensor& a, std::int64_t heads) {
+  check_rank2(x, "heads_dot");
+  check(heads > 0 && x.dim(1) % heads == 0,
+        "heads_dot: columns not divisible by heads");
+  check(a.numel() == x.dim(1), "heads_dot: parameter length mismatch");
+  const std::int64_t e = x.dim(0), hf = x.dim(1), f = hf / heads;
+  std::vector<double> out(static_cast<std::size_t>(e * heads), 0.0);
+  for (std::int64_t r = 0; r < e; ++r)
+    for (std::int64_t h = 0; h < heads; ++h) {
+      double acc = 0.0;
+      for (std::int64_t c = 0; c < f; ++c)
+        acc += x.data()[r * hf + h * f + c] * a.data()[h * f + c];
+      out[r * heads + h] = acc;
+    }
+  return Tensor::make_op_result(
+      {e, heads}, std::move(out), {x, a},
+      [x, a, e, heads, f, hf](detail::TensorImpl& self) {
+        if (wants_grad(x)) {
+          auto& gx = x.impl()->grad;
+          for (std::int64_t r = 0; r < e; ++r)
+            for (std::int64_t h = 0; h < heads; ++h) {
+              const double go = self.grad[r * heads + h];
+              if (go == 0.0) continue;
+              for (std::int64_t c = 0; c < f; ++c)
+                gx[r * hf + h * f + c] += go * a.data()[h * f + c];
+            }
+        }
+        if (wants_grad(a)) {
+          auto& ga = a.impl()->grad;
+          for (std::int64_t r = 0; r < e; ++r)
+            for (std::int64_t h = 0; h < heads; ++h) {
+              const double go = self.grad[r * heads + h];
+              if (go == 0.0) continue;
+              for (std::int64_t c = 0; c < f; ++c)
+                ga[h * f + c] += go * x.data()[r * hf + h * f + c];
+            }
+        }
+      });
+}
+
+Tensor heads_scale(const Tensor& x, const Tensor& alpha, std::int64_t heads) {
+  check_rank2(x, "heads_scale");
+  check_rank2(alpha, "heads_scale");
+  check(heads > 0 && x.dim(1) % heads == 0,
+        "heads_scale: columns not divisible by heads");
+  check(alpha.dim(0) == x.dim(0) && alpha.dim(1) == heads,
+        "heads_scale: alpha shape mismatch");
+  const std::int64_t e = x.dim(0), hf = x.dim(1), f = hf / heads;
+  std::vector<double> out(x.data().size());
+  for (std::int64_t r = 0; r < e; ++r)
+    for (std::int64_t h = 0; h < heads; ++h) {
+      const double s = alpha.data()[r * heads + h];
+      for (std::int64_t c = 0; c < f; ++c)
+        out[r * hf + h * f + c] = x.data()[r * hf + h * f + c] * s;
+    }
+  return Tensor::make_op_result(
+      x.shape(), std::move(out), {x, alpha},
+      [x, alpha, e, heads, f, hf](detail::TensorImpl& self) {
+        if (wants_grad(x)) {
+          auto& gx = x.impl()->grad;
+          for (std::int64_t r = 0; r < e; ++r)
+            for (std::int64_t h = 0; h < heads; ++h) {
+              const double s = alpha.data()[r * heads + h];
+              for (std::int64_t c = 0; c < f; ++c)
+                gx[r * hf + h * f + c] += self.grad[r * hf + h * f + c] * s;
+            }
+        }
+        if (wants_grad(alpha)) {
+          auto& gal = alpha.impl()->grad;
+          for (std::int64_t r = 0; r < e; ++r)
+            for (std::int64_t h = 0; h < heads; ++h) {
+              double acc = 0.0;
+              for (std::int64_t c = 0; c < f; ++c)
+                acc += self.grad[r * hf + h * f + c] *
+                       x.data()[r * hf + h * f + c];
+              gal[r * heads + h] += acc;
+            }
+        }
+      });
+}
+
+}  // namespace amdgcnn::ag::ops

@@ -1,0 +1,90 @@
+#include "tensor/optim.h"
+
+#include <cmath>
+
+namespace amdgcnn::ag {
+
+Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
+  for (auto& p : params_) {
+    check(p.defined(), "Optimizer: undefined parameter");
+    check(p.requires_grad(), "Optimizer: parameter does not require grad");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+double Optimizer::clip_grad_norm(double max_norm) {
+  check(max_norm > 0.0, "clip_grad_norm: max_norm must be positive");
+  double sq = 0.0;
+  for (auto& p : params_)
+    for (double g : p.grad()) sq += g * g;
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const double scale = max_norm / norm;
+    for (auto& p : params_)
+      for (double& g : p.grad()) g *= scale;
+  }
+  return norm;
+}
+
+SGD::SGD(std::vector<Tensor> params, double lr_in, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params)),
+      lr(lr_in),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    velocity_[i].assign(params_[i].data().size(), 0.0);
+}
+
+void SGD::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    auto& grad = params_[i].grad();
+    auto& vel = velocity_[i];
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      double g = grad[j] + weight_decay_ * data[j];
+      vel[j] = momentum_ * vel[j] + g;
+      data[j] -= lr * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, double lr_in, double beta1,
+           double beta2, double eps, double weight_decay)
+    : Optimizer(std::move(params)),
+      lr(lr_in),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].data().size(), 0.0);
+    v_[i].assign(params_[i].data().size(), 0.0);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    auto& grad = params_[i].grad();
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      double g = grad[j] + weight_decay_ * data[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.0 - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0 - beta2_) * g * g;
+      const double mhat = m_[i][j] / bc1;
+      const double vhat = v_[i][j] / bc2;
+      data[j] -= lr * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace amdgcnn::ag

@@ -1,0 +1,65 @@
+// First-order optimisers over ag::Tensor parameter lists.
+//
+// Both optimisers update parameter data in place from accumulated gradients;
+// call zero_grad() between steps (the Trainer does).  Gradient clipping is
+// global-norm based, as in the reference implementation.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace amdgcnn::ag {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the currently accumulated gradients.
+  virtual void step() = 0;
+
+  /// Reset accumulated gradients of all parameters to zero.
+  void zero_grad();
+
+  /// Scale gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  double clip_grad_norm(double max_norm);
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Plain SGD with optional momentum and L2 weight decay.
+class SGD final : public Optimizer {
+ public:
+  SGD(std::vector<Tensor> params, double lr, double momentum = 0.0,
+      double weight_decay = 0.0);
+  void step() override;
+
+  double lr;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<std::vector<double>> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction and L2 weight decay.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+  void step() override;
+
+  double lr;
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<double>> m_, v_;
+};
+
+}  // namespace amdgcnn::ag

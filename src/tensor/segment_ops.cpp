@@ -1,0 +1,88 @@
+#include "tensor/segment_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace amdgcnn::ag::ops {
+
+Tensor scatter_add_rows(const Tensor& src,
+                        const std::vector<std::int64_t>& index,
+                        std::int64_t num_rows) {
+  check(src.rank() == 2, "scatter_add_rows: src must be rank-2");
+  check(static_cast<std::int64_t>(index.size()) == src.dim(0),
+        "scatter_add_rows: index length must equal src rows");
+  const std::int64_t m = src.dim(1);
+  for (auto i : index)
+    check(i >= 0 && i < num_rows, "scatter_add_rows: index out of range");
+  std::vector<double> out(static_cast<std::size_t>(num_rows * m), 0.0);
+  for (std::size_t r = 0; r < index.size(); ++r)
+    for (std::int64_t c = 0; c < m; ++c)
+      out[index[r] * m + c] += src.data()[r * m + c];
+  return Tensor::make_op_result(
+      {num_rows, m}, std::move(out), {src},
+      [src, index, m](detail::TensorImpl& self) {
+        if (!src.requires_grad()) return;
+        auto& g = src.impl()->grad;
+        for (std::size_t r = 0; r < index.size(); ++r)
+          for (std::int64_t c = 0; c < m; ++c)
+            g[r * m + c] += self.grad[index[r] * m + c];
+      });
+}
+
+Tensor segment_softmax(const Tensor& scores,
+                       const std::vector<std::int64_t>& segment,
+                       std::int64_t num_segments) {
+  check(scores.rank() == 2, "segment_softmax: scores must be rank-2");
+  check(static_cast<std::int64_t>(segment.size()) == scores.dim(0),
+        "segment_softmax: segment length must equal score rows");
+  const std::int64_t e = scores.dim(0), h = scores.dim(1);
+  for (auto s : segment)
+    check(s >= 0 && s < num_segments, "segment_softmax: segment out of range");
+
+  // Per-(segment, column) max for numerical stability, then normalise.
+  std::vector<double> seg_max(static_cast<std::size_t>(num_segments * h),
+                              -std::numeric_limits<double>::infinity());
+  for (std::int64_t r = 0; r < e; ++r)
+    for (std::int64_t c = 0; c < h; ++c)
+      seg_max[segment[r] * h + c] =
+          std::max(seg_max[segment[r] * h + c], scores.data()[r * h + c]);
+
+  std::vector<double> out(scores.data().size());
+  std::vector<double> seg_sum(static_cast<std::size_t>(num_segments * h), 0.0);
+  for (std::int64_t r = 0; r < e; ++r)
+    for (std::int64_t c = 0; c < h; ++c) {
+      out[r * h + c] =
+          std::exp(scores.data()[r * h + c] - seg_max[segment[r] * h + c]);
+      seg_sum[segment[r] * h + c] += out[r * h + c];
+    }
+  for (std::int64_t r = 0; r < e; ++r)
+    for (std::int64_t c = 0; c < h; ++c)
+      out[r * h + c] /= seg_sum[segment[r] * h + c];
+
+  return Tensor::make_op_result(
+      {e, h}, std::move(out), {scores},
+      [scores, segment, e, h, num_segments](detail::TensorImpl& self) {
+        if (!scores.requires_grad()) return;
+        // d score = alpha * (d alpha - sum_seg(alpha * d alpha)).
+        std::vector<double> seg_dot(
+            static_cast<std::size_t>(num_segments * h), 0.0);
+        for (std::int64_t r = 0; r < e; ++r)
+          for (std::int64_t c = 0; c < h; ++c)
+            seg_dot[segment[r] * h + c] +=
+                self.data[r * h + c] * self.grad[r * h + c];
+        auto& g = scores.impl()->grad;
+        for (std::int64_t r = 0; r < e; ++r)
+          for (std::int64_t c = 0; c < h; ++c)
+            g[r * h + c] += self.data[r * h + c] *
+                            (self.grad[r * h + c] -
+                             seg_dot[segment[r] * h + c]);
+      });
+}
+
+Tensor segment_sum(const Tensor& src, const std::vector<std::int64_t>& segment,
+                   std::int64_t num_segments) {
+  return scatter_add_rows(src, segment, num_segments);
+}
+
+}  // namespace amdgcnn::ag::ops

@@ -1,0 +1,37 @@
+// Segment (scatter/gather) operations — the message-passing primitives.
+//
+// GNN layers express neighborhood aggregation as gather_rows (ops.h) over
+// edge sources followed by scatter_add_rows over edge destinations;
+// attention normalisation is a softmax *within each destination segment*
+// (segment_softmax).  These mirror torch_scatter / PyG's building blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace amdgcnn::ag::ops {
+
+/// out[index[i], :] += src[i, :], out has `num_rows` rows.
+/// index values must lie in [0, num_rows).
+Tensor scatter_add_rows(const Tensor& src,
+                        const std::vector<std::int64_t>& index,
+                        std::int64_t num_rows);
+
+/// Softmax over rows sharing a segment id, independently per column.
+/// scores: [E, H]; segment: E ids in [0, num_segments).
+/// out[e, h] = exp(scores[e, h]) / sum_{e': segment[e']=segment[e]}
+///             exp(scores[e', h])   (numerically stabilised per segment).
+/// Rows of an empty segment do not exist by construction; every input row
+/// belongs to exactly one segment, so each output row is a valid softmax
+/// weight and the weights of each (segment, column) pair sum to 1.
+Tensor segment_softmax(const Tensor& scores,
+                       const std::vector<std::int64_t>& segment,
+                       std::int64_t num_segments);
+
+/// out[s, :] = sum of src rows with segment id s (dense segment sum).
+Tensor segment_sum(const Tensor& src, const std::vector<std::int64_t>& segment,
+                   std::int64_t num_segments);
+
+}  // namespace amdgcnn::ag::ops

@@ -1,0 +1,235 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace amdgcnn::ag {
+
+void check(bool cond, const std::string& message) {
+  if (!cond) throw std::invalid_argument(message);
+}
+
+std::int64_t numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (auto d : shape) {
+    check(d >= 0, "negative dimension in shape " + shape_str(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+namespace detail {
+void TensorImpl::ensure_grad() {
+  if (grad.size() != data.size()) grad.assign(data.size(), 0.0);
+}
+}  // namespace detail
+
+// ---- Constructors ----------------------------------------------------------
+
+Tensor Tensor::zeros(Shape shape) {
+  auto impl = std::make_shared<detail::TensorImpl>();
+  impl->data.assign(static_cast<std::size_t>(ag::numel(shape)), 0.0);
+  impl->shape = std::move(shape);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0); }
+
+Tensor Tensor::full(Shape shape, double value) {
+  auto impl = std::make_shared<detail::TensorImpl>();
+  impl->data.assign(static_cast<std::size_t>(ag::numel(shape)), value);
+  impl->shape = std::move(shape);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::from_data(Shape shape, std::vector<double> data) {
+  check(static_cast<std::int64_t>(data.size()) == ag::numel(shape),
+        "from_data: " + std::to_string(data.size()) +
+            " values for shape " + shape_str(shape));
+  auto impl = std::make_shared<detail::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::randn(Shape shape, util::Rng& rng) {
+  Tensor t = zeros(std::move(shape));
+  for (auto& v : t.data()) v = rng.normal();
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, double lo, double hi,
+                            util::Rng& rng) {
+  Tensor t = zeros(std::move(shape));
+  for (auto& v : t.data()) v = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::xavier(std::int64_t fan_in, std::int64_t fan_out,
+                      util::Rng& rng) {
+  check(fan_in > 0 && fan_out > 0, "xavier: fans must be positive");
+  double bound = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  return rand_uniform({fan_in, fan_out}, -bound, bound, rng);
+}
+
+// ---- Introspection ---------------------------------------------------------
+
+const Shape& Tensor::shape() const {
+  check(defined(), "shape() on undefined tensor");
+  return impl_->shape;
+}
+
+std::int64_t Tensor::dim(std::size_t i) const {
+  check(defined() && i < impl_->shape.size(), "dim(): index out of range");
+  return impl_->shape[i];
+}
+
+std::int64_t Tensor::rank() const {
+  check(defined(), "rank() on undefined tensor");
+  return static_cast<std::int64_t>(impl_->shape.size());
+}
+
+std::int64_t Tensor::numel() const {
+  check(defined(), "numel() on undefined tensor");
+  return static_cast<std::int64_t>(impl_->data.size());
+}
+
+const std::vector<double>& Tensor::data() const {
+  check(defined(), "data() on undefined tensor");
+  return impl_->data;
+}
+
+std::vector<double>& Tensor::data() {
+  check(defined(), "data() on undefined tensor");
+  return impl_->data;
+}
+
+double Tensor::at(std::int64_t r, std::int64_t c) const {
+  check(rank() == 2, "at(r, c) requires a rank-2 tensor");
+  check(r >= 0 && r < dim(0) && c >= 0 && c < dim(1),
+        "at(): index out of bounds");
+  return impl_->data[static_cast<std::size_t>(r * dim(1) + c)];
+}
+
+double& Tensor::at(std::int64_t r, std::int64_t c) {
+  check(rank() == 2, "at(r, c) requires a rank-2 tensor");
+  check(r >= 0 && r < dim(0) && c >= 0 && c < dim(1),
+        "at(): index out of bounds");
+  return impl_->data[static_cast<std::size_t>(r * dim(1) + c)];
+}
+
+double Tensor::item(std::int64_t i) const {
+  check(defined() && i >= 0 && i < numel(), "item(): index out of bounds");
+  return impl_->data[static_cast<std::size_t>(i)];
+}
+
+// ---- Autograd --------------------------------------------------------------
+
+bool Tensor::requires_grad() const {
+  return defined() && impl_->requires_grad;
+}
+
+Tensor& Tensor::requires_grad(bool value) {
+  check(defined(), "requires_grad() on undefined tensor");
+  impl_->requires_grad = value;
+  if (value) impl_->ensure_grad();
+  return *this;
+}
+
+const std::vector<double>& Tensor::grad() const {
+  check(requires_grad(), "grad() on tensor without requires_grad");
+  impl_->ensure_grad();
+  return impl_->grad;
+}
+
+std::vector<double>& Tensor::grad() {
+  check(requires_grad(), "grad() on tensor without requires_grad");
+  impl_->ensure_grad();
+  return impl_->grad;
+}
+
+void Tensor::zero_grad() {
+  check(defined(), "zero_grad() on undefined tensor");
+  impl_->grad.assign(impl_->data.size(), 0.0);
+}
+
+void Tensor::backward() {
+  check(defined(), "backward() on undefined tensor");
+  check(numel() == 1, "backward() requires a scalar loss, got shape " +
+                          shape_str(impl_->shape));
+  check(requires_grad(), "backward() on tensor that does not require grad");
+
+  // Topological order of the subgraph reachable from the loss (iterative DFS
+  // to survive deep tapes).
+  std::vector<detail::TensorImpl*> order;
+  std::unordered_set<detail::TensorImpl*> visited;
+  struct Frame {
+    detail::TensorImpl* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      detail::TensorImpl* p = f.node->parents[f.next_parent++].get();
+      if (p->requires_grad && !visited.count(p)) {
+        visited.insert(p);
+        stack.push_back({p, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  impl_->ensure_grad();
+  impl_->grad[0] += 1.0;
+
+  // `order` is post-order (parents before children), so iterate in reverse to
+  // propagate from the loss toward the leaves.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    detail::TensorImpl* node = *it;
+    if (node->backward_fn) {
+      node->ensure_grad();
+      node->backward_fn(*node);
+    }
+  }
+}
+
+Tensor Tensor::detach() const {
+  check(defined(), "detach() on undefined tensor");
+  return from_data(impl_->shape, impl_->data);
+}
+
+Tensor Tensor::make_op_result(Shape shape, std::vector<double> data,
+                              std::vector<Tensor> parents,
+                              std::function<void(detail::TensorImpl&)> bwd) {
+  Tensor out = from_data(std::move(shape), std::move(data));
+  bool needs_grad = false;
+  for (const auto& p : parents) needs_grad = needs_grad || p.requires_grad();
+  if (needs_grad) {
+    out.impl_->requires_grad = true;
+    out.impl_->ensure_grad();
+    out.impl_->parents.reserve(parents.size());
+    for (auto& p : parents) out.impl_->parents.push_back(p.impl());
+    out.impl_->backward_fn = std::move(bwd);
+  }
+  return out;
+}
+
+}  // namespace amdgcnn::ag

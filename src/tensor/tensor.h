@@ -1,0 +1,141 @@
+// Reverse-mode automatic differentiation tensor.
+//
+// This is the from-scratch replacement for the PyTorch tensors the paper's
+// reference implementation relies on (see DESIGN.md §2).  It is deliberately
+// small: dense row-major `double` storage, shapes up to rank 3 (the models
+// only need matrices plus [channels, length] sequences), and a dynamic tape.
+//
+// Usage pattern:
+//   Tensor w = Tensor::randn({4, 8}, rng).requires_grad(true);
+//   Tensor y = ops::matmul(x, w);
+//   Tensor loss = ops::mean(y);
+//   loss.backward();
+//   w.grad();   // d loss / d w
+//
+// A `Tensor` is a cheap shared handle; copying shares storage and tape node.
+// Gradients accumulate (+=) into `grad()` until `zero_grad()` — exactly the
+// PyTorch contract, which the Trainer's gradient-accumulation minibatching
+// depends on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace amdgcnn::ag {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements of a shape (product of dims; empty shape -> 1 scalar).
+std::int64_t numel(const Shape& shape);
+
+/// Human-readable "[2, 3]" rendering for error messages.
+std::string shape_str(const Shape& shape);
+
+class Tensor;
+
+namespace detail {
+
+/// One tape node: storage plus (optionally) the recipe for back-propagation.
+struct TensorImpl {
+  Shape shape;
+  std::vector<double> data;
+  std::vector<double> grad;  // allocated lazily, same size as data
+  bool requires_grad = false;
+
+  // Autograd graph: parents this value was computed from, and a backward
+  // function that reads this node's grad and accumulates into parents' grads.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void(TensorImpl&)> backward_fn;
+
+  void ensure_grad();
+};
+
+}  // namespace detail
+
+class Tensor {
+ public:
+  /// Empty (null) tensor; most ops reject it.
+  Tensor() = default;
+
+  // ---- Constructors -------------------------------------------------------
+
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, double value);
+  /// From explicit row-major values; data.size() must equal numel(shape).
+  static Tensor from_data(Shape shape, std::vector<double> data);
+  /// I.i.d. N(0, 1) entries.
+  static Tensor randn(Shape shape, util::Rng& rng);
+  /// I.i.d. U(lo, hi) entries.
+  static Tensor rand_uniform(Shape shape, double lo, double hi,
+                             util::Rng& rng);
+  /// Xavier/Glorot uniform init for a [fan_in, fan_out] weight matrix.
+  static Tensor xavier(std::int64_t fan_in, std::int64_t fan_out,
+                       util::Rng& rng);
+
+  // ---- Introspection ------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  std::int64_t dim(std::size_t i) const;
+  std::int64_t rank() const;
+  std::int64_t numel() const;
+
+  const std::vector<double>& data() const;
+  std::vector<double>& data();
+
+  /// 2-D element accessors (bounds-checked in debug, direct otherwise).
+  double at(std::int64_t r, std::int64_t c) const;
+  double& at(std::int64_t r, std::int64_t c);
+  /// Flat accessor.
+  double item(std::int64_t i = 0) const;
+
+  // ---- Autograd -----------------------------------------------------------
+
+  bool requires_grad() const;
+  /// Fluent toggle: returns *this for chaining after construction.
+  Tensor& requires_grad(bool value);
+
+  /// Gradient buffer; only meaningful after backward(). Throws if grads were
+  /// never enabled for this tensor.
+  const std::vector<double>& grad() const;
+  std::vector<double>& grad();
+
+  void zero_grad();
+
+  /// Run reverse-mode accumulation from this (scalar) tensor. Seeds d(self)
+  /// with 1.  Throws when called on a non-scalar.
+  void backward();
+
+  /// Detached copy sharing no tape history (data is copied).
+  Tensor detach() const;
+
+  /// Identity of the underlying node — used by the optimizers' param lists.
+  detail::TensorImpl* unsafe_impl() const { return impl_.get(); }
+
+  // ---- Op-construction helpers (used by ops, not by end users) ------------
+
+  /// Create a result tensor wired into the tape. `parents` are recorded only
+  /// if at least one of them requires grad.
+  static Tensor make_op_result(Shape shape, std::vector<double> data,
+                               std::vector<Tensor> parents,
+                               std::function<void(detail::TensorImpl&)> bwd);
+
+  std::shared_ptr<detail::TensorImpl> impl() const { return impl_; }
+
+ private:
+  explicit Tensor(std::shared_ptr<detail::TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<detail::TensorImpl> impl_;
+};
+
+/// Throws std::invalid_argument with a formatted message when `cond` is false.
+void check(bool cond, const std::string& message);
+
+}  // namespace amdgcnn::ag

@@ -1,0 +1,82 @@
+// Deterministic, fast pseudo-random number generation for the whole library.
+//
+// All stochastic components (weight init, dataset generation, negative
+// sampling, dropout, random walks, hyperparameter search) draw from util::Rng
+// so that every experiment is reproducible from a single seed.  The engine is
+// xoshiro256** seeded via SplitMix64, the combination recommended by the
+// xoshiro authors; it is far faster than std::mt19937_64 and has no observable
+// bias at our scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace amdgcnn::util {
+
+/// xoshiro256** engine with SplitMix64 seeding and convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initialise the state from a 64-bit seed (SplitMix64 expansion).
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64-bit output (xoshiro256** next()).
+  std::uint64_t next_u64();
+
+  // Make the engine usable with <random> distributions if ever needed.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Sample an index from an (unnormalised, non-negative) weight vector.
+  /// Requires at least one strictly positive weight.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_int(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (Floyd's algorithm for k << n,
+  /// shuffle-prefix otherwise). Result order is unspecified.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Derive an independent child generator (for per-worker streams).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace amdgcnn::util

@@ -1,0 +1,15 @@
+#include "util/stopwatch.h"
+
+namespace amdgcnn::util {
+
+void Stopwatch::reset() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+double Stopwatch::millis() const { return seconds() * 1e3; }
+
+}  // namespace amdgcnn::util

@@ -1,0 +1,25 @@
+// Wall-clock stopwatch for coarse experiment timing (training epochs,
+// subgraph-extraction phases).  Micro-benchmarks use google-benchmark instead.
+#pragma once
+
+#include <chrono>
+
+namespace amdgcnn::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+
+  void reset();
+
+  /// Seconds elapsed since construction / last reset.
+  double seconds() const;
+
+  /// Milliseconds elapsed since construction / last reset.
+  double millis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace amdgcnn::util

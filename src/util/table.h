@@ -1,0 +1,41 @@
+// Lightweight result-table formatting used by the benchmark harness.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// reproduces, both as an aligned human-readable table and as CSV (so results
+// can be piped straight into plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace amdgcnn::util {
+
+/// A simple column-oriented table: header row + string cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string fmt(double v, int precision = 4);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Aligned, boxed plain-text rendering.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV rendering (fields with commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace amdgcnn::util

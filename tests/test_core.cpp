@@ -1,0 +1,146 @@
+// Integration tests for the public API (SealLinkClassifier) and the
+// experiment plumbing used by the benchmark harness.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/experiment.h"
+#include "core/seal_link_classifier.h"
+#include "datasets/cora_sim.h"
+#include "datasets/wordnet_sim.h"
+
+namespace amdgcnn::core {
+namespace {
+
+datasets::LinkDataset tiny_wordnet() {
+  datasets::WordNetSimOptions o;
+  o.num_nodes = 400;
+  o.num_train = 160;
+  o.num_test = 60;
+  o.mean_degree = 5.0;
+  return datasets::make_wordnet_sim(o);
+}
+
+TEST(SealLinkClassifier, FitPredictEvaluateRoundTrip) {
+  auto data = tiny_wordnet();
+  ClassifierConfig cfg;
+  cfg.model.kind = models::GnnKind::kAMDGCNN;
+  cfg.model.hidden_dim = 16;
+  cfg.model.heads = 2;
+  cfg.model.num_layers = 2;
+  cfg.model.sort_k = 10;
+  cfg.training.epochs = 2;
+  cfg.dataset.extract.max_nodes = 32;
+  SealLinkClassifier clf(cfg);
+  EXPECT_FALSE(clf.fitted());
+  EXPECT_THROW(clf.evaluate(data.graph, data.test_links), std::logic_error);
+
+  auto curve = clf.fit(data.graph, data.train_links, data.num_classes,
+                       /*eval_every=*/1);
+  EXPECT_TRUE(clf.fitted());
+  EXPECT_EQ(curve.size(), 2u);
+
+  auto probs = clf.predict_proba(data.graph, data.test_links);
+  EXPECT_EQ(probs.size(), data.test_links.size() * 18u);
+  for (std::size_t i = 0; i < data.test_links.size(); ++i) {
+    double row = 0.0;
+    for (int c = 0; c < 18; ++c) row += probs[i * 18 + c];
+    EXPECT_NEAR(row, 1.0, 1e-9);
+  }
+  auto preds = clf.predict(data.graph, data.test_links);
+  EXPECT_EQ(preds.size(), data.test_links.size());
+  for (auto p : preds) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 18);
+  }
+  auto ev = clf.evaluate(data.graph, data.test_links);
+  EXPECT_GE(ev.metrics.macro_auc, 0.0);
+  EXPECT_LE(ev.metrics.macro_auc, 1.0);
+  EXPECT_EQ(clf.model().config().num_classes, 18);
+}
+
+TEST(SealLinkClassifier, RejectsEmptyTraining) {
+  ClassifierConfig cfg;
+  SealLinkClassifier clf(cfg);
+  auto data = tiny_wordnet();
+  EXPECT_THROW(clf.fit(data.graph, {}, 2), std::invalid_argument);
+}
+
+TEST(BenchScaleTest, EnvSelection) {
+  unsetenv("AMDGCNN_BENCH_SCALE");
+  EXPECT_EQ(bench_scale_from_env(), BenchScale::kQuick);
+  setenv("AMDGCNN_BENCH_SCALE", "full", 1);
+  EXPECT_EQ(bench_scale_from_env(), BenchScale::kFull);
+  setenv("AMDGCNN_BENCH_SCALE", "quick", 1);
+  EXPECT_EQ(bench_scale_from_env(), BenchScale::kQuick);
+  setenv("AMDGCNN_BENCH_SCALE", "bogus", 1);
+  EXPECT_THROW(bench_scale_from_env(), std::runtime_error);
+  unsetenv("AMDGCNN_BENCH_SCALE");
+  EXPECT_STREQ(bench_scale_name(BenchScale::kFull), "full");
+  EXPECT_EQ(scaled_links(1000, BenchScale::kFull), 1000);
+  EXPECT_EQ(scaled_links(1000, BenchScale::kQuick), 500);
+  EXPECT_EQ(scaled_links(40, BenchScale::kQuick), 50);  // floor
+}
+
+TEST(PrepareSealDataset, HonoursDatasetNeighborhoodRule) {
+  auto data = tiny_wordnet();
+  auto ds = prepare_seal_dataset(data, /*max_subgraph_nodes=*/24);
+  EXPECT_EQ(ds.train.size(), data.train_links.size());
+  EXPECT_EQ(ds.test.size(), data.test_links.size());
+  EXPECT_EQ(ds.num_classes, 18);
+  EXPECT_EQ(ds.edge_attr_dim, 18);
+  for (const auto& s : ds.train) EXPECT_LE(s.num_nodes, 24);
+  EXPECT_GT(ds.mean_subgraph_nodes(), 2.0);
+}
+
+TEST(RunModel, ProducesCurveAndFinalEval) {
+  auto data = tiny_wordnet();
+  auto ds = prepare_seal_dataset(data, 24);
+  hpo::HyperParams hp;
+  hp.hidden_dim = 16;
+  hp.sort_k = 10;
+  hp.learning_rate = 2e-3;
+  auto result = run_model(ds, models::GnnKind::kAMDGCNN, hp, /*epochs=*/4,
+                          /*seed=*/1, /*eval_every=*/2);
+  EXPECT_EQ(result.model_name, "AM-DGCNN");
+  EXPECT_EQ(result.curve.size(), 2u);
+  EXPECT_GT(result.num_parameters, 0);
+  EXPECT_GT(result.train_seconds, 0.0);
+  EXPECT_GE(result.final_eval.metrics.macro_auc, 0.0);
+}
+
+TEST(RunModel, TrainSubsetLimitsData) {
+  auto data = tiny_wordnet();
+  auto ds = prepare_seal_dataset(data, 24);
+  hpo::HyperParams hp;
+  hp.hidden_dim = 16;
+  hp.sort_k = 10;
+  auto full = run_model(ds, models::GnnKind::kVanillaDGCNN, hp, 1, 1);
+  auto small = run_model(ds, models::GnnKind::kVanillaDGCNN, hp, 1, 1,
+                         /*eval_every=*/0, /*train_subset=*/20);
+  EXPECT_LT(small.train_seconds, full.train_seconds);
+}
+
+TEST(TuneModel, ImprovesOverWorstTrial) {
+  auto data = tiny_wordnet();
+  auto ds = prepare_seal_dataset(data, 20);
+  hpo::BayesOptOptions opts;
+  opts.num_initial = 2;
+  opts.num_iterations = 1;
+  auto result = tune_model(ds, models::GnnKind::kAMDGCNN, opts,
+                           /*tune_epochs=*/1, /*max_train_samples=*/60,
+                           /*max_val_samples=*/40);
+  EXPECT_EQ(result.history.size(), 3u);
+  double worst = 1e300;
+  for (const auto& t : result.history) worst = std::min(worst, t.value);
+  EXPECT_GE(result.best_value, worst);
+}
+
+TEST(CoraTunedDefaults, InsideSearchSpace) {
+  hpo::SearchSpace space;
+  const auto hp = cora_tuned_defaults();
+  EXPECT_NO_THROW(space.encode(hp));
+}
+
+}  // namespace
+}  // namespace amdgcnn::core

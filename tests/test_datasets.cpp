@@ -1,0 +1,245 @@
+// Dataset-generator tests: schema conformance (paper Table II shapes),
+// determinism, label sanity, and the planted-signal invariants each
+// generator promises.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/biokg_sim.h"
+#include "datasets/cora_sim.h"
+#include "datasets/kg_generator.h"
+#include "datasets/primekg_sim.h"
+#include "datasets/wordnet_sim.h"
+
+namespace amdgcnn::datasets {
+namespace {
+
+// Small options so the whole suite stays fast.
+PrimeKGSimOptions small_primekg() {
+  PrimeKGSimOptions o;
+  o.scale = 0.3;
+  o.num_train = 120;
+  o.num_test = 40;
+  return o;
+}
+
+BioKGSimOptions small_biokg() {
+  BioKGSimOptions o;
+  o.scale = 0.3;
+  o.num_train = 120;
+  o.num_test = 40;
+  return o;
+}
+
+WordNetSimOptions small_wordnet() {
+  WordNetSimOptions o;
+  o.num_nodes = 600;
+  o.num_train = 150;
+  o.num_test = 50;
+  return o;
+}
+
+CoraSimOptions small_cora() {
+  CoraSimOptions o;
+  o.num_nodes = 400;
+  o.num_edges = 900;
+  o.num_pos_links = 120;
+  return o;
+}
+
+TEST(GraphBuilderTest, DeduplicatesEdges) {
+  graph::KnowledgeGraph g(1, 1);
+  g.add_node(0);
+  g.add_node(0);
+  GraphBuilder b(g);
+  EXPECT_TRUE(b.add_edge_unique(0, 1, 0));
+  EXPECT_FALSE(b.add_edge_unique(0, 1, 0));
+  EXPECT_FALSE(b.add_edge_unique(1, 0, 0));  // reversed duplicate
+  EXPECT_FALSE(b.add_edge_unique(1, 1, 0));  // self loop
+  EXPECT_EQ(b.num_edges_added(), 1);
+  EXPECT_TRUE(b.has_edge(0, 1));
+  EXPECT_TRUE(b.has_edge(1, 0));
+}
+
+TEST(NoisyLabel, ZeroNoiseIsIdentityAndNoiseChangesClass) {
+  util::Rng rng(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(noisy_label(2, 5, 0.0, rng), 2);
+  for (int i = 0; i < 50; ++i) {
+    const auto l = noisy_label(2, 5, 1.0, rng);
+    EXPECT_NE(l, 2);
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 5);
+  }
+}
+
+TEST(SplitLinks, ExactSizesAndThrowsWhenShort) {
+  util::Rng rng(2);
+  std::vector<seal::LinkExample> links(30, {0, 1, 0});
+  LinkDataset ds;
+  split_links(links, 20, 10, rng, ds);
+  EXPECT_EQ(ds.train_links.size(), 20u);
+  EXPECT_EQ(ds.test_links.size(), 10u);
+  EXPECT_THROW(split_links(links, 25, 10, rng, ds), std::invalid_argument);
+}
+
+// ---- Per-dataset schema checks ------------------------------------------------
+
+TEST(PrimeKGSim, SchemaMatchesPaperTable2Shape) {
+  auto ds = make_primekg_sim(small_primekg());
+  EXPECT_EQ(ds.name, "primekg_sim");
+  EXPECT_EQ(ds.graph.num_node_types(), 10);   // 10 biological scales
+  EXPECT_EQ(ds.graph.num_edge_types(), 30);   // 30 relations
+  EXPECT_EQ(ds.graph.edge_attr_dim(), 2);     // +/- polarity one-hot
+  EXPECT_EQ(ds.num_classes, 3);
+  EXPECT_EQ(ds.class_names.size(), 3u);
+  EXPECT_EQ(ds.neighborhood_mode, graph::NeighborhoodMode::kIntersection);
+  EXPECT_EQ(ds.train_links.size(), 120u);
+  EXPECT_EQ(ds.test_links.size(), 40u);
+  EXPECT_GT(ds.graph.num_edges(), ds.graph.num_nodes());
+}
+
+TEST(PrimeKGSim, TargetsAreDrugDiseasePairsWithoutDirectEdges) {
+  auto ds = make_primekg_sim(small_primekg());
+  for (const auto* links : {&ds.train_links, &ds.test_links})
+    for (const auto& l : *links) {
+      EXPECT_EQ(ds.graph.node_type(l.a), kDrug);
+      EXPECT_EQ(ds.graph.node_type(l.b), kDisease);
+      EXPECT_FALSE(ds.graph.has_edge(l.a, l.b));
+      EXPECT_GE(l.label, 0);
+      EXPECT_LT(l.label, 3);
+    }
+}
+
+TEST(PrimeKGSim, EdgeAttrsEncodePolarityPartition) {
+  auto ds = make_primekg_sim(small_primekg());
+  for (std::int32_t t = 0; t < 30; ++t) {
+    auto attr = ds.graph.edge_type_attr(t);
+    EXPECT_EQ(attr[0] + attr[1], 1.0);
+    EXPECT_EQ(attr[0], t < 15 ? 1.0 : 0.0);
+  }
+}
+
+TEST(PrimeKGSim, AllLabelsRepresented) {
+  auto ds = make_primekg_sim(small_primekg());
+  auto hist = seal::label_histogram(ds.train_links, 3);
+  for (auto h : hist) EXPECT_GT(h, 0);
+}
+
+TEST(PrimeKGSim, DeterministicPerSeed) {
+  auto a = make_primekg_sim(small_primekg());
+  auto b = make_primekg_sim(small_primekg());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  ASSERT_EQ(a.train_links.size(), b.train_links.size());
+  for (std::size_t i = 0; i < a.train_links.size(); ++i) {
+    EXPECT_EQ(a.train_links[i].a, b.train_links[i].a);
+    EXPECT_EQ(a.train_links[i].label, b.train_links[i].label);
+  }
+  auto opts = small_primekg();
+  opts.seed = 1234;
+  auto c = make_primekg_sim(opts);
+  EXPECT_NE(a.graph.num_edges(), c.graph.num_edges());
+}
+
+TEST(BioKGSim, SchemaMatchesPaperTable2Shape) {
+  auto ds = make_biokg_sim(small_biokg());
+  EXPECT_EQ(ds.graph.num_node_types(), 5);
+  EXPECT_EQ(ds.graph.num_edge_types(), 51);
+  EXPECT_EQ(ds.graph.edge_attr_dim(), 3);
+  EXPECT_EQ(ds.num_classes, 7);
+  EXPECT_EQ(ds.neighborhood_mode, graph::NeighborhoodMode::kUnion);
+  for (const auto& l : ds.train_links) {
+    EXPECT_EQ(ds.graph.node_type(l.a), kProtein);
+    EXPECT_EQ(ds.graph.node_type(l.b), kProtein);
+    EXPECT_LT(l.label, 7);
+  }
+}
+
+TEST(BioKGSim, EdgeAttrIsLevelOneHot) {
+  auto ds = make_biokg_sim(small_biokg());
+  for (std::int32_t t = 0; t < 51; ++t) {
+    auto attr = ds.graph.edge_type_attr(t);
+    double sum = 0.0;
+    for (double v : attr) sum += v;
+    EXPECT_EQ(sum, 1.0);
+    EXPECT_EQ(attr[t % 3], 1.0);
+  }
+}
+
+TEST(WordNetSim, HomogeneousNodesRichEdges) {
+  auto ds = make_wordnet_sim(small_wordnet());
+  EXPECT_EQ(ds.graph.num_node_types(), 1);   // the paper's key property
+  EXPECT_EQ(ds.graph.num_edge_types(), 18);
+  EXPECT_EQ(ds.graph.edge_attr_dim(), 18);
+  EXPECT_EQ(ds.graph.node_feat_dim(), 0);    // no node features at all
+  EXPECT_EQ(ds.num_classes, 18);
+}
+
+TEST(WordNetSim, RelationTableIsSymmetricAndCovers18Classes) {
+  std::set<std::int32_t> values;
+  for (std::int32_t i = 0; i < kWordNetRoles; ++i)
+    for (std::int32_t j = 0; j < kWordNetRoles; ++j) {
+      EXPECT_EQ(wordnet_relation_table(i, j), wordnet_relation_table(j, i));
+      values.insert(wordnet_relation_table(i, j));
+    }
+  EXPECT_EQ(values.size(), 18u);
+  EXPECT_THROW(wordnet_relation_table(-1, 0), std::invalid_argument);
+  EXPECT_THROW(wordnet_relation_table(0, 6), std::invalid_argument);
+}
+
+TEST(WordNetSim, MeanDegreeNearConfigured) {
+  auto opts = small_wordnet();
+  auto ds = make_wordnet_sim(opts);
+  const double mean_degree = 2.0 * static_cast<double>(ds.graph.num_edges()) /
+                             static_cast<double>(ds.graph.num_nodes());
+  EXPECT_NEAR(mean_degree, opts.mean_degree, 0.5);
+}
+
+TEST(CoraSim, FaithfulScaleAndBinaryTask) {
+  auto ds = make_cora_sim(small_cora());
+  EXPECT_EQ(ds.graph.num_nodes(), 400);
+  EXPECT_EQ(ds.graph.num_edges(), 900);
+  EXPECT_EQ(ds.graph.num_edge_types(), 1);
+  EXPECT_EQ(ds.graph.edge_attr_dim(), 0);    // no edge attributes
+  EXPECT_EQ(ds.graph.node_feat_dim(), 7);    // noisy community one-hot
+  EXPECT_EQ(ds.num_classes, 2);
+  // 80/20 split of 240 links.
+  EXPECT_EQ(ds.train_links.size() + ds.test_links.size(), 240u);
+  EXPECT_EQ(ds.test_links.size(), 48u);
+}
+
+TEST(CoraSim, PositivesAreEdgesNegativesAreNot) {
+  auto ds = make_cora_sim(small_cora());
+  for (const auto* links : {&ds.train_links, &ds.test_links})
+    for (const auto& l : *links) {
+      if (l.label == 1) EXPECT_TRUE(ds.graph.has_edge(l.a, l.b));
+      else EXPECT_FALSE(ds.graph.has_edge(l.a, l.b));
+    }
+}
+
+TEST(CoraSim, NodeFeaturesAreOneHot) {
+  auto ds = make_cora_sim(small_cora());
+  for (graph::NodeId v = 0; v < 50; ++v) {
+    auto f = ds.graph.node_features(v);
+    double sum = 0.0;
+    for (double x : f) sum += x;
+    EXPECT_EQ(sum, 1.0);
+  }
+}
+
+TEST(Generators, RejectBadOptions) {
+  PrimeKGSimOptions p;
+  p.scale = -1.0;
+  EXPECT_THROW(make_primekg_sim(p), std::invalid_argument);
+  BioKGSimOptions b;
+  b.scale = 0.0;
+  EXPECT_THROW(make_biokg_sim(b), std::invalid_argument);
+  WordNetSimOptions w;
+  w.num_nodes = 3;
+  EXPECT_THROW(make_wordnet_sim(w), std::invalid_argument);
+  CoraSimOptions c;
+  c.num_pos_links = 10000;
+  EXPECT_THROW(make_cora_sim(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amdgcnn::datasets

@@ -1,0 +1,282 @@
+// node2vec embedding tests and hyperparameter-optimization tests
+// (search space, GP surrogate, expected improvement, BO / random search).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embed/node2vec.h"
+#include "hpo/bayes_opt.h"
+#include "hpo/random_search.h"
+#include "test_util.h"
+
+namespace amdgcnn {
+namespace {
+
+// ---- Random walks ---------------------------------------------------------------
+
+TEST(RandomWalk, StepsFollowEdges) {
+  auto g = testing::triangle_with_tail();
+  util::Rng rng(1);
+  embed::WalkOptions opts;
+  opts.walk_length = 12;
+  for (int trial = 0; trial < 10; ++trial) {
+    auto walk = embed::random_walk(g, 0, opts, rng);
+    ASSERT_GE(walk.size(), 2u);
+    EXPECT_EQ(walk[0], 0);
+    for (std::size_t i = 1; i < walk.size(); ++i)
+      EXPECT_TRUE(g.has_edge(walk[i - 1], walk[i]));
+  }
+}
+
+TEST(RandomWalk, DeadEndTerminatesEarly) {
+  graph::KnowledgeGraph g(1, 1);
+  g.add_node(0);
+  g.add_node(0);
+  g.add_node(0);  // isolated
+  g.add_edge(0, 1, 0);
+  g.finalize();
+  util::Rng rng(2);
+  embed::WalkOptions opts;
+  auto walk = embed::random_walk(g, 2, opts, rng);
+  EXPECT_EQ(walk.size(), 1u);  // isolated start: no step possible
+}
+
+TEST(RandomWalk, LowPBiasesTowardReturning) {
+  // On a path graph, returning (1/p weight) dominates when p is tiny.
+  auto g = testing::path_graph(10);
+  embed::WalkOptions sticky;
+  sticky.walk_length = 40;
+  sticky.p = 0.01;
+  sticky.q = 1.0;
+  embed::WalkOptions roaming;
+  roaming.walk_length = 40;
+  roaming.p = 100.0;
+  roaming.q = 1.0;
+  util::Rng rng(3);
+  double sticky_span = 0.0, roaming_span = 0.0;
+  for (int t = 0; t < 20; ++t) {
+    auto w1 = embed::random_walk(g, 5, sticky, rng);
+    auto w2 = embed::random_walk(g, 5, roaming, rng);
+    auto span = [](const std::vector<graph::NodeId>& w) {
+      auto [mn, mx] = std::minmax_element(w.begin(), w.end());
+      return static_cast<double>(*mx - *mn);
+    };
+    sticky_span += span(w1);
+    roaming_span += span(w2);
+  }
+  EXPECT_LT(sticky_span, roaming_span);
+}
+
+TEST(RandomWalk, GeneratesWalksForEveryNode) {
+  auto g = testing::path_graph(4);
+  util::Rng rng(4);
+  embed::WalkOptions opts;
+  opts.walks_per_node = 3;
+  auto walks = embed::generate_walks(g, opts, rng);
+  EXPECT_EQ(walks.size(), 12u);
+}
+
+TEST(RandomWalk, ValidatesParameters) {
+  auto g = testing::path_graph(3);
+  util::Rng rng(5);
+  embed::WalkOptions bad;
+  bad.p = 0.0;
+  EXPECT_THROW(embed::random_walk(g, 0, bad, rng), std::invalid_argument);
+}
+
+// ---- node2vec -----------------------------------------------------------------------
+
+TEST(Node2Vec, EmbedsCommunitiesCloserThanCrossPairs) {
+  // Two triangles joined by one bridge.
+  graph::KnowledgeGraph g(1, 1);
+  for (int i = 0; i < 6; ++i) g.add_node(0);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  g.add_edge(0, 2, 0);
+  g.add_edge(3, 4, 0);
+  g.add_edge(4, 5, 0);
+  g.add_edge(3, 5, 0);
+  g.add_edge(2, 3, 0);
+  g.finalize();
+
+  embed::Node2VecOptions opts;
+  opts.dimensions = 16;
+  opts.walk.walks_per_node = 10;
+  opts.walk.walk_length = 15;
+  opts.epochs = 4;
+  auto emb = embed::node2vec(g, opts);
+  ASSERT_EQ(emb.size(), 6u * 16u);
+
+  const double within =
+      embed::embedding_cosine(emb, 16, 0, 1) +
+      embed::embedding_cosine(emb, 16, 3, 5);
+  const double across =
+      embed::embedding_cosine(emb, 16, 0, 4) +
+      embed::embedding_cosine(emb, 16, 1, 5);
+  EXPECT_GT(within, across);
+}
+
+TEST(Node2Vec, ValidatesOptions) {
+  auto g = testing::path_graph(3);
+  embed::Node2VecOptions bad;
+  bad.dimensions = 0;
+  EXPECT_THROW(embed::node2vec(g, bad), std::invalid_argument);
+}
+
+TEST(Node2Vec, CosineOfZeroVectorIsZero) {
+  std::vector<double> emb(8, 0.0);
+  EXPECT_EQ(embed::embedding_cosine(emb, 4, 0, 1), 0.0);
+}
+
+// ---- Search space ----------------------------------------------------------------------
+
+TEST(SearchSpaceTest, SampleStaysInsideTableOneBounds) {
+  hpo::SearchSpace space;
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto hp = space.sample(rng);
+    EXPECT_GE(hp.learning_rate, space.lr_min);
+    EXPECT_LE(hp.learning_rate, space.lr_max);
+    EXPECT_TRUE(hp.hidden_dim == 16 || hp.hidden_dim == 32 ||
+                hp.hidden_dim == 64 || hp.hidden_dim == 128);
+    EXPECT_GE(hp.sort_k, space.k_min);
+    EXPECT_LE(hp.sort_k, space.k_max);
+  }
+}
+
+TEST(SearchSpaceTest, EncodeDecodeRoundTripsLatticePoints) {
+  hpo::SearchSpace space;
+  util::Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const auto hp = space.sample(rng);
+    const auto enc = space.encode(hp);
+    const auto back = space.decode(enc);
+    EXPECT_EQ(back.hidden_dim, hp.hidden_dim);
+    EXPECT_EQ(back.sort_k, hp.sort_k);
+    EXPECT_NEAR(std::log(back.learning_rate), std::log(hp.learning_rate),
+                1e-9);
+  }
+  EXPECT_THROW(space.decode({1.5, 0.0, 0.0}), std::invalid_argument);
+  hpo::HyperParams bad;
+  bad.hidden_dim = 48;
+  EXPECT_THROW(space.encode(bad), std::invalid_argument);
+}
+
+TEST(SearchSpaceTest, ToStringMentionsAllFields) {
+  hpo::HyperParams hp;
+  const auto s = hp.to_string();
+  EXPECT_NE(s.find("lr="), std::string::npos);
+  EXPECT_NE(s.find("hidden="), std::string::npos);
+  EXPECT_NE(s.find("k="), std::string::npos);
+}
+
+// ---- Gaussian process ----------------------------------------------------------------------
+
+TEST(GpTest, InterpolatesTrainingPointsWithLowVariance) {
+  hpo::GaussianProcess gp(1);
+  gp.fit({{0.1}, {0.5}, {0.9}}, {1.0, 2.0, 0.5});
+  for (auto [x, y] : {std::pair{0.1, 1.0}, {0.5, 2.0}, {0.9, 0.5}}) {
+    const auto p = gp.predict({x});
+    EXPECT_NEAR(p.mean, y, 0.05);
+    EXPECT_LT(p.variance, 0.01);
+  }
+  // Far from data: variance grows toward the prior.
+  const auto far = gp.predict({5.0});
+  EXPECT_GT(far.variance, 0.5);
+}
+
+TEST(GpTest, KernelIsOneAtZeroDistanceAndDecays) {
+  hpo::GaussianProcess gp(2);
+  EXPECT_NEAR(gp.kernel({0.3, 0.3}, {0.3, 0.3}), 1.0, 1e-12);
+  EXPECT_GT(gp.kernel({0.0, 0.0}, {0.1, 0.0}),
+            gp.kernel({0.0, 0.0}, {0.5, 0.0}));
+}
+
+TEST(GpTest, ValidatesUsage) {
+  hpo::GaussianProcess gp(2);
+  EXPECT_THROW(gp.predict({0.5, 0.5}), std::logic_error);
+  EXPECT_THROW(gp.fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(gp.fit({{0.1, 0.2}}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(hpo::GaussianProcess(0), std::invalid_argument);
+}
+
+TEST(ExpectedImprovement, ZeroWhenCertainAndBelowIncumbent) {
+  hpo::GaussianProcess::Prediction certain_bad{0.2, 0.0};
+  EXPECT_EQ(hpo::expected_improvement(certain_bad, 0.9), 0.0);
+  hpo::GaussianProcess::Prediction promising{0.95, 0.01};
+  EXPECT_GT(hpo::expected_improvement(promising, 0.9), 0.0);
+  // More uncertainty -> more EI at the same mean.
+  hpo::GaussianProcess::Prediction uncertain{0.85, 0.2};
+  hpo::GaussianProcess::Prediction confident{0.85, 0.001};
+  EXPECT_GT(hpo::expected_improvement(uncertain, 0.9),
+            hpo::expected_improvement(confident, 0.9));
+}
+
+// ---- Optimizers over the space ---------------------------------------------------------------
+
+/// Smooth test objective over the encoded cube with a unique optimum at
+/// lr ~ 1e-3, hidden = 64, k ~ 60.
+double toy_objective(const hpo::SearchSpace& space,
+                     const hpo::HyperParams& hp) {
+  const auto x = space.encode(hp);
+  const double dx = x[0] - 0.75, dy = x[1] - 0.625, dz = x[2] - 0.36;
+  return 1.0 - (dx * dx + dy * dy + dz * dz);
+}
+
+TEST(BayesOptTest, FindsNearOptimalConfiguration) {
+  hpo::SearchSpace space;
+  auto result = hpo::bayes_opt(
+      space, [&](const hpo::HyperParams& hp) { return toy_objective(space, hp); });
+  EXPECT_EQ(result.history.size(), 10u);  // 3 warm-up + 7 BO
+  EXPECT_GT(result.best_value, 0.9);
+  // Best of history must equal reported best.
+  double best = -1e300;
+  for (const auto& t : result.history) best = std::max(best, t.value);
+  EXPECT_DOUBLE_EQ(best, result.best_value);
+}
+
+TEST(BayesOptTest, BeatsRandomSearchOnAverageBudget) {
+  hpo::SearchSpace space;
+  double bo_total = 0.0, rs_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    hpo::BayesOptOptions bo;
+    bo.seed = seed;
+    bo.num_initial = 2;
+    bo.num_iterations = 6;
+    bo_total += hpo::bayes_opt(space,
+                               [&](const hpo::HyperParams& hp) {
+                                 return toy_objective(space, hp);
+                               },
+                               bo)
+                    .best_value;
+    hpo::RandomSearchOptions rs;
+    rs.seed = seed;
+    rs.num_trials = 8;
+    rs_total += hpo::random_search(space,
+                                   [&](const hpo::HyperParams& hp) {
+                                     return toy_objective(space, hp);
+                                   },
+                                   rs)
+                    .best_value;
+  }
+  EXPECT_GE(bo_total, rs_total - 0.05);  // BO at least matches random search
+}
+
+TEST(RandomSearchTest, HonoursTrialBudget) {
+  hpo::SearchSpace space;
+  hpo::RandomSearchOptions opts;
+  opts.num_trials = 4;
+  auto result = hpo::random_search(
+      space,
+      [&](const hpo::HyperParams& hp) { return toy_objective(space, hp); },
+      opts);
+  EXPECT_EQ(result.history.size(), 4u);
+  opts.num_trials = 0;
+  EXPECT_THROW(hpo::random_search(space, [](const hpo::HyperParams&) {
+                 return 0.0;
+               }, opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amdgcnn

@@ -1,0 +1,149 @@
+// KnowledgeGraph container + traversal tests.
+#include <gtest/gtest.h>
+
+#include "graph/knowledge_graph.h"
+#include "graph/traversal.h"
+#include "test_util.h"
+
+namespace amdgcnn::graph {
+namespace {
+
+TEST(KnowledgeGraph, BuildAndQuery) {
+  KnowledgeGraph g(2, 3, /*edge_attr_dim=*/2, /*node_feat_dim=*/2);
+  const auto a = g.add_node(0);
+  const auto b = g.add_node(1);
+  const auto c = g.add_node(1);
+  g.set_node_features(b, std::vector<double>{0.5, -1.0});
+  g.set_edge_type_attr(1, std::vector<double>{1.0, 0.0});
+  const auto e0 = g.add_edge(a, b, 1);
+  g.add_edge(b, c, 2);
+  g.finalize();
+
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.node_type(a), 0);
+  EXPECT_EQ(g.node_type(c), 1);
+  EXPECT_EQ(g.degree(b), 2);
+  EXPECT_EQ(g.degree(a), 1);
+  EXPECT_EQ(g.find_edge(a, b), e0);
+  EXPECT_EQ(g.find_edge(b, a), e0);  // undirected
+  EXPECT_EQ(g.find_edge(a, c), -1);
+  EXPECT_TRUE(g.has_edge(b, c));
+  EXPECT_EQ(g.edge(e0).type, 1);
+
+  auto attr = g.edge_attr(e0);
+  ASSERT_EQ(attr.size(), 2u);
+  EXPECT_EQ(attr[0], 1.0);
+  auto nf = g.node_features(b);
+  EXPECT_EQ(nf[1], -1.0);
+  // Unset features default to zero.
+  EXPECT_EQ(g.node_features(a)[0], 0.0);
+}
+
+TEST(KnowledgeGraph, NeighborsListBothEndpoints) {
+  auto g = testing::triangle_with_tail();
+  auto n2 = g.neighbors(2);
+  EXPECT_EQ(n2.size(), 3u);  // 0, 1, 3
+  bool saw0 = false, saw1 = false, saw3 = false;
+  for (const auto& adj : n2) {
+    saw0 = saw0 || adj.node == 0;
+    saw1 = saw1 || adj.node == 1;
+    saw3 = saw3 || adj.node == 3;
+  }
+  EXPECT_TRUE(saw0 && saw1 && saw3);
+}
+
+TEST(KnowledgeGraph, TypeCounts) {
+  KnowledgeGraph g(3, 2);
+  g.add_node(0);
+  g.add_node(2);
+  g.add_node(2);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.finalize();
+  EXPECT_EQ(g.node_type_counts(), (std::vector<std::int64_t>{1, 0, 2}));
+  EXPECT_EQ(g.edge_type_counts(), (std::vector<std::int64_t>{0, 2}));
+}
+
+TEST(KnowledgeGraph, ValidationErrors) {
+  KnowledgeGraph g(2, 2, 2, 2);
+  const auto a = g.add_node(0);
+  const auto b = g.add_node(1);
+  EXPECT_THROW(g.add_node(2), std::invalid_argument);       // bad type
+  EXPECT_THROW(g.add_edge(a, a, 0), std::invalid_argument); // self loop
+  EXPECT_THROW(g.add_edge(a, 7, 0), std::invalid_argument); // bad endpoint
+  EXPECT_THROW(g.add_edge(a, b, 5), std::invalid_argument); // bad edge type
+  EXPECT_THROW(g.set_node_features(a, std::vector<double>{1.0}),
+               std::invalid_argument);                      // wrong width
+  EXPECT_THROW(g.neighbors(a), std::logic_error);           // not finalized
+  g.add_edge(a, b, 0);
+  g.finalize();
+  EXPECT_THROW(g.finalize(), std::logic_error);             // double finalize
+  EXPECT_THROW(g.add_node(0), std::logic_error);            // frozen
+  EXPECT_THROW(g.add_edge(a, b, 0), std::logic_error);
+}
+
+TEST(KnowledgeGraph, ZeroAttrDimsReturnEmptySpans) {
+  auto g = testing::path_graph(3);
+  EXPECT_EQ(g.edge_attr(0).size(), 0u);
+  EXPECT_EQ(g.node_features(0).size(), 0u);
+}
+
+TEST(Bfs, DistancesOnPath) {
+  auto g = testing::path_graph(5);
+  auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<std::int32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Bfs, MaxDepthTruncates) {
+  auto g = testing::path_graph(5);
+  BfsOptions opts;
+  opts.max_depth = 2;
+  auto d = bfs_distances(g, 0, opts);
+  EXPECT_EQ(d, (std::vector<std::int32_t>{0, 1, 2, kUnreachable, kUnreachable}));
+}
+
+TEST(Bfs, MaskedEdgeBlocksPath) {
+  auto g = testing::path_graph(3);
+  BfsOptions opts;
+  opts.masked_edge = g.find_edge(0, 1);
+  auto d = bfs_distances(g, 0, opts);
+  EXPECT_EQ(d[1], kUnreachable);
+  EXPECT_EQ(d[2], kUnreachable);
+}
+
+TEST(Bfs, MaskedNodeActsRemoved) {
+  auto g = testing::triangle_with_tail();
+  BfsOptions opts;
+  opts.masked_node = 2;
+  auto d = bfs_distances(g, 0, opts);
+  EXPECT_EQ(d[1], 1);               // via direct edge 0-1
+  EXPECT_EQ(d[2], kUnreachable);    // removed
+  EXPECT_EQ(d[3], kUnreachable);    // only reachable through 2
+}
+
+TEST(Bfs, MaskedSourceYieldsAllUnreachable) {
+  auto g = testing::path_graph(3);
+  BfsOptions opts;
+  opts.masked_node = 0;
+  auto d = bfs_distances(g, 0, opts);
+  for (auto v : d) EXPECT_EQ(v, kUnreachable);
+}
+
+TEST(KHop, CollectsExactNeighborhood) {
+  auto g = testing::path_graph(7);
+  auto nodes = k_hop_nodes(g, 3, 2);
+  EXPECT_EQ(nodes, (std::vector<NodeId>{1, 2, 3, 4, 5}));
+}
+
+TEST(ShortestPath, MatchesBfs) {
+  auto g = testing::triangle_with_tail();
+  EXPECT_EQ(shortest_path_length(g, 0, 3), 2);
+  EXPECT_EQ(shortest_path_length(g, 0, 0), 0);
+  BfsOptions opts;
+  opts.masked_node = 2;
+  EXPECT_EQ(shortest_path_length(g, 0, 3, opts), kUnreachable);
+}
+
+}  // namespace
+}  // namespace amdgcnn::graph

@@ -1,0 +1,177 @@
+// Metric tests: exact AUC/AP values on hand-computed rankings, tie handling,
+// the ROC-trapezoid cross-check property, and multiclass aggregation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/classification.h"
+#include "metrics/ranking.h"
+#include "util/rng.h"
+
+namespace amdgcnn::metrics {
+namespace {
+
+TEST(BinaryAuc, PerfectSeparationGivesOne) {
+  EXPECT_DOUBLE_EQ(binary_auc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(BinaryAuc, PerfectInversionGivesZero) {
+  EXPECT_DOUBLE_EQ(binary_auc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(BinaryAuc, AllTiedScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(binary_auc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(BinaryAuc, HandComputedMixedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8>0.6), (0.8>0.2), (0.4<0.6), (0.4>0.2) -> 3/4.
+  EXPECT_DOUBLE_EQ(binary_auc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(BinaryAuc, TieBetweenClassesCountsHalf) {
+  // pos {0.5}, neg {0.5, 0.1}: pairs tie (1/2) + win (1) over 2 -> 0.75.
+  EXPECT_DOUBLE_EQ(binary_auc({0.5, 0.5, 0.1}, {1, 0, 0}), 0.75);
+}
+
+TEST(BinaryAuc, ValidatesInputs) {
+  EXPECT_THROW(binary_auc({0.5}, {1}), std::invalid_argument);   // one class
+  EXPECT_THROW(binary_auc({0.5, 0.2}, {1}), std::invalid_argument);
+  EXPECT_THROW(binary_auc({}, {}), std::invalid_argument);
+  EXPECT_THROW(binary_auc({0.5, 0.2}, {1, 2}), std::invalid_argument);
+}
+
+TEST(BinaryAuc, MatchesRocTrapezoidOnRandomData) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> scores(60);
+    std::vector<std::int32_t> labels(60);
+    for (int i = 0; i < 60; ++i) {
+      labels[i] = rng.bernoulli(0.4) ? 1 : 0;
+      // Quantised scores force plenty of ties.
+      scores[i] = std::floor(rng.uniform() * 8.0) / 8.0 + 0.3 * labels[i];
+    }
+    if (!has_both_classes(labels)) continue;
+    const auto pts = roc_curve(scores, labels);
+    double trapz = 0.0;
+    for (std::size_t i = 1; i < pts.size(); ++i)
+      trapz += (pts[i].first - pts[i - 1].first) *
+               (pts[i].second + pts[i - 1].second) / 2.0;
+    EXPECT_NEAR(binary_auc(scores, labels), trapz, 1e-12);
+  }
+}
+
+TEST(RocCurve, EndpointsAndMonotone) {
+  auto pts = roc_curve({0.9, 0.1, 0.5, 0.4}, {1, 0, 1, 0});
+  EXPECT_EQ(pts.front(), (std::pair<double, double>{0.0, 0.0}));
+  EXPECT_EQ(pts.back(), (std::pair<double, double>{1.0, 1.0}));
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].first, pts[i - 1].first);
+    EXPECT_GE(pts[i].second, pts[i - 1].second);
+  }
+}
+
+TEST(AveragePrecision, PerfectRankingGivesOne) {
+  EXPECT_DOUBLE_EQ(binary_average_precision({0.9, 0.8, 0.3}, {1, 1, 0}), 1.0);
+}
+
+TEST(AveragePrecision, HandComputedCase) {
+  // Ranking: pos(0.9), neg(0.8), pos(0.7).
+  // After 1st: recall .5, prec 1; after 3rd: recall 1, prec 2/3.
+  // AP = .5 * 1 + .5 * 2/3 = 5/6.
+  EXPECT_NEAR(binary_average_precision({0.9, 0.7, 0.8}, {1, 1, 0}),
+              5.0 / 6.0, 1e-12);
+}
+
+TEST(AveragePrecision, RequiresPositives) {
+  EXPECT_THROW(binary_average_precision({0.5, 0.2}, {0, 0}),
+               std::invalid_argument);
+}
+
+TEST(HasBothClasses, Detects) {
+  EXPECT_TRUE(has_both_classes({0, 1}));
+  EXPECT_FALSE(has_both_classes({1, 1}));
+  EXPECT_FALSE(has_both_classes({0}));
+}
+
+// ---- Multiclass ---------------------------------------------------------------
+
+TEST(ArgmaxRows, PicksLargestPerRow) {
+  auto pred = argmax_rows({0.1, 0.7, 0.2, 0.5, 0.3, 0.2}, 3);
+  EXPECT_EQ(pred, (std::vector<std::int32_t>{1, 0}));
+  EXPECT_THROW(argmax_rows({0.1, 0.2, 0.3}, 2), std::invalid_argument);
+}
+
+TEST(Multiclass, PerfectClassifierScoresPerfect) {
+  // 3 classes, 6 samples, one-hot probabilities matching labels.
+  std::vector<std::int32_t> labels = {0, 1, 2, 0, 1, 2};
+  std::vector<double> probs;
+  for (auto l : labels)
+    for (int c = 0; c < 3; ++c) probs.push_back(c == l ? 0.98 : 0.01);
+  auto ev = evaluate_multiclass(probs, 3, labels);
+  EXPECT_DOUBLE_EQ(ev.macro_auc, 1.0);
+  EXPECT_DOUBLE_EQ(ev.macro_precision, 1.0);
+  EXPECT_DOUBLE_EQ(ev.macro_recall, 1.0);
+  EXPECT_DOUBLE_EQ(ev.accuracy, 1.0);
+  for (int c = 0; c < 3; ++c)
+    EXPECT_EQ(ev.confusion[c * 3 + c], 2);
+}
+
+TEST(Multiclass, UniformPredictorIsChanceLevel) {
+  std::vector<std::int32_t> labels = {0, 1, 0, 1, 0, 1, 0, 1};
+  std::vector<double> probs(labels.size() * 2, 0.5);
+  auto ev = evaluate_multiclass(probs, 2, labels);
+  EXPECT_NEAR(ev.macro_auc, 0.5, 1e-12);
+}
+
+TEST(Multiclass, HandComputedConfusionAndPrecision) {
+  // Predictions: argmax. labels: {0,0,1}, preds: {0,1,1}.
+  std::vector<std::int32_t> labels = {0, 0, 1};
+  std::vector<double> probs = {0.9, 0.1, 0.2, 0.8, 0.3, 0.7};
+  auto ev = evaluate_multiclass(probs, 2, labels);
+  EXPECT_EQ(ev.confusion, (std::vector<std::int64_t>{1, 1, 0, 1}));
+  // precision: class0 = 1/1, class1 = 1/2; macro = 0.75.
+  EXPECT_DOUBLE_EQ(ev.macro_precision, 0.75);
+  // recall: class0 = 1/2, class1 = 1/1; macro = 0.75.
+  EXPECT_DOUBLE_EQ(ev.macro_recall, 0.75);
+  EXPECT_NEAR(ev.accuracy, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Multiclass, AbsentClassSkippedInMacroAverages) {
+  // Class 2 never appears in labels; macro averages cover classes 0, 1.
+  std::vector<std::int32_t> labels = {0, 1, 0, 1};
+  std::vector<double> probs = {0.8, 0.1, 0.1, 0.1, 0.8, 0.1,
+                               0.8, 0.1, 0.1, 0.1, 0.8, 0.1};
+  auto ev = evaluate_multiclass(probs, 3, labels);
+  EXPECT_TRUE(std::isnan(ev.per_class_auc[2]));
+  EXPECT_DOUBLE_EQ(ev.macro_auc, 1.0);
+  EXPECT_DOUBLE_EQ(ev.macro_precision, 1.0);
+}
+
+TEST(Multiclass, OneVsRestMatchesManualBinaryReduction) {
+  std::vector<std::int32_t> labels = {0, 1, 2, 1};
+  std::vector<double> probs = {0.6, 0.3, 0.1, 0.2, 0.5, 0.3,
+                               0.1, 0.2, 0.7, 0.4, 0.4, 0.2};
+  const double auc1 = one_vs_rest_auc(probs, 3, labels, 1);
+  std::vector<double> scores = {0.3, 0.5, 0.2, 0.4};
+  std::vector<std::int32_t> binary = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(auc1, binary_auc(scores, binary));
+  EXPECT_THROW(one_vs_rest_auc(probs, 3, labels, 5), std::invalid_argument);
+}
+
+TEST(Multiclass, SingleClassLabelsRejected) {
+  std::vector<std::int32_t> labels = {1, 1};
+  std::vector<double> probs = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_THROW(evaluate_multiclass(probs, 2, labels), std::invalid_argument);
+}
+
+TEST(Multiclass, ValidatesShapes) {
+  EXPECT_THROW(evaluate_multiclass({0.5, 0.5}, 2, {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_multiclass({0.5, 0.5, 0.5, 0.5}, 2, {0, 3}),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_multiclass({}, 2, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amdgcnn::metrics

@@ -1,0 +1,244 @@
+// DGCNN / AM-DGCNN model and Trainer tests: shapes, gradients, learning on
+// planted-signal toys, and the paper's core contrast (edge-aware beats
+// edge-blind when the class lives in edge attributes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/dgcnn.h"
+#include "models/trainer.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace amdgcnn::models {
+namespace {
+
+/// Minimal synthetic sample: a star graph with `n` leaves around node 0,
+/// label decided either by edge attributes (polarity of leaf edges) or by
+/// topology (leaf count), depending on the toy in use.
+seal::SubgraphSample star_sample(std::int64_t leaves, double attr_value,
+                                 std::int32_t label) {
+  seal::SubgraphSample s;
+  s.num_nodes = leaves + 1;
+  s.label = label;
+  const std::int64_t f = 4;
+  std::vector<double> feat(static_cast<std::size_t>(s.num_nodes * f), 0.0);
+  for (std::int64_t i = 0; i < s.num_nodes; ++i)
+    feat[i * f + (i == 0 ? 0 : 1)] = 1.0;  // crude "target vs leaf" marker
+  s.node_feat = ag::Tensor::from_data({s.num_nodes, f}, std::move(feat));
+  std::vector<double> ea;
+  for (std::int64_t l = 1; l <= leaves; ++l) {
+    s.src.push_back(0);
+    s.dst.push_back(l);
+    s.src.push_back(l);
+    s.dst.push_back(0);
+    for (int rep = 0; rep < 2; ++rep) {
+      ea.push_back(attr_value);
+      ea.push_back(1.0 - attr_value);
+    }
+  }
+  s.edge_attr = ag::Tensor::from_data(
+      {static_cast<std::int64_t>(s.src.size()), 2}, std::move(ea));
+  return s;
+}
+
+ModelConfig small_config(GnnKind kind) {
+  ModelConfig mc;
+  mc.kind = kind;
+  mc.node_feature_dim = 4;
+  mc.edge_attr_dim = 2;
+  mc.num_classes = 2;
+  mc.hidden_dim = 8;
+  mc.heads = 2;
+  mc.num_layers = 2;
+  mc.sort_k = 10;
+  mc.dense_dim = 16;
+  return mc;
+}
+
+TEST(DGCNNModel, ForwardShapeIsOneByClasses) {
+  util::Rng rng(1);
+  for (auto kind : {GnnKind::kVanillaDGCNN, GnnKind::kAMDGCNN}) {
+    auto model = make_link_gnn(small_config(kind), rng);
+    auto s = star_sample(5, 1.0, 0);
+    util::Rng fwd(2);
+    auto logits = model->forward(s, fwd);
+    EXPECT_EQ(logits.shape(), (ag::Shape{1, 2}));
+  }
+}
+
+TEST(DGCNNModel, SortKClampedToConvHeadMinimum) {
+  util::Rng rng(3);
+  auto mc = small_config(GnnKind::kAMDGCNN);
+  mc.sort_k = 5;  // paper Table I lower bound; conv head needs >= 10
+  DGCNN model(mc, rng);
+  EXPECT_EQ(model.config().sort_k, 10);
+}
+
+TEST(DGCNNModel, TotalChannelsMatchesArchitecture) {
+  util::Rng rng(4);
+  auto mc = small_config(GnnKind::kVanillaDGCNN);
+  DGCNN model(mc, rng);
+  EXPECT_EQ(model.total_channels(), mc.num_layers * mc.hidden_dim + 1);
+}
+
+TEST(DGCNNModel, RejectsInvalidConfigs) {
+  util::Rng rng(5);
+  auto mc = small_config(GnnKind::kAMDGCNN);
+  mc.node_feature_dim = 0;
+  EXPECT_THROW(DGCNN(mc, rng), std::invalid_argument);
+  mc = small_config(GnnKind::kAMDGCNN);
+  mc.hidden_dim = 6;  // not divisible by heads=2? 6/2=3 fine; use 7
+  mc.hidden_dim = 7;
+  EXPECT_THROW(DGCNN(mc, rng), std::invalid_argument);
+  mc = small_config(GnnKind::kVanillaDGCNN);
+  mc.num_classes = 1;
+  EXPECT_THROW(DGCNN(mc, rng), std::invalid_argument);
+}
+
+TEST(DGCNNModel, HandlesTinySubgraphs) {
+  // Two isolated targets: no real edges at all.
+  util::Rng rng(6);
+  auto model = make_link_gnn(small_config(GnnKind::kAMDGCNN), rng);
+  seal::SubgraphSample s;
+  s.num_nodes = 2;
+  s.label = 0;
+  s.node_feat = ag::Tensor::ones({2, 4});
+  s.edge_attr = ag::Tensor::zeros({0, 2});
+  util::Rng fwd(7);
+  auto logits = model->forward(s, fwd);
+  EXPECT_EQ(logits.shape(), (ag::Shape{1, 2}));
+  EXPECT_TRUE(std::isfinite(logits.item(0)));
+}
+
+TEST(DGCNNModel, EndToEndParameterGradientsMatchNumerical) {
+  util::Rng rng(8);
+  auto mc = small_config(GnnKind::kAMDGCNN);
+  mc.dropout = 0.0;  // deterministic loss for finite differences
+  DGCNN model(mc, rng);
+  auto s = star_sample(4, 0.7, 1);
+  auto loss_fn = [&] {
+    util::Rng fwd(99);
+    auto logits = model.forward(s, fwd);
+    return ag::ops::cross_entropy(logits, {1});
+  };
+  // Full check over every parameter tensor is expensive; spot-check the
+  // first GAT layer weight and the classifier head.
+  auto params = model.parameters();
+  amdgcnn::testing::expect_gradient_matches(params.front(), loss_fn, 1e-5,
+                                            1e-5);
+  amdgcnn::testing::expect_gradient_matches(params.back(), loss_fn, 1e-5,
+                                            1e-5);
+}
+
+TEST(Trainer, LossDecreasesOnLearnableToy) {
+  // Topology toy: class = many-vs-few leaves; learnable by both models.
+  std::vector<seal::SubgraphSample> train;
+  util::Rng rng(9);
+  for (int i = 0; i < 40; ++i) {
+    const bool big = i % 2 == 0;
+    train.push_back(star_sample(big ? 8 : 2, 0.5, big ? 1 : 0));
+  }
+  auto mc = small_config(GnnKind::kVanillaDGCNN);
+  util::Rng init(10);
+  DGCNN model(mc, init);
+  TrainConfig tc;
+  tc.learning_rate = 5e-3;
+  Trainer trainer(model, tc);
+  const double first = trainer.train_epoch(train);
+  double last = first;
+  for (int e = 0; e < 5; ++e) last = trainer.train_epoch(train);
+  EXPECT_LT(last, first);
+}
+
+TEST(Trainer, PredictProbaRowsSumToOne) {
+  std::vector<seal::SubgraphSample> samples = {star_sample(3, 1.0, 0),
+                                               star_sample(5, 0.0, 1)};
+  util::Rng init(11);
+  DGCNN model(small_config(GnnKind::kAMDGCNN), init);
+  TrainConfig tc;
+  Trainer trainer(model, tc);
+  auto probs = trainer.predict_proba(samples);
+  ASSERT_EQ(probs.size(), 4u);
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-9);
+  EXPECT_NEAR(probs[2] + probs[3], 1.0, 1e-9);
+}
+
+TEST(Trainer, EvaluateReportsCoherentMetrics) {
+  std::vector<seal::SubgraphSample> samples;
+  for (int i = 0; i < 10; ++i)
+    samples.push_back(star_sample(3 + i % 4, 0.5, i % 2));
+  util::Rng init(12);
+  DGCNN model(small_config(GnnKind::kVanillaDGCNN), init);
+  TrainConfig tc;
+  Trainer trainer(model, tc);
+  auto ev = trainer.evaluate(samples);
+  EXPECT_GE(ev.metrics.macro_auc, 0.0);
+  EXPECT_LE(ev.metrics.macro_auc, 1.0);
+  EXPECT_GT(ev.mean_loss, 0.0);
+  EXPECT_THROW(trainer.evaluate({}), std::invalid_argument);
+}
+
+TEST(Trainer, FitRecordsRequestedEpochs) {
+  std::vector<seal::SubgraphSample> train = {star_sample(2, 1, 0),
+                                             star_sample(6, 0, 1)};
+  util::Rng init(13);
+  DGCNN model(small_config(GnnKind::kAMDGCNN), init);
+  TrainConfig tc;
+  tc.epochs = 6;
+  Trainer trainer(model, tc);
+  auto records = trainer.fit(train, train, /*eval_every=*/2);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].epoch, 2);
+  EXPECT_EQ(records[2].epoch, 6);
+  for (const auto& r : records) EXPECT_GE(r.seconds, 0.0);
+}
+
+TEST(Trainer, ValidatesConfig) {
+  util::Rng init(14);
+  DGCNN model(small_config(GnnKind::kAMDGCNN), init);
+  TrainConfig bad;
+  bad.learning_rate = 0.0;
+  EXPECT_THROW(Trainer(model, bad), std::invalid_argument);
+  bad = TrainConfig{};
+  bad.batch_size = 0;
+  EXPECT_THROW(Trainer(model, bad), std::invalid_argument);
+}
+
+TEST(PaperContrast, EdgeAwareModelSeparatesEdgeOnlySignal) {
+  // The WordNet-18 mechanism in miniature: identical topology everywhere,
+  // class carried ONLY by edge attributes.  AM-DGCNN must reach high train
+  // AUC; vanilla DGCNN must hover at chance.
+  std::vector<seal::SubgraphSample> train;
+  util::Rng noise(15);
+  for (int i = 0; i < 60; ++i) {
+    const std::int32_t label = i % 2;
+    const double attr = label == 1 ? 0.9 : 0.1;
+    train.push_back(star_sample(4, attr, label));
+  }
+  auto run = [&](GnnKind kind) {
+    auto mc = small_config(kind);
+    mc.dropout = 0.2;
+    util::Rng init(16);
+    DGCNN model(mc, init);
+    TrainConfig tc;
+    tc.learning_rate = 5e-3;
+    tc.epochs = 15;
+    Trainer trainer(model, tc);
+    trainer.fit(train, {}, 0);
+    return trainer.evaluate(train).metrics.macro_auc;
+  };
+  const double am = run(GnnKind::kAMDGCNN);
+  const double vanilla = run(GnnKind::kVanillaDGCNN);
+  EXPECT_GT(am, 0.95);
+  EXPECT_NEAR(vanilla, 0.5, 0.15);
+  EXPECT_GT(am, vanilla + 0.3);
+}
+
+TEST(GnnKindName, Names) {
+  EXPECT_STREQ(gnn_kind_name(GnnKind::kAMDGCNN), "AM-DGCNN");
+  EXPECT_STREQ(gnn_kind_name(GnnKind::kVanillaDGCNN), "Vanilla-DGCNN");
+}
+
+}  // namespace
+}  // namespace amdgcnn::models

@@ -1,0 +1,257 @@
+// GNN layer tests: shapes, hand-computed message passing, attention
+// normalisation, edge-attribute sensitivity, and end-to-end gradients.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/conv1d.h"
+#include "nn/gat_conv.h"
+#include "nn/gcn_conv.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/sort_pooling.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace amdgcnn::nn {
+namespace {
+
+TEST(ModuleBase, CollectsParametersRecursively) {
+  util::Rng rng(1);
+  MLP mlp({4, 8, 2}, 0.0, rng);
+  // Two Linear layers: (4x8 + 8) + (8x2 + 2).
+  EXPECT_EQ(mlp.num_parameters(), 4 * 8 + 8 + 8 * 2 + 2);
+  EXPECT_EQ(mlp.parameters().size(), 4u);
+  for (const auto& p : mlp.parameters()) EXPECT_TRUE(p.requires_grad());
+}
+
+TEST(ModuleBase, TrainingFlagPropagates) {
+  util::Rng rng(1);
+  MLP mlp({4, 8, 2}, 0.5, rng);
+  EXPECT_TRUE(mlp.training());
+  mlp.set_training(false);
+  EXPECT_FALSE(mlp.training());
+}
+
+TEST(LinearLayer, ComputesAffineMap) {
+  util::Rng rng(2);
+  Linear lin(2, 3, /*bias=*/true, rng);
+  auto x = ag::Tensor::from_data({2, 2}, {1, 0, 0, 1});
+  auto y = lin.forward(x);
+  EXPECT_EQ(y.shape(), (ag::Shape{2, 3}));
+  // With identity input rows, output rows = weight rows + bias.
+  Linear nobias(3, 2, /*bias=*/false, rng);
+  EXPECT_EQ(nobias.parameters().size(), 1u);
+}
+
+TEST(GCNLayer, UniformFeaturesStayUniformOnRegularGraph) {
+  // On a cycle (2-regular), symmetric-normalised propagation of constant
+  // features keeps them constant: sum over edges+self of 1/3 = 1.
+  util::Rng rng(3);
+  GCNConv gcn(1, 1, rng);
+  // Square cycle 0-1-2-3-0, both orientations.
+  std::vector<std::int64_t> src = {0, 1, 1, 2, 2, 3, 3, 0};
+  std::vector<std::int64_t> dst = {1, 0, 2, 1, 3, 2, 0, 3};
+  auto x = ag::Tensor::ones({4, 1});
+  auto out = gcn.forward(x, src, dst, 4);
+  // out = w * 1 + bias for every node, identical across nodes.
+  for (int i = 1; i < 4; ++i)
+    EXPECT_NEAR(out.at(i, 0), out.at(0, 0), 1e-12);
+}
+
+TEST(GCNLayer, HandComputedTwoNodeGraph) {
+  util::Rng rng(4);
+  GCNConv gcn(1, 1, rng);
+  const double w = gcn.parameters()[0].item(0);  // weight [1,1]
+  // Nodes 0-1 connected; degrees (with self loop) = 2 each.
+  std::vector<std::int64_t> src = {0, 1};
+  std::vector<std::int64_t> dst = {1, 0};
+  auto x = ag::Tensor::from_data({2, 1}, {1.0, 3.0});
+  auto out = gcn.forward(x, src, dst, 2);
+  // h0' = w*(x0/2 + x1/2), bias is zero-initialised.
+  EXPECT_NEAR(out.at(0, 0), w * (0.5 * 1.0 + 0.5 * 3.0), 1e-12);
+  EXPECT_NEAR(out.at(1, 0), w * (0.5 * 3.0 + 0.5 * 1.0), 1e-12);
+}
+
+TEST(GCNLayer, IsolatedNodeKeepsSelfLoopOnly) {
+  util::Rng rng(5);
+  GCNConv gcn(1, 1, rng);
+  const double w = gcn.parameters()[0].item(0);
+  auto x = ag::Tensor::from_data({1, 1}, {2.0});
+  auto out = gcn.forward(x, {}, {}, 1);
+  EXPECT_NEAR(out.at(0, 0), w * 2.0, 1e-12);
+}
+
+TEST(GCNLayer, RejectsShapeMismatch) {
+  util::Rng rng(6);
+  GCNConv gcn(2, 3, rng);
+  auto x = ag::Tensor::ones({3, 2});
+  EXPECT_THROW(gcn.forward(x, {0}, {}, 3), std::invalid_argument);
+  EXPECT_THROW(gcn.forward(x, {0}, {1}, 2), std::invalid_argument);
+}
+
+TEST(GATLayer, OutputShapeIsHeadsTimesFeatures) {
+  util::Rng rng(7);
+  GATConv gat(5, 3, /*heads=*/4, /*edge_attr_dim=*/0, rng);
+  EXPECT_EQ(gat.out_features(), 12);
+  auto x = ag::Tensor::ones({3, 5});
+  auto out = gat.forward(x, {0, 1}, {1, 0}, ag::Tensor(), 3);
+  EXPECT_EQ(out.shape(), (ag::Shape{3, 12}));
+}
+
+TEST(GATLayer, EdgeAttributesChangeTheOutput) {
+  util::Rng rng(8);
+  GATConv gat(2, 4, 2, /*edge_attr_dim=*/2, rng);
+  auto x = ag::Tensor::ones({3, 2});
+  std::vector<std::int64_t> src = {0, 1, 1, 2};
+  std::vector<std::int64_t> dst = {1, 0, 2, 1};
+  auto ea1 = ag::Tensor::from_data({4, 2}, {1, 0, 1, 0, 1, 0, 1, 0});
+  auto ea2 = ag::Tensor::from_data({4, 2}, {0, 1, 0, 1, 0, 1, 0, 1});
+  auto out1 = gat.forward(x, src, dst, ea1, 3);
+  auto out2 = gat.forward(x, src, dst, ea2, 3);
+  double max_diff = 0.0;
+  for (std::int64_t i = 0; i < out1.numel(); ++i)
+    max_diff = std::max(max_diff,
+                        std::abs(out1.item(i) - out2.item(i)));
+  EXPECT_GT(max_diff, 1e-6)
+      << "edge attributes must reach the node embeddings";
+}
+
+TEST(GATLayer, GcnIsBlindToEdgeAttributesByConstruction) {
+  // The contrast the whole paper rests on: same graph, different edge
+  // attributes -> identical GCN output.
+  util::Rng rng(9);
+  GCNConv gcn(2, 4, rng);
+  auto x = ag::Tensor::ones({3, 2});
+  std::vector<std::int64_t> src = {0, 1};
+  std::vector<std::int64_t> dst = {1, 2};
+  auto out = gcn.forward(x, src, dst, 3);
+  auto out2 = gcn.forward(x, src, dst, 3);
+  EXPECT_EQ(out.data(), out2.data());
+}
+
+TEST(GATLayer, AttentionWeightsNormalisePerDestination) {
+  // With identical inputs everywhere, the aggregated payload equals the
+  // payload itself (convex combination of identical vectors).
+  util::Rng rng(10);
+  GATConv gat(3, 2, 2, 0, rng);
+  auto x_same = ag::Tensor::ones({4, 3});
+  std::vector<std::int64_t> src = {0, 1, 2, 3, 1, 2};
+  std::vector<std::int64_t> dst = {1, 0, 1, 2, 3, 0};
+  auto out = gat.forward(x_same, src, dst, ag::Tensor(), 4);
+  // All nodes have identical inbound payloads -> identical outputs.
+  for (int i = 1; i < 4; ++i)
+    for (int c = 0; c < 4; ++c)
+      EXPECT_NEAR(out.at(i, c), out.at(0, c), 1e-9);
+}
+
+TEST(GATLayer, WorksWithNoRealEdges) {
+  util::Rng rng(11);
+  GATConv gat(2, 2, 1, 2, rng);
+  auto x = ag::Tensor::ones({2, 2});
+  auto empty_attr = ag::Tensor::zeros({0, 2});
+  auto out = gat.forward(x, {}, {}, empty_attr, 2);
+  EXPECT_EQ(out.shape(), (ag::Shape{2, 2}));
+}
+
+TEST(GATLayer, ValidatesEdgeAttrShape) {
+  util::Rng rng(12);
+  GATConv gat(2, 2, 1, 3, rng);
+  auto x = ag::Tensor::ones({2, 2});
+  auto bad = ag::Tensor::zeros({1, 2});  // dim should be 3
+  EXPECT_THROW(gat.forward(x, {0}, {1}, bad, 2), std::invalid_argument);
+  EXPECT_THROW(gat.forward(x, {0}, {1}, ag::Tensor(), 2),
+               std::invalid_argument);
+}
+
+TEST(GATLayer, GradientsFlowToAllParameters) {
+  util::Rng rng(13);
+  GATConv gat(2, 2, 2, 2, rng);
+  auto x = ag::Tensor::ones({3, 2});
+  std::vector<std::int64_t> src = {0, 1, 1, 2};
+  std::vector<std::int64_t> dst = {1, 0, 2, 1};
+  util::Rng data_rng(14);
+  auto ea = ag::Tensor::randn({4, 2}, data_rng);
+  auto out = gat.forward(x, src, dst, ea, 3);
+  auto loss = ag::ops::mean(ag::ops::mul(out, out));
+  loss.backward();
+  for (auto& p : gat.parameters()) {
+    double norm = 0.0;
+    for (double gv : p.grad()) norm += gv * gv;
+    EXPECT_GT(norm, 0.0) << "a parameter received no gradient";
+  }
+}
+
+TEST(GATLayer, ParameterGradientsMatchNumerical) {
+  util::Rng rng(15);
+  GATConv gat(2, 2, 1, 2, rng);
+  util::Rng data_rng(16);
+  auto x = ag::Tensor::randn({3, 2}, data_rng);
+  auto ea = ag::Tensor::randn({4, 2}, data_rng);
+  std::vector<std::int64_t> src = {0, 1, 1, 2};
+  std::vector<std::int64_t> dst = {1, 0, 2, 1};
+  auto loss_fn = [&] {
+    auto out = gat.forward(x, src, dst, ea, 3);
+    return ag::ops::mean(ag::ops::mul(out, out));
+  };
+  for (auto p : gat.parameters()) {
+    amdgcnn::testing::expect_gradient_matches(p, loss_fn, 1e-5, 1e-5);
+  }
+}
+
+TEST(GCNLayer, ParameterGradientsMatchNumerical) {
+  util::Rng rng(17);
+  GCNConv gcn(2, 3, rng);
+  util::Rng data_rng(18);
+  auto x = ag::Tensor::randn({4, 2}, data_rng);
+  std::vector<std::int64_t> src = {0, 1, 1, 2, 2, 3};
+  std::vector<std::int64_t> dst = {1, 0, 2, 1, 3, 2};
+  auto loss_fn = [&] {
+    auto out = gcn.forward(x, src, dst, 4);
+    return ag::ops::mean(ag::ops::mul(out, out));
+  };
+  for (auto p : gcn.parameters())
+    amdgcnn::testing::expect_gradient_matches(p, loss_fn, 1e-5, 1e-5);
+}
+
+TEST(SortPoolingLayer, ForwardsToOp) {
+  SortPooling sp(3);
+  EXPECT_EQ(sp.k(), 3);
+  auto x = ag::Tensor::from_data({2, 1}, {5, 7});
+  auto out = sp.forward(x);
+  EXPECT_EQ(out.shape(), (ag::Shape{3, 1}));
+  EXPECT_EQ(out.data(), (std::vector<double>{7, 5, 0}));
+  EXPECT_THROW(SortPooling(0), std::invalid_argument);
+}
+
+TEST(Conv1dLayer, ShapeAndParameterCount) {
+  util::Rng rng(19);
+  Conv1d conv(4, 8, 3, 1, rng);
+  EXPECT_EQ(conv.num_parameters(), 8 * 4 * 3 + 8);
+  auto x = ag::Tensor::ones({4, 10});
+  EXPECT_EQ(conv.forward(x).shape(), (ag::Shape{8, 8}));
+  MaxPool1d pool(2, 2);
+  EXPECT_EQ(pool.forward(conv.forward(x)).shape(), (ag::Shape{8, 4}));
+}
+
+TEST(MlpLayer, DropoutOnlyInTraining) {
+  util::Rng rng(20);
+  MLP mlp({4, 16, 2}, 0.9, rng);
+  auto x = ag::Tensor::ones({1, 4});
+  mlp.set_training(false);
+  util::Rng fwd1(1), fwd2(2);
+  auto a = mlp.forward(x, fwd1);
+  auto b = mlp.forward(x, fwd2);
+  EXPECT_EQ(a.data(), b.data());  // eval mode is deterministic
+  mlp.set_training(true);
+  util::Rng fwd3(3), fwd4(4);
+  auto c = mlp.forward(x, fwd3);
+  auto d = mlp.forward(x, fwd4);
+  bool differs = false;
+  for (std::int64_t i = 0; i < c.numel(); ++i)
+    differs = differs || c.item(i) != d.item(i);
+  EXPECT_TRUE(differs);  // p=0.9 dropout virtually surely differs
+}
+
+}  // namespace
+}  // namespace amdgcnn::nn

@@ -1,0 +1,154 @@
+// Optimizer convergence tests and dense linear-algebra kernel tests.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/linalg.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace amdgcnn::ag {
+namespace {
+
+// ---- Optimizers -------------------------------------------------------------
+
+/// Quadratic bowl loss: sum((x - target)^2).
+Tensor bowl_loss(Tensor& x, const Tensor& target) {
+  auto d = ops::sub(x, target);
+  return ops::sum(ops::mul(d, d));
+}
+
+TEST(SGDTest, ConvergesOnQuadratic) {
+  auto x = Tensor::from_data({3}, {5.0, -3.0, 2.0}).requires_grad(true);
+  auto target = Tensor::from_data({3}, {1.0, 2.0, -1.0});
+  SGD opt({x}, /*lr=*/0.1);
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    bowl_loss(x, target).backward();
+    opt.step();
+  }
+  for (int i = 0; i < 3; ++i)
+    EXPECT_NEAR(x.data()[i], target.data()[i], 1e-6);
+}
+
+TEST(SGDTest, MomentumAcceleratesDescent) {
+  auto run = [](double momentum) {
+    auto x = Tensor::from_data({1}, {10.0}).requires_grad(true);
+    auto target = Tensor::from_data({1}, {0.0});
+    SGD opt({x}, 0.01, momentum);
+    for (int i = 0; i < 50; ++i) {
+      opt.zero_grad();
+      bowl_loss(x, target).backward();
+      opt.step();
+    }
+    return std::abs(x.data()[0]);
+  };
+  EXPECT_LT(run(0.9), run(0.0));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  auto x = Tensor::from_data({3}, {5.0, -3.0, 2.0}).requires_grad(true);
+  auto target = Tensor::from_data({3}, {1.0, 2.0, -1.0});
+  Adam opt({x}, /*lr=*/0.1);
+  for (int i = 0; i < 500; ++i) {
+    opt.zero_grad();
+    bowl_loss(x, target).backward();
+    opt.step();
+  }
+  for (int i = 0; i < 3; ++i)
+    EXPECT_NEAR(x.data()[i], target.data()[i], 1e-4);
+}
+
+TEST(AdamTest, WeightDecayShrinksParameters) {
+  auto x = Tensor::from_data({1}, {1.0}).requires_grad(true);
+  Adam opt({x}, 0.01, 0.9, 0.999, 1e-8, /*weight_decay=*/1.0);
+  // Loss is identically zero; only weight decay acts.
+  for (int i = 0; i < 100; ++i) {
+    opt.zero_grad();
+    opt.step();
+  }
+  EXPECT_LT(std::abs(x.data()[0]), 1.0);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesLongGradients) {
+  auto x = Tensor::from_data({2}, {0.0, 0.0}).requires_grad(true);
+  SGD opt({x}, 1.0);
+  x.grad()[0] = 3.0;
+  x.grad()[1] = 4.0;  // norm 5
+  const double pre = opt.clip_grad_norm(1.0);
+  EXPECT_DOUBLE_EQ(pre, 5.0);
+  EXPECT_NEAR(x.grad()[0], 0.6, 1e-12);
+  EXPECT_NEAR(x.grad()[1], 0.8, 1e-12);
+  // Short gradients untouched.
+  const double pre2 = opt.clip_grad_norm(10.0);
+  EXPECT_NEAR(pre2, 1.0, 1e-12);
+  EXPECT_NEAR(x.grad()[0], 0.6, 1e-12);
+}
+
+TEST(OptimizerTest, RejectsNonGradParameters) {
+  auto x = Tensor::ones({2});
+  EXPECT_THROW(SGD({x}, 0.1), std::invalid_argument);
+}
+
+// ---- Linear algebra ----------------------------------------------------------
+
+TEST(Cholesky, FactorsKnownSpdMatrix) {
+  // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]].
+  const std::vector<double> a = {4, 2, 2, 3};
+  auto l = linalg::cholesky(a, 2);
+  EXPECT_NEAR(l[0], 2.0, 1e-12);
+  EXPECT_NEAR(l[1], 0.0, 1e-12);
+  EXPECT_NEAR(l[2], 1.0, 1e-12);
+  EXPECT_NEAR(l[3], std::sqrt(2.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  const std::vector<double> a = {1, 2, 2, 1};  // eigenvalues 3, -1
+  EXPECT_THROW(linalg::cholesky(a, 2), std::runtime_error);
+}
+
+TEST(Cholesky, ReconstructsRandomSpdMatrices) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 4 + trial;
+    // A = B B^T + n I is SPD.
+    std::vector<double> b(n * n);
+    for (auto& v : b) v = rng.normal();
+    std::vector<double> a(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k)
+          a[i * n + j] += b[i * n + k] * b[j * n + k];
+        if (i == j) a[i * n + j] += static_cast<double>(n);
+      }
+    auto l = linalg::cholesky(a, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        double recon = 0.0;
+        for (std::size_t k = 0; k < n; ++k)
+          recon += l[i * n + k] * l[j * n + k];
+        EXPECT_NEAR(recon, a[i * n + j], 1e-9);
+      }
+  }
+}
+
+TEST(TriangularSolve, SolvesSpdSystem) {
+  const std::vector<double> a = {4, 2, 2, 3};
+  const std::vector<double> rhs = {10, 9};
+  auto x = linalg::solve_spd(a, 2, rhs);
+  // Verify A x = rhs.
+  EXPECT_NEAR(4 * x[0] + 2 * x[1], 10.0, 1e-10);
+  EXPECT_NEAR(2 * x[0] + 3 * x[1], 9.0, 1e-10);
+}
+
+TEST(LinalgHelpers, MatvecAndDot) {
+  const std::vector<double> a = {1, 2, 3, 4, 5, 6};
+  auto y = linalg::matvec(a, 2, 3, {1, 0, -1});
+  EXPECT_EQ(y, (std::vector<double>{-2, -2}));
+  EXPECT_DOUBLE_EQ(linalg::dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_THROW(linalg::dot({1}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(linalg::matvec(a, 2, 3, {1, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amdgcnn::ag

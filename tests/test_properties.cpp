@@ -1,0 +1,275 @@
+// Cross-module property tests: invariants that must hold for ANY dataset /
+// subgraph / model configuration (parameterized sweeps).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "datasets/biokg_sim.h"
+#include "datasets/cora_sim.h"
+#include "datasets/primekg_sim.h"
+#include "datasets/wordnet_sim.h"
+#include "models/dgcnn.h"
+#include "seal/dataset.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace amdgcnn {
+namespace {
+
+// ---- Dataset-pipeline invariants, swept over all four generators --------------
+
+datasets::LinkDataset make_small(const std::string& name) {
+  if (name == "primekg") {
+    datasets::PrimeKGSimOptions o;
+    o.scale = 0.25;
+    o.num_train = 60;
+    o.num_test = 20;
+    return datasets::make_primekg_sim(o);
+  }
+  if (name == "biokg") {
+    datasets::BioKGSimOptions o;
+    o.scale = 0.25;
+    o.num_train = 60;
+    o.num_test = 20;
+    return datasets::make_biokg_sim(o);
+  }
+  if (name == "wordnet") {
+    datasets::WordNetSimOptions o;
+    o.num_nodes = 400;
+    o.num_train = 60;
+    o.num_test = 20;
+    return datasets::make_wordnet_sim(o);
+  }
+  datasets::CoraSimOptions o;
+  o.num_nodes = 300;
+  o.num_edges = 700;
+  o.num_pos_links = 40;
+  return datasets::make_cora_sim(o);
+}
+
+class DatasetPipelineProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetPipelineProperty, SamplesSatisfySealInvariants) {
+  auto data = make_small(GetParam());
+  seal::SealDatasetOptions opts;
+  opts.extract.mode = data.neighborhood_mode;
+  opts.extract.max_nodes = 24;
+  opts.features.max_drnl_label = 16;
+  auto ds = seal::build_seal_dataset(data.graph, data.train_links,
+                                     data.test_links, data.num_classes, opts);
+  ASSERT_EQ(ds.train.size(), data.train_links.size());
+
+  const std::int64_t drnl_width = opts.features.max_drnl_label + 1;
+  for (const auto* split : {&ds.train, &ds.test}) {
+    for (const auto& s : *split) {
+      // Size cap respected; targets exist.
+      EXPECT_LE(s.num_nodes, 24);
+      EXPECT_GE(s.num_nodes, 2);
+      EXPECT_EQ(s.node_feat.dim(0), s.num_nodes);
+      EXPECT_EQ(s.node_feat.dim(1), ds.node_feature_dim);
+      // DRNL block of every row is a valid one-hot.
+      for (std::int64_t i = 0; i < s.num_nodes; ++i) {
+        double block = 0.0;
+        for (std::int64_t c = 0; c < drnl_width; ++c)
+          block += s.node_feat.at(i, c);
+        EXPECT_EQ(block, 1.0);
+      }
+      // Targets (rows 0, 1) carry DRNL label 1.
+      EXPECT_EQ(s.node_feat.at(0, 1), 1.0);
+      EXPECT_EQ(s.node_feat.at(1, 1), 1.0);
+      // Edge arrays are aligned, within bounds, and both orientations of
+      // each undirected edge appear (even count).
+      ASSERT_EQ(s.src.size(), s.dst.size());
+      EXPECT_EQ(s.src.size() % 2, 0u);
+      for (std::size_t e = 0; e < s.src.size(); ++e) {
+        EXPECT_GE(s.src[e], 0);
+        EXPECT_LT(s.src[e], s.num_nodes);
+        EXPECT_GE(s.dst[e], 0);
+        EXPECT_LT(s.dst[e], s.num_nodes);
+        EXPECT_NE(s.src[e], s.dst[e]);
+      }
+      // Edge attribute matrix aligned and one-hot where defined.
+      if (ds.edge_attr_dim > 0) {
+        ASSERT_TRUE(s.edge_attr.defined());
+        ASSERT_EQ(s.edge_attr.dim(0),
+                  static_cast<std::int64_t>(s.src.size()));
+        for (std::int64_t e = 0; e < s.edge_attr.dim(0); ++e) {
+          double row = 0.0;
+          for (std::int64_t c = 0; c < ds.edge_attr_dim; ++c)
+            row += s.edge_attr.at(e, c);
+          EXPECT_EQ(row, 1.0);
+        }
+      }
+      // Label range.
+      EXPECT_GE(s.label, 0);
+      EXPECT_LT(s.label, ds.num_classes);
+    }
+  }
+}
+
+TEST_P(DatasetPipelineProperty, MaterializedSubgraphPreservesStructure) {
+  auto data = make_small(GetParam());
+  graph::ExtractOptions eo;
+  eo.mode = data.neighborhood_mode;
+  eo.max_nodes = 32;
+  const auto& link = data.train_links.front();
+  auto sub = graph::extract_enclosing_subgraph(data.graph, link.a, link.b, eo);
+  auto local = graph::materialize_subgraph(data.graph, sub);
+  EXPECT_EQ(local.num_nodes(), sub.num_nodes());
+  EXPECT_EQ(local.num_edges(), static_cast<std::int64_t>(sub.edges.size()));
+  for (std::size_t i = 0; i < sub.nodes.size(); ++i)
+    EXPECT_EQ(local.node_type(static_cast<graph::NodeId>(i)),
+              data.graph.node_type(sub.nodes[i]));
+  for (const auto& e : sub.edges) {
+    const auto local_edge = local.find_edge(e.src, e.dst);
+    ASSERT_GE(local_edge, 0);
+    EXPECT_EQ(local.edge(local_edge).type, data.graph.edge(e.orig).type);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetPipelineProperty,
+                         ::testing::Values("primekg", "biokg", "wordnet",
+                                           "cora"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// ---- Model invariants ----------------------------------------------------------
+
+/// Permute the node ids of a sample (keeping targets at any position is NOT
+/// required by the model — it reads targets through the DRNL feature, so a
+/// full permutation is legal).
+seal::SubgraphSample permute_sample(const seal::SubgraphSample& s,
+                                    const std::vector<std::int64_t>& perm) {
+  seal::SubgraphSample out;
+  out.num_nodes = s.num_nodes;
+  out.label = s.label;
+  const std::int64_t f = s.node_feat.dim(1);
+  std::vector<double> feat(static_cast<std::size_t>(s.num_nodes * f));
+  for (std::int64_t i = 0; i < s.num_nodes; ++i)
+    for (std::int64_t c = 0; c < f; ++c)
+      feat[perm[i] * f + c] = s.node_feat.at(i, c);
+  out.node_feat = ag::Tensor::from_data({s.num_nodes, f}, std::move(feat));
+  out.src.resize(s.src.size());
+  out.dst.resize(s.dst.size());
+  for (std::size_t e = 0; e < s.src.size(); ++e) {
+    out.src[e] = perm[s.src[e]];
+    out.dst[e] = perm[s.dst[e]];
+  }
+  out.edge_attr = s.edge_attr;
+  return out;
+}
+
+class ModelInvariance : public ::testing::TestWithParam<models::GnnKind> {};
+
+TEST_P(ModelInvariance, LogitsInvariantToNodeRelabeling) {
+  auto data = make_small("biokg");
+  seal::SealDatasetOptions opts;
+  opts.extract.max_nodes = 20;
+  auto ds = seal::build_seal_dataset(data.graph, data.train_links, {},
+                                     data.num_classes, opts);
+
+  models::ModelConfig mc;
+  mc.kind = GetParam();
+  mc.node_feature_dim = ds.node_feature_dim;
+  mc.edge_attr_dim = ds.edge_attr_dim;
+  mc.num_classes = ds.num_classes;
+  mc.hidden_dim = 8;
+  mc.heads = 2;
+  mc.num_layers = 2;
+  mc.sort_k = 10;
+  mc.dropout = 0.0;
+  util::Rng rng(3);
+  models::DGCNN model(mc, rng);
+  model.set_training(false);
+
+  util::Rng perm_rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto& s = ds.train[trial];
+    std::vector<std::int64_t> perm(static_cast<std::size_t>(s.num_nodes));
+    std::iota(perm.begin(), perm.end(), std::int64_t{0});
+    perm_rng.shuffle(perm);
+    const auto permuted = permute_sample(s, perm);
+    util::Rng f1(1), f2(1);
+    auto a = model.forward(s, f1);
+    auto b = model.forward(permuted, f2);
+    for (std::int64_t c = 0; c < mc.num_classes; ++c)
+      EXPECT_NEAR(a.item(c), b.item(c), 1e-9)
+          << "model must be permutation invariant";
+  }
+}
+
+TEST_P(ModelInvariance, LogitsInvariantToEdgeOrderShuffle) {
+  auto data = make_small("wordnet");
+  seal::SealDatasetOptions opts;
+  opts.extract.max_nodes = 20;
+  auto ds = seal::build_seal_dataset(data.graph, data.train_links, {},
+                                     data.num_classes, opts);
+  models::ModelConfig mc;
+  mc.kind = GetParam();
+  mc.node_feature_dim = ds.node_feature_dim;
+  mc.edge_attr_dim = ds.edge_attr_dim;
+  mc.num_classes = ds.num_classes;
+  mc.hidden_dim = 8;
+  mc.heads = 2;
+  mc.num_layers = 2;
+  mc.sort_k = 10;
+  mc.dropout = 0.0;
+  util::Rng rng(7);
+  models::DGCNN model(mc, rng);
+  model.set_training(false);
+
+  const auto& s = ds.train.front();
+  // Reverse the edge list (keeping attr rows aligned).
+  seal::SubgraphSample reversed = s;
+  std::reverse(reversed.src.begin(), reversed.src.end());
+  std::reverse(reversed.dst.begin(), reversed.dst.end());
+  if (s.edge_attr.defined() && s.edge_attr.dim(0) > 0) {
+    const std::int64_t e = s.edge_attr.dim(0), d = s.edge_attr.dim(1);
+    std::vector<double> attr(static_cast<std::size_t>(e * d));
+    for (std::int64_t i = 0; i < e; ++i)
+      for (std::int64_t c = 0; c < d; ++c)
+        attr[(e - 1 - i) * d + c] = s.edge_attr.at(i, c);
+    reversed.edge_attr = ag::Tensor::from_data({e, d}, std::move(attr));
+  }
+  util::Rng f1(1), f2(1);
+  auto a = model.forward(s, f1);
+  auto b = model.forward(reversed, f2);
+  for (std::int64_t c = 0; c < mc.num_classes; ++c)
+    EXPECT_NEAR(a.item(c), b.item(c), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKinds, ModelInvariance,
+                         ::testing::Values(models::GnnKind::kVanillaDGCNN,
+                                           models::GnnKind::kAMDGCNN),
+                         [](const auto& info) {
+                           return std::string(
+                               models::gnn_kind_name(info.param) ==
+                                       std::string("AM-DGCNN")
+                                   ? "AM"
+                                   : "Vanilla");
+                         });
+
+// ---- Segment softmax shift invariance -------------------------------------------
+
+TEST(SegmentSoftmaxProperty, InvariantToPerSegmentShift) {
+  util::Rng rng(11);
+  auto scores = ag::Tensor::randn({6, 2}, rng);
+  std::vector<std::int64_t> seg = {0, 1, 0, 1, 2, 2};
+  auto base = ag::ops::segment_softmax(scores, seg, 3);
+  // Add a constant per segment (same across heads).
+  auto shifted_data = scores.data();
+  const double shift[3] = {5.0, -3.0, 100.0};
+  for (int e = 0; e < 6; ++e)
+    for (int h = 0; h < 2; ++h) shifted_data[e * 2 + h] += shift[seg[e]];
+  auto shifted = ag::Tensor::from_data({6, 2}, shifted_data);
+  auto out = ag::ops::segment_softmax(shifted, seg, 3);
+  for (std::int64_t i = 0; i < base.numel(); ++i)
+    EXPECT_NEAR(base.item(i), out.item(i), 1e-12);
+}
+
+}  // namespace
+}  // namespace amdgcnn

@@ -1,0 +1,162 @@
+// Forward-value and property tests for segment (message-passing) and
+// DGCNN-head (sort-pool / conv1d / max-pool) operations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tensor/conv_ops.h"
+#include "tensor/ops.h"
+#include "tensor/segment_ops.h"
+#include "util/rng.h"
+
+namespace amdgcnn::ag {
+namespace {
+
+TEST(ScatterAdd, AccumulatesDuplicateTargets) {
+  auto src = Tensor::from_data({3, 2}, {1, 2, 3, 4, 5, 6});
+  auto out = ops::scatter_add_rows(src, {1, 1, 0}, 3);
+  EXPECT_EQ(out.shape(), (Shape{3, 2}));
+  EXPECT_EQ(out.data(), (std::vector<double>{5, 6, 4, 6, 0, 0}));
+}
+
+TEST(ScatterAdd, ValidatesIndices) {
+  auto src = Tensor::from_data({2, 1}, {1, 2});
+  EXPECT_THROW(ops::scatter_add_rows(src, {0, 3}, 2), std::invalid_argument);
+  EXPECT_THROW(ops::scatter_add_rows(src, {0}, 2), std::invalid_argument);
+}
+
+TEST(SegmentSoftmax, RowsOfEachSegmentSumToOne) {
+  util::Rng rng(5);
+  auto scores = Tensor::randn({7, 3}, rng);
+  std::vector<std::int64_t> seg = {0, 1, 0, 2, 1, 2, 2};
+  auto alpha = ops::segment_softmax(scores, seg, 3);
+  std::vector<double> colsum(9, 0.0);
+  for (int e = 0; e < 7; ++e)
+    for (int h = 0; h < 3; ++h) colsum[seg[e] * 3 + h] += alpha.at(e, h);
+  for (double s : colsum) EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(SegmentSoftmax, SingletonSegmentGetsWeightOne) {
+  auto scores = Tensor::from_data({1, 2}, {5.0, -3.0});
+  auto alpha = ops::segment_softmax(scores, {0}, 1);
+  EXPECT_NEAR(alpha.at(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(alpha.at(0, 1), 1.0, 1e-12);
+}
+
+TEST(SegmentSoftmax, MatchesDenseSoftmaxWithinSegment) {
+  auto scores = Tensor::from_data({3, 1}, {1.0, 2.0, 3.0});
+  auto alpha = ops::segment_softmax(scores, {0, 0, 0}, 1);
+  auto dense = ops::softmax_rows(ops::transpose(scores));
+  EXPECT_NEAR(alpha.at(0, 0), dense.at(0, 0), 1e-12);
+  EXPECT_NEAR(alpha.at(1, 0), dense.at(0, 1), 1e-12);
+  EXPECT_NEAR(alpha.at(2, 0), dense.at(0, 2), 1e-12);
+}
+
+TEST(SegmentSoftmax, NumericallyStableOnLargeScores) {
+  auto scores = Tensor::from_data({2, 1}, {1000.0, 999.0});
+  auto alpha = ops::segment_softmax(scores, {0, 0}, 1);
+  EXPECT_NEAR(alpha.at(0, 0) + alpha.at(1, 0), 1.0, 1e-12);
+  EXPECT_GT(alpha.at(0, 0), alpha.at(1, 0));
+}
+
+TEST(SortPool, SortsDescendingByLastColumn) {
+  auto x = Tensor::from_data({3, 2}, {10, 0.1, 20, 0.9, 30, 0.5});
+  auto out = ops::sort_pool(x, 3);
+  // Sorted by last column: rows (20,0.9), (30,0.5), (10,0.1).
+  EXPECT_EQ(out.data(), (std::vector<double>{20, 0.9, 30, 0.5, 10, 0.1}));
+}
+
+TEST(SortPool, PadsSmallGraphsWithZeros) {
+  auto x = Tensor::from_data({2, 2}, {1, 5, 2, 6});
+  auto out = ops::sort_pool(x, 4);
+  EXPECT_EQ(out.shape(), (Shape{4, 2}));
+  EXPECT_EQ(out.data(), (std::vector<double>{2, 6, 1, 5, 0, 0, 0, 0}));
+}
+
+TEST(SortPool, TruncatesLargeGraphs) {
+  auto x = Tensor::from_data({4, 1}, {3, 1, 4, 2});
+  auto out = ops::sort_pool(x, 2);
+  EXPECT_EQ(out.data(), (std::vector<double>{4, 3}));
+}
+
+TEST(SortPool, TieBrokenByEarlierColumns) {
+  auto x = Tensor::from_data({2, 2}, {1, 7, 2, 7});
+  auto out = ops::sort_pool(x, 2);
+  // Last column ties at 7; first column decides (2 > 1).
+  EXPECT_EQ(out.data(), (std::vector<double>{2, 7, 1, 7}));
+}
+
+TEST(SortPool, PermutationInvariant) {
+  util::Rng rng(11);
+  auto x = Tensor::randn({6, 3}, rng);
+  auto shuffled_data = x.data();
+  // Rotate rows by 2.
+  std::rotate(shuffled_data.begin(), shuffled_data.begin() + 2 * 3,
+              shuffled_data.end());
+  auto y = Tensor::from_data({6, 3}, shuffled_data);
+  EXPECT_EQ(ops::sort_pool(x, 4).data(), ops::sort_pool(y, 4).data());
+}
+
+TEST(Conv1d, KnownValues) {
+  // 1 input channel, kernel 2, stride 1, weight [1 -1], bias 0.5.
+  auto x = Tensor::from_data({1, 4}, {1, 3, 2, 5});
+  auto w = Tensor::from_data({1, 2}, {1, -1});
+  auto b = Tensor::from_data({1}, {0.5});
+  auto out = ops::conv1d(x, w, b, 2, 1);
+  EXPECT_EQ(out.shape(), (Shape{1, 3}));
+  EXPECT_EQ(out.data(), (std::vector<double>{-1.5, 1.5, -2.5}));
+}
+
+TEST(Conv1d, StrideAndMultiChannel) {
+  auto x = Tensor::from_data({2, 4}, {1, 2, 3, 4, 10, 20, 30, 40});
+  // C_out=1, kernel=2: weight sums both channels' windows.
+  auto w = Tensor::ones({1, 4});
+  auto out = ops::conv1d(x, w, Tensor(), 2, 2);
+  EXPECT_EQ(out.shape(), (Shape{1, 2}));
+  EXPECT_EQ(out.data(), (std::vector<double>{33, 77}));
+}
+
+TEST(Conv1d, RejectsBadShapes) {
+  auto x = Tensor::from_data({1, 3}, {1, 2, 3});
+  auto w = Tensor::ones({1, 2});
+  EXPECT_THROW(ops::conv1d(x, Tensor::ones({1, 3}), Tensor(), 2, 1),
+               std::invalid_argument);
+  EXPECT_THROW(ops::conv1d(x, w, Tensor::ones({2}), 2, 1),
+               std::invalid_argument);
+  auto short_x = Tensor::from_data({1, 1}, {1});
+  EXPECT_THROW(ops::conv1d(short_x, w, Tensor(), 2, 1),
+               std::invalid_argument);
+}
+
+TEST(MaxPool1d, KnownValues) {
+  auto x = Tensor::from_data({2, 4}, {1, 5, 2, 3, 9, 0, 4, 4});
+  auto out = ops::max_pool1d(x, 2, 2);
+  EXPECT_EQ(out.shape(), (Shape{2, 2}));
+  EXPECT_EQ(out.data(), (std::vector<double>{5, 3, 9, 4}));
+}
+
+TEST(MaxPool1d, OverlappingWindows) {
+  auto x = Tensor::from_data({1, 4}, {1, 5, 2, 3});
+  auto out = ops::max_pool1d(x, 2, 1);
+  EXPECT_EQ(out.data(), (std::vector<double>{5, 5, 3}));
+}
+
+TEST(DgcnnHeadPipeline, ShapesComposeForMinimumK) {
+  // k=10, C=5 embedding channels: reshape -> conv(kernel=C, stride=C) ->
+  // pool(2,2) -> conv(kernel 5): the minimal legal DGCNN head.
+  util::Rng rng(13);
+  auto z = Tensor::randn({7, 5}, rng);
+  auto pooled = ops::sort_pool(z, 10);
+  auto seq = ops::reshape(pooled, {1, 50});
+  auto w1 = Tensor::randn({16, 5}, rng);
+  auto c1 = ops::conv1d(seq, w1, Tensor(), 5, 5);
+  EXPECT_EQ(c1.shape(), (Shape{16, 10}));
+  auto p = ops::max_pool1d(c1, 2, 2);
+  EXPECT_EQ(p.shape(), (Shape{16, 5}));
+  auto w2 = Tensor::randn({32, 16 * 5}, rng);
+  auto c2 = ops::conv1d(p, w2, Tensor(), 5, 1);
+  EXPECT_EQ(c2.shape(), (Shape{32, 1}));
+}
+
+}  // namespace
+}  // namespace amdgcnn::ag

@@ -1,0 +1,357 @@
+// Enclosing-subgraph extraction, DRNL labeling, feature building, sampling
+// and SEAL dataset assembly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+#include "seal/dataset.h"
+#include "seal/drnl.h"
+#include "seal/feature_builder.h"
+#include "seal/sampling.h"
+#include "test_util.h"
+
+namespace amdgcnn {
+namespace {
+
+using graph::EnclosingSubgraph;
+using graph::ExtractOptions;
+using graph::NeighborhoodMode;
+
+// ---- Subgraph extraction ------------------------------------------------------
+
+TEST(Subgraph, TargetsAlwaysFirstAndPresent) {
+  auto g = testing::path_graph(6);
+  ExtractOptions opts;
+  auto sub = extract_enclosing_subgraph(g, 4, 1, opts);
+  EXPECT_EQ(sub.nodes[EnclosingSubgraph::kTargetA], 4);
+  EXPECT_EQ(sub.nodes[EnclosingSubgraph::kTargetB], 1);
+}
+
+TEST(Subgraph, UnionCoversBothNeighborhoods) {
+  auto g = testing::path_graph(7);  // 0-1-2-3-4-5-6
+  ExtractOptions opts;
+  opts.num_hops = 1;
+  auto sub = extract_enclosing_subgraph(g, 1, 5, opts);
+  std::set<graph::NodeId> nodes(sub.nodes.begin(), sub.nodes.end());
+  EXPECT_EQ(nodes, (std::set<graph::NodeId>{0, 1, 2, 4, 5, 6}));
+}
+
+TEST(Subgraph, IntersectionKeepsOnlySharedNeighborhood) {
+  auto g = testing::path_graph(7);
+  ExtractOptions opts;
+  opts.num_hops = 2;
+  opts.mode = NeighborhoodMode::kIntersection;
+  auto sub = extract_enclosing_subgraph(g, 2, 4, opts);
+  std::set<graph::NodeId> nodes(sub.nodes.begin(), sub.nodes.end());
+  // 2-hop of 2: {0..4}; 2-hop of 4: {2..6}; intersection minus targets: {3}.
+  EXPECT_EQ(nodes, (std::set<graph::NodeId>{2, 3, 4}));
+}
+
+TEST(Subgraph, TargetEdgeIsMasked) {
+  auto g = testing::triangle_with_tail();
+  ExtractOptions opts;
+  auto sub = extract_enclosing_subgraph(g, 0, 1, opts);
+  for (const auto& e : sub.edges) {
+    const bool is_target =
+        (sub.nodes[e.src] == 0 && sub.nodes[e.dst] == 1) ||
+        (sub.nodes[e.src] == 1 && sub.nodes[e.dst] == 0);
+    EXPECT_FALSE(is_target) << "target link leaked into the subgraph";
+  }
+  // dist_a is computed with target b masked (DRNL convention), so b reads
+  // unreachable; the shared neighbor (node 2) is at distance 1 from a.
+  EXPECT_EQ(sub.dist_a[EnclosingSubgraph::kTargetB], graph::kUnreachable);
+  const auto common = std::find(sub.nodes.begin(), sub.nodes.end(), 2) -
+                      sub.nodes.begin();
+  EXPECT_EQ(sub.dist_a[common], 1);
+  EXPECT_EQ(sub.dist_b[common], 1);
+}
+
+TEST(Subgraph, InducedEdgesAreDeduplicated) {
+  auto g = testing::triangle_with_tail();
+  ExtractOptions opts;
+  auto sub = extract_enclosing_subgraph(g, 0, 3, opts);
+  std::set<std::pair<std::int32_t, std::int32_t>> seen;
+  for (const auto& e : sub.edges) {
+    auto key = std::minmax(e.src, e.dst);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second)
+        << "duplicate induced edge";
+  }
+}
+
+TEST(Subgraph, DistancesUseOtherTargetMasked) {
+  // 0-1-2 path, targets 0 and 2: node 1 has (1,1); target distances to each
+  // other are through... masked: dist_a[b] requires path avoiding a? No:
+  // dist_a is from a with b removed; b itself is unreachable (-1 kept as
+  // computed) but DRNL overrides target labels anyway.
+  auto g = testing::path_graph(3);
+  ExtractOptions opts;
+  auto sub = extract_enclosing_subgraph(g, 0, 2, opts);
+  const auto mid = std::find(sub.nodes.begin(), sub.nodes.end(), 1) -
+                   sub.nodes.begin();
+  EXPECT_EQ(sub.dist_a[mid], 1);
+  EXPECT_EQ(sub.dist_b[mid], 1);
+  EXPECT_EQ(sub.dist_a[EnclosingSubgraph::kTargetA], 0);
+  EXPECT_EQ(sub.dist_b[EnclosingSubgraph::kTargetB], 0);
+}
+
+TEST(Subgraph, CapKeepsClosestNodes) {
+  // Star around the pair: many distance-1 common neighbors plus a far tail.
+  graph::KnowledgeGraph g(1, 1);
+  for (int i = 0; i < 12; ++i) g.add_node(0);
+  // targets 0, 1; common neighbors 2..9; tail 10 off node 2, 11 off 10.
+  for (int c = 2; c <= 9; ++c) {
+    g.add_edge(0, c, 0);
+    g.add_edge(1, c, 0);
+  }
+  g.add_edge(2, 10, 0);
+  g.add_edge(10, 11, 0);
+  g.finalize();
+  ExtractOptions opts;
+  opts.num_hops = 3;
+  opts.max_nodes = 6;
+  auto sub = extract_enclosing_subgraph(g, 0, 1, opts);
+  EXPECT_EQ(sub.num_nodes(), 6);
+  // All kept non-target nodes must be distance-(1,1) common neighbors.
+  for (std::size_t i = 2; i < sub.nodes.size(); ++i) {
+    EXPECT_GE(sub.nodes[i], 2);
+    EXPECT_LE(sub.nodes[i], 9);
+  }
+}
+
+TEST(Subgraph, DisconnectedTargetsStillProduceSubgraph) {
+  graph::KnowledgeGraph g(1, 1);
+  for (int i = 0; i < 6; ++i) g.add_node(0);
+  g.add_edge(0, 1, 0);  // component A
+  g.add_edge(2, 3, 0);  // component B
+  g.finalize();
+  ExtractOptions opts;
+  auto sub = extract_enclosing_subgraph(g, 0, 3, opts);
+  EXPECT_GE(sub.num_nodes(), 2);
+  EXPECT_EQ(sub.dist_a[EnclosingSubgraph::kTargetB], graph::kUnreachable);
+}
+
+TEST(Subgraph, RejectsDegenerateArguments) {
+  auto g = testing::path_graph(4);
+  ExtractOptions opts;
+  EXPECT_THROW(extract_enclosing_subgraph(g, 1, 1, opts),
+               std::invalid_argument);
+  opts.num_hops = 0;
+  EXPECT_THROW(extract_enclosing_subgraph(g, 0, 1, opts),
+               std::invalid_argument);
+}
+
+// ---- DRNL ----------------------------------------------------------------------
+
+TEST(Drnl, MatchesClosedFormTable) {
+  // Hand-evaluated values of 1 + min + (d/2)((d/2) + d%2 - 1).
+  EXPECT_EQ(seal::drnl_label(0, 1), 1);
+  EXPECT_EQ(seal::drnl_label(1, 0), 1);
+  EXPECT_EQ(seal::drnl_label(1, 1), 2);
+  EXPECT_EQ(seal::drnl_label(1, 2), 3);
+  EXPECT_EQ(seal::drnl_label(2, 1), 3);
+  EXPECT_EQ(seal::drnl_label(2, 2), 5);
+  EXPECT_EQ(seal::drnl_label(1, 3), 4);
+  EXPECT_EQ(seal::drnl_label(3, 2), 7);
+  EXPECT_EQ(seal::drnl_label(3, 3), 10);
+}
+
+TEST(Drnl, UnreachableGetsNullLabel) {
+  EXPECT_EQ(seal::drnl_label(-1, 3), 0);
+  EXPECT_EQ(seal::drnl_label(2, -1), 0);
+}
+
+class DrnlProperty : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(DrnlProperty, SymmetricInDistances) {
+  const std::int32_t x = GetParam();
+  for (std::int32_t y = 0; y <= 8; ++y)
+    EXPECT_EQ(seal::drnl_label(x, y), seal::drnl_label(y, x));
+}
+
+TEST_P(DrnlProperty, InjectiveOverUnorderedPairs) {
+  // The DRNL hash is a perfect hash of {min, max} pairs: distinct unordered
+  // pairs with x, y >= 1 get distinct labels.
+  const std::int32_t x = GetParam() + 1;
+  std::set<std::int64_t> labels;
+  for (std::int32_t y = 1; y <= 9; ++y) labels.insert(seal::drnl_label(x, y));
+  EXPECT_EQ(labels.size(), 9u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, DrnlProperty,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+TEST(Drnl, SubgraphLabelsTargetsGetOne) {
+  auto g = testing::path_graph(5);
+  graph::ExtractOptions opts;
+  auto sub = extract_enclosing_subgraph(g, 1, 3, opts);
+  auto labels = seal::drnl_labels(sub);
+  EXPECT_EQ(labels[EnclosingSubgraph::kTargetA], 1);
+  EXPECT_EQ(labels[EnclosingSubgraph::kTargetB], 1);
+  // Middle node (orig 2) sits at (1,1) -> label 2.
+  const auto mid = std::find(sub.nodes.begin(), sub.nodes.end(), 2) -
+                   sub.nodes.begin();
+  EXPECT_EQ(labels[mid], 2);
+}
+
+// ---- Feature builder -------------------------------------------------------------
+
+TEST(FeatureBuilder, WidthMatchesConfiguration) {
+  graph::KnowledgeGraph g(3, 2, /*edge_attr_dim=*/2, /*node_feat_dim=*/4);
+  g.add_node(0);
+  g.add_node(1);
+  g.add_edge(0, 1, 0);
+  g.finalize();
+  seal::FeatureOptions fo;
+  fo.max_drnl_label = 10;
+  EXPECT_EQ(seal::node_feature_dim(g, fo), 11 + 3 + 4);
+  fo.use_node_type = false;
+  EXPECT_EQ(seal::node_feature_dim(g, fo), 11 + 4);
+  fo.use_drnl = false;
+  EXPECT_EQ(seal::node_feature_dim(g, fo), 4);
+  fo.use_explicit = false;
+  fo.embedding_dim = 8;
+  fo.embedding.assign(2 * 8, 0.0);
+  EXPECT_EQ(seal::node_feature_dim(g, fo), 8);
+}
+
+TEST(FeatureBuilder, OneHotPlacementAndEdgeAttrs) {
+  // Path 0-1-2 with types and typed edges.
+  graph::KnowledgeGraph g(2, 2, /*edge_attr_dim=*/2);
+  g.add_node(0);
+  g.add_node(1);
+  g.add_node(0);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 1);
+  g.set_edge_type_attr(0, std::vector<double>{1.0, 0.0});
+  g.set_edge_type_attr(1, std::vector<double>{0.0, 1.0});
+  g.finalize();
+
+  graph::ExtractOptions eo;
+  auto sub = extract_enclosing_subgraph(g, 0, 2, eo);
+  seal::FeatureOptions fo;
+  fo.max_drnl_label = 4;
+  auto sample = seal::build_sample(g, sub, /*label=*/1, fo);
+
+  EXPECT_EQ(sample.label, 1);
+  EXPECT_EQ(sample.num_nodes, 3);
+  const std::int64_t f = 5 + 2;  // drnl one-hot (0..4) + 2 node types
+  EXPECT_EQ(sample.node_feat.shape(), (ag::Shape{3, f}));
+  // Target a (local 0): DRNL 1 -> slot 1; type 0 -> slot 5.
+  EXPECT_EQ(sample.node_feat.at(0, 1), 1.0);
+  EXPECT_EQ(sample.node_feat.at(0, 5), 1.0);
+  EXPECT_EQ(sample.node_feat.at(0, 6), 0.0);
+
+  // Both orientations of the 2 induced edges.
+  EXPECT_EQ(sample.src.size(), 4u);
+  ASSERT_TRUE(sample.edge_attr.defined());
+  EXPECT_EQ(sample.edge_attr.shape(), (ag::Shape{4, 2}));
+  // Edge attribute rows must match the original relation of each edge.
+  for (std::size_t i = 0; i < sample.src.size(); ++i) {
+    const auto u = sub.nodes[sample.src[i]];
+    const auto v = sub.nodes[sample.dst[i]];
+    const auto eid = g.find_edge(u, v);
+    ASSERT_GE(eid, 0);
+    auto expect = g.edge_attr(eid);
+    EXPECT_EQ(sample.edge_attr.at(static_cast<std::int64_t>(i), 0), expect[0]);
+    EXPECT_EQ(sample.edge_attr.at(static_cast<std::int64_t>(i), 1), expect[1]);
+  }
+}
+
+TEST(FeatureBuilder, DrnlClampsToMaxLabel) {
+  auto g = testing::path_graph(12);
+  graph::ExtractOptions eo;
+  eo.num_hops = 6;
+  auto sub = extract_enclosing_subgraph(g, 0, 11, eo);
+  seal::FeatureOptions fo;
+  fo.max_drnl_label = 3;
+  auto sample = seal::build_sample(g, sub, 0, fo);
+  // Every row has exactly one DRNL one-hot bit within slots 0..3.
+  for (std::int64_t i = 0; i < sample.num_nodes; ++i) {
+    double row_sum = 0.0;
+    for (std::int64_t c = 0; c <= 3; ++c) row_sum += sample.node_feat.at(i, c);
+    EXPECT_EQ(row_sum, 1.0);
+  }
+}
+
+TEST(FeatureBuilder, RejectsBadConfigs) {
+  auto g = testing::path_graph(3);
+  graph::ExtractOptions eo;
+  auto sub = extract_enclosing_subgraph(g, 0, 2, eo);
+  seal::FeatureOptions fo;
+  fo.max_drnl_label = 0;
+  EXPECT_THROW(seal::build_sample(g, sub, 0, fo), std::invalid_argument);
+  fo.max_drnl_label = 8;
+  fo.embedding_dim = 4;  // table missing
+  EXPECT_THROW(seal::build_sample(g, sub, 0, fo), std::invalid_argument);
+}
+
+// ---- Sampling / dataset ------------------------------------------------------------
+
+TEST(Sampling, TrainTestSplitSizes) {
+  util::Rng rng(3);
+  std::vector<seal::LinkExample> links(100);
+  for (int i = 0; i < 100; ++i) links[i] = {0, 1, i % 3};
+  auto [train, test] = seal::train_test_split(links, 0.2, rng);
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(test.size(), 20u);
+  EXPECT_THROW(seal::train_test_split(links, 1.5, rng),
+               std::invalid_argument);
+}
+
+TEST(Sampling, NegativeLinksAreNonEdges) {
+  auto g = testing::triangle_with_tail();
+  util::Rng rng(4);
+  auto negs = seal::sample_negative_links(g, 2, 0, rng);
+  EXPECT_EQ(negs.size(), 2u);
+  for (const auto& l : negs) {
+    EXPECT_NE(l.a, l.b);
+    EXPECT_FALSE(g.has_edge(l.a, l.b));
+    EXPECT_EQ(l.label, 0);
+  }
+}
+
+TEST(Sampling, DenseGraphExhaustsAndThrows) {
+  // Complete graph on 4 nodes has no non-edges.
+  graph::KnowledgeGraph g(1, 1);
+  for (int i = 0; i < 4; ++i) g.add_node(0);
+  for (int i = 0; i < 4; ++i)
+    for (int j = i + 1; j < 4; ++j) g.add_edge(i, j, 0);
+  g.finalize();
+  util::Rng rng(5);
+  EXPECT_THROW(seal::sample_negative_links(g, 1, 0, rng), std::runtime_error);
+}
+
+TEST(Sampling, LabelHistogram) {
+  std::vector<seal::LinkExample> links = {
+      {0, 1, 0}, {0, 1, 2}, {0, 1, 2}, {0, 1, 1}};
+  EXPECT_EQ(seal::label_histogram(links, 3),
+            (std::vector<std::int64_t>{1, 1, 2}));
+  EXPECT_THROW(seal::label_histogram(links, 2), std::invalid_argument);
+}
+
+TEST(SealDataset, BuildProducesAlignedSamples) {
+  auto g = testing::triangle_with_tail();
+  std::vector<seal::LinkExample> train = {{0, 1, 1}, {0, 3, 0}};
+  std::vector<seal::LinkExample> test = {{1, 3, 0}};
+  seal::SealDatasetOptions opts;
+  auto ds = seal::build_seal_dataset(g, train, test, 2, opts);
+  EXPECT_EQ(ds.train.size(), 2u);
+  EXPECT_EQ(ds.test.size(), 1u);
+  EXPECT_EQ(ds.num_classes, 2);
+  EXPECT_EQ(ds.node_feature_dim, seal::node_feature_dim(g, opts.features));
+  EXPECT_EQ(ds.edge_attr_dim, 0);
+  EXPECT_GT(ds.mean_subgraph_nodes(), 0.0);
+  for (const auto& s : ds.train)
+    EXPECT_EQ(s.node_feat.dim(0), s.num_nodes);
+  EXPECT_THROW(seal::build_seal_dataset(g, train, test, 1, opts),
+               std::invalid_argument);
+  std::vector<seal::LinkExample> bad = {{0, 1, 5}};
+  EXPECT_THROW(seal::build_seal_dataset(g, bad, {}, 2, opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amdgcnn

@@ -1,0 +1,155 @@
+// Unit tests for the ag::Tensor container and tape mechanics.
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace amdgcnn::ag {
+namespace {
+
+TEST(Shape, NumelAndFormatting) {
+  EXPECT_EQ(numel({2, 3}), 6);
+  EXPECT_EQ(numel({7}), 7);
+  EXPECT_EQ(numel({}), 1);
+  EXPECT_EQ(numel({4, 0}), 0);
+  EXPECT_EQ(shape_str({2, 3}), "[2, 3]");
+  EXPECT_THROW(numel({-1, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ZerosOnesFull) {
+  auto z = Tensor::zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  for (double v : z.data()) EXPECT_EQ(v, 0.0);
+  auto o = Tensor::ones({4});
+  for (double v : o.data()) EXPECT_EQ(v, 1.0);
+  auto f = Tensor::full({2, 2}, 3.5);
+  for (double v : f.data()) EXPECT_EQ(v, 3.5);
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor::from_data({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor::from_data({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, AccessorsAndBounds) {
+  auto t = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(t.item(4), 5.0);
+  EXPECT_THROW(t.at(2, 0), std::invalid_argument);
+  EXPECT_THROW(t.at(0, 3), std::invalid_argument);
+  EXPECT_THROW(t.item(6), std::invalid_argument);
+}
+
+TEST(Tensor, UndefinedTensorRejectsUse) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_THROW(t.shape(), std::invalid_argument);
+  EXPECT_THROW(t.data(), std::invalid_argument);
+  EXPECT_THROW(t.backward(), std::invalid_argument);
+}
+
+TEST(Tensor, RandnIsDeterministicPerSeed) {
+  util::Rng rng1(42), rng2(42), rng3(43);
+  auto a = Tensor::randn({3, 3}, rng1);
+  auto b = Tensor::randn({3, 3}, rng2);
+  auto c = Tensor::randn({3, 3}, rng3);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_NE(a.data(), c.data());
+}
+
+TEST(Tensor, XavierBoundsRespected) {
+  util::Rng rng(1);
+  auto w = Tensor::xavier(10, 30, rng);
+  const double bound = std::sqrt(6.0 / 40.0);
+  for (double v : w.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+TEST(Tensor, CopyIsSharedHandle) {
+  auto a = Tensor::zeros({2});
+  Tensor b = a;
+  b.data()[0] = 7.0;
+  EXPECT_DOUBLE_EQ(a.item(0), 7.0);
+}
+
+TEST(Tensor, DetachCopiesDataAndDropsTape) {
+  util::Rng rng(3);
+  auto a = Tensor::randn({2, 2}, rng).requires_grad(true);
+  auto b = ops::mul_scalar(a, 2.0);
+  auto d = b.detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.data(), b.data());
+  d.data()[0] = 99.0;
+  EXPECT_NE(d.data()[0], b.data()[0]);
+}
+
+TEST(Autograd, BackwardRequiresScalar) {
+  auto a = Tensor::ones({2, 2}).requires_grad(true);
+  auto b = ops::mul_scalar(a, 2.0);
+  EXPECT_THROW(b.backward(), std::invalid_argument);
+}
+
+TEST(Autograd, BackwardOnNonGradTensorThrows) {
+  auto a = Tensor::ones({1});
+  EXPECT_THROW(a.backward(), std::invalid_argument);
+}
+
+TEST(Autograd, GradAccumulatesAcrossBackwardCalls) {
+  auto a = Tensor::ones({1}).requires_grad(true);
+  auto loss1 = ops::mul_scalar(a, 3.0);
+  loss1.backward();
+  EXPECT_DOUBLE_EQ(a.grad()[0], 3.0);
+  auto loss2 = ops::mul_scalar(a, 5.0);
+  loss2.backward();
+  EXPECT_DOUBLE_EQ(a.grad()[0], 8.0);  // += semantics
+  a.zero_grad();
+  EXPECT_DOUBLE_EQ(a.grad()[0], 0.0);
+}
+
+TEST(Autograd, DiamondGraphAccumulatesBothPaths) {
+  // loss = sum(a*a + a*a) -> d/da = 4a.
+  auto a = Tensor::from_data({2}, {1.0, 2.0}).requires_grad(true);
+  auto sq = ops::mul(a, a);
+  auto loss = ops::sum(ops::add(sq, sq));
+  loss.backward();
+  EXPECT_DOUBLE_EQ(a.grad()[0], 4.0);
+  EXPECT_DOUBLE_EQ(a.grad()[1], 8.0);
+}
+
+TEST(Autograd, ConstantBranchesReceiveNoGradStorageWrites) {
+  auto a = Tensor::ones({2}).requires_grad(true);
+  auto c = Tensor::full({2}, 3.0);  // constant
+  auto loss = ops::sum(ops::mul(a, c));
+  loss.backward();
+  EXPECT_DOUBLE_EQ(a.grad()[0], 3.0);
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(Autograd, DeepChainBackwardDoesNotOverflowStack) {
+  auto a = Tensor::ones({1}).requires_grad(true);
+  Tensor x = a;
+  for (int i = 0; i < 20000; ++i) x = ops::add_scalar(x, 0.0);
+  auto loss = ops::sum(x);
+  loss.backward();
+  EXPECT_DOUBLE_EQ(a.grad()[0], 1.0);
+}
+
+TEST(Autograd, ResultRequiresGradOnlyWhenAParentDoes) {
+  auto a = Tensor::ones({2});
+  auto b = Tensor::ones({2});
+  EXPECT_FALSE(ops::add(a, b).requires_grad());
+  a.requires_grad(true);
+  EXPECT_TRUE(ops::add(a, b).requires_grad());
+}
+
+}  // namespace
+}  // namespace amdgcnn::ag

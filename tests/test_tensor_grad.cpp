@@ -1,0 +1,207 @@
+// Gradient checks: analytic (tape) gradients vs central differences for
+// every differentiable op, individually and composed.
+#include <gtest/gtest.h>
+
+#include "tensor/conv_ops.h"
+#include "tensor/ops.h"
+#include "tensor/segment_ops.h"
+#include "test_util.h"
+
+namespace amdgcnn::ag {
+namespace {
+
+using amdgcnn::testing::expect_gradient_matches;
+
+/// Named differentiable transform [3,4] -> scalar used by the TEST_P sweep.
+struct OpCase {
+  const char* name;
+  std::function<Tensor(const Tensor&)> apply;  // returns a scalar loss
+};
+
+Tensor to_scalar(const Tensor& t) { return ops::mean(t); }
+
+std::vector<OpCase> unary_cases() {
+  util::Rng rng(123);
+  auto other = Tensor::randn({3, 4}, rng);
+  auto rowvec = Tensor::randn({4}, rng);
+  auto right = Tensor::randn({4, 2}, rng);
+  return {
+      {"add", [other](const Tensor& x) { return to_scalar(ops::add(x, other)); }},
+      {"sub", [other](const Tensor& x) { return to_scalar(ops::sub(other, x)); }},
+      {"mul", [other](const Tensor& x) { return to_scalar(ops::mul(x, other)); }},
+      {"mul_self",
+       [](const Tensor& x) { return to_scalar(ops::mul(x, x)); }},
+      {"add_scalar",
+       [](const Tensor& x) { return to_scalar(ops::add_scalar(x, 2.5)); }},
+      {"mul_scalar",
+       [](const Tensor& x) { return to_scalar(ops::mul_scalar(x, -1.7)); }},
+      {"add_rowvec",
+       [rowvec](const Tensor& x) {
+         return to_scalar(ops::add_rowvec(x, rowvec));
+       }},
+      {"matmul_left",
+       [right](const Tensor& x) { return to_scalar(ops::matmul(x, right)); }},
+      {"transpose",
+       [](const Tensor& x) { return to_scalar(ops::transpose(x)); }},
+      {"reshape",
+       [](const Tensor& x) {
+         return to_scalar(ops::reshape(x, {4, 3}));
+       }},
+      {"concat_cols",
+       [other](const Tensor& x) {
+         return to_scalar(ops::concat_cols({x, other, x}));
+       }},
+      {"concat_rows",
+       [other](const Tensor& x) {
+         return to_scalar(ops::concat_rows({x, other}));
+       }},
+      {"slice_rows",
+       [](const Tensor& x) { return to_scalar(ops::slice_rows(x, 1, 2)); }},
+      {"gather_rows",
+       [](const Tensor& x) {
+         return to_scalar(ops::gather_rows(x, {0, 2, 2, 1}));
+       }},
+      {"scale_rows",
+       [](const Tensor& x) {
+         return to_scalar(ops::scale_rows(x, {0.5, -2.0, 3.0}));
+       }},
+      {"leaky_relu",
+       [](const Tensor& x) { return to_scalar(ops::leaky_relu(x, 0.2)); }},
+      {"tanh",
+       [](const Tensor& x) { return to_scalar(ops::tanh_act(x)); }},
+      {"sigmoid",
+       [](const Tensor& x) { return to_scalar(ops::sigmoid(x)); }},
+      {"sum", [](const Tensor& x) { return ops::sum(x); }},
+      {"mean", [](const Tensor& x) { return ops::mean(x); }},
+      {"softmax",
+       [](const Tensor& x) {
+         // Weighted combination so the softmax gradient is non-trivial.
+         auto w = Tensor::from_data(
+             {3, 4}, {1, -2, 3, 0.5, 2, 0, -1, 1, 0.3, 0.7, -0.2, 2});
+         return ops::sum(ops::mul(ops::softmax_rows(x), w));
+       }},
+      {"log_softmax",
+       [](const Tensor& x) {
+         auto w = Tensor::from_data(
+             {3, 4}, {1, -2, 3, 0.5, 2, 0, -1, 1, 0.3, 0.7, -0.2, 2});
+         return ops::sum(ops::mul(ops::log_softmax_rows(x), w));
+       }},
+      {"cross_entropy",
+       [](const Tensor& x) { return ops::cross_entropy(x, {1, 3, 0}); }},
+      {"heads_dot",
+       [](const Tensor& x) {
+         auto a = Tensor::from_data({1, 4}, {0.5, -1, 2, 0.3});
+         return to_scalar(ops::heads_dot(x, a, 2));
+       }},
+      {"heads_scale",
+       [](const Tensor& x) {
+         auto alpha = Tensor::from_data({3, 2}, {1, 2, -1, 0.5, 3, -2});
+         return to_scalar(ops::heads_scale(x, alpha, 2));
+       }},
+      {"scatter_add",
+       [](const Tensor& x) {
+         return to_scalar(ops::scatter_add_rows(x, {1, 0, 1}, 2));
+       }},
+      {"segment_softmax",
+       [](const Tensor& x) {
+         auto w = Tensor::from_data(
+             {3, 4}, {1, -2, 3, 0.5, 2, 0, -1, 1, 0.3, 0.7, -0.2, 2});
+         return ops::sum(ops::mul(ops::segment_softmax(x, {0, 1, 0}, 2), w));
+       }},
+      {"sort_pool",
+       [](const Tensor& x) {
+         auto w = Tensor::from_data({2, 4}, {1, -2, 3, 0.5, 2, 0, -1, 1});
+         return ops::sum(ops::mul(ops::sort_pool(x, 2), w));
+       }},
+      {"composite_mlp_like",
+       [right](const Tensor& x) {
+         auto h = ops::tanh_act(ops::matmul(x, right));
+         return ops::mean(ops::mul(h, h));
+       }},
+  };
+}
+
+class UnaryGradTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UnaryGradTest, MatchesNumericalGradient) {
+  const auto cases = unary_cases();
+  const auto& oc = cases[GetParam()];
+  SCOPED_TRACE(oc.name);
+  util::Rng rng(7 + GetParam());
+  auto x = Tensor::randn({3, 4}, rng);
+  expect_gradient_matches(x, [&] { return oc.apply(x); });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, UnaryGradTest,
+    ::testing::Range(std::size_t{0}, unary_cases().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      std::string n = unary_cases()[info.param].name;
+      return n;
+    });
+
+TEST(BinaryGrad, MatmulRightOperand) {
+  util::Rng rng(19);
+  auto a = Tensor::randn({3, 4}, rng);
+  auto b = Tensor::randn({4, 2}, rng);
+  expect_gradient_matches(b, [&] { return ops::mean(ops::matmul(a, b)); });
+}
+
+TEST(BinaryGrad, AddRowvecBiasOperand) {
+  util::Rng rng(20);
+  auto a = Tensor::randn({3, 4}, rng);
+  auto bias = Tensor::randn({4}, rng);
+  expect_gradient_matches(bias,
+                          [&] { return ops::mean(ops::add_rowvec(a, bias)); });
+}
+
+TEST(BinaryGrad, HeadsDotParameterOperand) {
+  util::Rng rng(21);
+  auto x = Tensor::randn({5, 6}, rng);
+  auto a = Tensor::randn({1, 6}, rng);
+  expect_gradient_matches(a,
+                          [&] { return ops::mean(ops::heads_dot(x, a, 3)); });
+}
+
+TEST(BinaryGrad, HeadsScaleAlphaOperand) {
+  util::Rng rng(22);
+  auto x = Tensor::randn({5, 6}, rng);
+  auto alpha = Tensor::randn({5, 3}, rng);
+  expect_gradient_matches(
+      alpha, [&] { return ops::mean(ops::heads_scale(x, alpha, 3)); });
+}
+
+TEST(ConvGrad, Conv1dAllOperands) {
+  util::Rng rng(23);
+  auto x = Tensor::randn({2, 9}, rng);     // [C_in=2, L=9]
+  auto w = Tensor::randn({3, 6}, rng);     // [C_out=3, C_in*K=2*3]
+  auto b = Tensor::randn({3}, rng);
+  auto loss = [&] {
+    return ops::mean(ops::conv1d(x, w, b, /*kernel=*/3, /*stride=*/2));
+  };
+  expect_gradient_matches(x, loss);
+  expect_gradient_matches(w, loss);
+  expect_gradient_matches(b, loss);
+}
+
+TEST(ConvGrad, MaxPool1d) {
+  util::Rng rng(24);
+  auto x = Tensor::randn({3, 8}, rng);
+  expect_gradient_matches(
+      x, [&] { return ops::mean(ops::max_pool1d(x, 2, 2)); });
+}
+
+TEST(DropoutGrad, MaskIsRespected) {
+  // Fixed seed -> same mask on analytic and (per-element) numeric passes is
+  // not guaranteed, so check the identity property instead: in eval mode the
+  // gradient is exactly the upstream gradient.
+  util::Rng rng(25);
+  auto x = Tensor::randn({4, 4}, rng);
+  expect_gradient_matches(x, [&] {
+    util::Rng r2(99);
+    return ops::mean(ops::dropout(x, 0.5, /*training=*/false, r2));
+  });
+}
+
+}  // namespace
+}  // namespace amdgcnn::ag

@@ -1,0 +1,224 @@
+// Forward-value tests for the dense ops (hand-computed expectations).
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace amdgcnn::ag {
+namespace {
+
+using ops::add;
+using ops::add_rowvec;
+using ops::add_scalar;
+using ops::concat_cols;
+using ops::concat_rows;
+using ops::cross_entropy;
+using ops::gather_rows;
+using ops::leaky_relu;
+using ops::log_softmax_rows;
+using ops::matmul;
+using ops::mean;
+using ops::mul;
+using ops::mul_scalar;
+using ops::nll_loss;
+using ops::relu;
+using ops::reshape;
+using ops::scale_rows;
+using ops::sigmoid;
+using ops::slice_rows;
+using ops::softmax_rows;
+using ops::sub;
+using ops::sum;
+using ops::tanh_act;
+using ops::transpose;
+
+TEST(DenseOps, AddSubMul) {
+  auto a = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  auto b = Tensor::from_data({2, 2}, {10, 20, 30, 40});
+  EXPECT_EQ(add(a, b).data(), (std::vector<double>{11, 22, 33, 44}));
+  EXPECT_EQ(sub(b, a).data(), (std::vector<double>{9, 18, 27, 36}));
+  EXPECT_EQ(mul(a, b).data(), (std::vector<double>{10, 40, 90, 160}));
+  auto c = Tensor::zeros({3});
+  EXPECT_THROW(add(a, c), std::invalid_argument);
+}
+
+TEST(DenseOps, ScalarOps) {
+  auto a = Tensor::from_data({3}, {1, -2, 3});
+  EXPECT_EQ(add_scalar(a, 1.5).data(), (std::vector<double>{2.5, -0.5, 4.5}));
+  EXPECT_EQ(mul_scalar(a, -2).data(), (std::vector<double>{-2, 4, -6}));
+}
+
+TEST(DenseOps, AddRowvecBroadcasts) {
+  auto a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  auto b = Tensor::from_data({3}, {10, 20, 30});
+  EXPECT_EQ(add_rowvec(a, b).data(),
+            (std::vector<double>{11, 22, 33, 14, 25, 36}));
+  EXPECT_THROW(add_rowvec(a, Tensor::zeros({2})), std::invalid_argument);
+}
+
+TEST(DenseOps, MatmulKnownResult) {
+  auto a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  auto b = Tensor::from_data({3, 2}, {7, 8, 9, 10, 11, 12});
+  auto c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.data(), (std::vector<double>{58, 64, 139, 154}));
+  EXPECT_THROW(matmul(a, a), std::invalid_argument);
+}
+
+TEST(DenseOps, MatmulIdentity) {
+  auto a = Tensor::from_data({2, 2}, {3, 1, 4, 1});
+  auto id = Tensor::from_data({2, 2}, {1, 0, 0, 1});
+  EXPECT_EQ(matmul(a, id).data(), a.data());
+  EXPECT_EQ(matmul(id, a).data(), a.data());
+}
+
+TEST(DenseOps, TransposeRoundTrip) {
+  auto a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  auto t = transpose(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.data(), (std::vector<double>{1, 4, 2, 5, 3, 6}));
+  EXPECT_EQ(transpose(t).data(), a.data());
+}
+
+TEST(DenseOps, ReshapePreservesDataOrder) {
+  auto a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  auto r = reshape(a, {3, 2});
+  EXPECT_EQ(r.data(), a.data());
+  EXPECT_THROW(reshape(a, {4, 2}), std::invalid_argument);
+}
+
+TEST(DenseOps, ConcatColsAndRows) {
+  auto a = Tensor::from_data({2, 1}, {1, 2});
+  auto b = Tensor::from_data({2, 2}, {3, 4, 5, 6});
+  auto cc = concat_cols({a, b});
+  EXPECT_EQ(cc.shape(), (Shape{2, 3}));
+  EXPECT_EQ(cc.data(), (std::vector<double>{1, 3, 4, 2, 5, 6}));
+  auto c = Tensor::from_data({1, 2}, {7, 8});
+  auto cr = concat_rows({b, c});
+  EXPECT_EQ(cr.shape(), (Shape{3, 2}));
+  EXPECT_EQ(cr.data(), (std::vector<double>{3, 4, 5, 6, 7, 8}));
+  EXPECT_THROW(concat_cols({a, c}), std::invalid_argument);
+  EXPECT_THROW(concat_cols({}), std::invalid_argument);
+}
+
+TEST(DenseOps, SliceAndGatherRows) {
+  auto a = Tensor::from_data({3, 2}, {1, 2, 3, 4, 5, 6});
+  auto s = slice_rows(a, 1, 2);
+  EXPECT_EQ(s.data(), (std::vector<double>{3, 4, 5, 6}));
+  auto g = gather_rows(a, {2, 0, 2});
+  EXPECT_EQ(g.shape(), (Shape{3, 2}));
+  EXPECT_EQ(g.data(), (std::vector<double>{5, 6, 1, 2, 5, 6}));
+  EXPECT_THROW(slice_rows(a, 2, 2), std::invalid_argument);
+  EXPECT_THROW(gather_rows(a, {3}), std::invalid_argument);
+}
+
+TEST(DenseOps, ScaleRows) {
+  auto a = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  auto s = scale_rows(a, {2.0, -1.0});
+  EXPECT_EQ(s.data(), (std::vector<double>{2, 4, -3, -4}));
+  EXPECT_THROW(scale_rows(a, {1.0}), std::invalid_argument);
+}
+
+TEST(DenseOps, Activations) {
+  auto a = Tensor::from_data({4}, {-2, -0.5, 0, 3});
+  EXPECT_EQ(relu(a).data(), (std::vector<double>{0, 0, 0, 3}));
+  auto lr = leaky_relu(a, 0.1);
+  EXPECT_DOUBLE_EQ(lr.data()[0], -0.2);
+  EXPECT_DOUBLE_EQ(lr.data()[3], 3.0);
+  auto th = tanh_act(a);
+  EXPECT_NEAR(th.data()[3], std::tanh(3.0), 1e-12);
+  auto sg = sigmoid(a);
+  EXPECT_NEAR(sg.data()[2], 0.5, 1e-12);
+  EXPECT_NEAR(sg.data()[0], 1.0 / (1.0 + std::exp(2.0)), 1e-12);
+}
+
+TEST(DenseOps, SumAndMean) {
+  auto a = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(sum(a).item(), 10.0);
+  EXPECT_DOUBLE_EQ(mean(a).item(), 2.5);
+}
+
+TEST(DenseOps, SoftmaxRowsSumToOne) {
+  auto a = Tensor::from_data({2, 3}, {1, 2, 3, -1, 0, 1});
+  auto s = softmax_rows(a);
+  for (int r = 0; r < 2; ++r) {
+    double row = 0.0;
+    for (int c = 0; c < 3; ++c) row += s.at(r, c);
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+  // Monotone in the logits.
+  EXPECT_GT(s.at(0, 2), s.at(0, 1));
+  EXPECT_GT(s.at(0, 1), s.at(0, 0));
+}
+
+TEST(DenseOps, SoftmaxIsShiftInvariantAndStable) {
+  auto a = Tensor::from_data({1, 3}, {1000, 1001, 1002});
+  auto s = softmax_rows(a);
+  auto b = Tensor::from_data({1, 3}, {0, 1, 2});
+  auto sb = softmax_rows(b);
+  for (int c = 0; c < 3; ++c) EXPECT_NEAR(s.at(0, c), sb.at(0, c), 1e-12);
+}
+
+TEST(DenseOps, LogSoftmaxMatchesLogOfSoftmax) {
+  auto a = Tensor::from_data({2, 3}, {0.3, -1.2, 2.0, 4.0, 4.0, 4.0});
+  auto ls = log_softmax_rows(a);
+  auto s = softmax_rows(a);
+  for (int i = 0; i < 6; ++i)
+    EXPECT_NEAR(ls.data()[i], std::log(s.data()[i]), 1e-12);
+}
+
+TEST(DenseOps, NllAndCrossEntropy) {
+  auto logits = Tensor::from_data({2, 2}, {0.0, 0.0, 10.0, -10.0});
+  // Row 0: uniform -> loss log 2; row 1: confident class 0 -> ~0 for y=0.
+  auto ce = cross_entropy(logits, {0, 0});
+  EXPECT_NEAR(ce.item(), 0.5 * std::log(2.0), 1e-6);
+  auto bad = cross_entropy(logits, {0, 1});
+  EXPECT_GT(bad.item(), 5.0);
+  EXPECT_THROW(cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(cross_entropy(logits, {0, 2}), std::invalid_argument);
+}
+
+TEST(DenseOps, DropoutEvalIsIdentityAndTrainScales) {
+  util::Rng rng(9);
+  auto a = Tensor::ones({1000});
+  auto eval = ops::dropout(a, 0.4, /*training=*/false, rng);
+  EXPECT_EQ(eval.data(), a.data());
+  auto train = ops::dropout(a, 0.4, /*training=*/true, rng);
+  double mean_val = 0.0;
+  std::int64_t zeros = 0;
+  for (double v : train.data()) {
+    mean_val += v;
+    if (v == 0.0) ++zeros;
+    else EXPECT_NEAR(v, 1.0 / 0.6, 1e-12);
+  }
+  mean_val /= 1000.0;
+  EXPECT_NEAR(mean_val, 1.0, 0.1);          // inverted dropout is unbiased
+  EXPECT_NEAR(static_cast<double>(zeros), 400.0, 60.0);
+  EXPECT_THROW(ops::dropout(a, 1.0, true, rng), std::invalid_argument);
+}
+
+TEST(DenseOps, HeadsDotMatchesManualComputation) {
+  // E=2, H=2, F=2.
+  auto x = Tensor::from_data({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  auto a = Tensor::from_data({1, 4}, {1, 0, 0.5, 0.5});
+  auto out = ops::heads_dot(x, a, 2);
+  EXPECT_EQ(out.shape(), (Shape{2, 2}));
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 1.0);       // 1*1 + 2*0
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 3.5);       // 3*0.5 + 4*0.5
+  EXPECT_DOUBLE_EQ(out.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 1), 7.5);
+  EXPECT_THROW(ops::heads_dot(x, a, 3), std::invalid_argument);
+}
+
+TEST(DenseOps, HeadsScaleMatchesManualComputation) {
+  auto x = Tensor::from_data({1, 4}, {1, 2, 3, 4});
+  auto alpha = Tensor::from_data({1, 2}, {2.0, -1.0});
+  auto out = ops::heads_scale(x, alpha, 2);
+  EXPECT_EQ(out.data(), (std::vector<double>{2, 4, -3, -4}));
+  EXPECT_THROW(ops::heads_scale(x, Tensor::zeros({1, 3}), 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amdgcnn::ag

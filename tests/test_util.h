@@ -1,0 +1,68 @@
+// Shared test helpers: numerical gradient checking against the autograd
+// tape, and small graph fixtures reused across suites.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/knowledge_graph.h"
+#include "tensor/tensor.h"
+
+namespace amdgcnn::testing {
+
+/// Central-difference numerical gradient of `loss_fn` (a scalar function of
+/// the data currently stored in `param`) compared against the analytic
+/// gradient accumulated in param.grad() after loss_fn().backward().
+///
+/// loss_fn must rebuild the tape from scratch at every call (it reads
+/// param.data() afresh).
+inline void expect_gradient_matches(
+    ag::Tensor& param, const std::function<ag::Tensor()>& loss_fn,
+    double eps = 1e-5, double tol = 1e-6) {
+  param.requires_grad(true);
+  param.zero_grad();
+  auto loss = loss_fn();
+  loss.backward();
+  const std::vector<double> analytic = param.grad();
+
+  for (std::size_t i = 0; i < param.data().size(); ++i) {
+    const double saved = param.data()[i];
+    param.data()[i] = saved + eps;
+    const double up = loss_fn().item();
+    param.data()[i] = saved - eps;
+    const double down = loss_fn().item();
+    param.data()[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                tol + 1e-4 * std::max(std::abs(analytic[i]), std::abs(numeric)))
+        << "gradient mismatch at flat index " << i;
+  }
+}
+
+/// A 5-node path graph 0-1-2-3-4 with one node type and one edge type.
+inline graph::KnowledgeGraph path_graph(std::int64_t n = 5) {
+  graph::KnowledgeGraph g(1, 1);
+  for (std::int64_t i = 0; i < n; ++i) g.add_node(0);
+  for (std::int64_t i = 0; i + 1 < n; ++i)
+    g.add_edge(static_cast<graph::NodeId>(i),
+               static_cast<graph::NodeId>(i + 1), 0);
+  g.finalize();
+  return g;
+}
+
+/// A triangle 0-1-2 plus a pendant node 3 attached to node 2.
+inline graph::KnowledgeGraph triangle_with_tail() {
+  graph::KnowledgeGraph g(1, 1);
+  for (int i = 0; i < 4; ++i) g.add_node(0);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  g.add_edge(0, 2, 0);
+  g.add_edge(2, 3, 0);
+  g.finalize();
+  return g;
+}
+
+}  // namespace amdgcnn::testing

@@ -1,0 +1,82 @@
+// Dev tool: sweep training budgets / hyperparameters on the synthetic
+// datasets to calibrate the generator noise so measured AUC bands land near
+// the paper's Table III.  Not part of the bench harness.
+//
+//   calibrate <dataset> <train> <test> <epochs> <lr> <hidden> <k> [cap]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.h"
+#include "util/stopwatch.h"
+#include "datasets/biokg_sim.h"
+#include "datasets/cora_sim.h"
+#include "datasets/primekg_sim.h"
+#include "datasets/wordnet_sim.h"
+
+using namespace amdgcnn;
+
+int main(int argc, char** argv) {
+  if (argc < 8) {
+    std::cerr << "usage: calibrate <dataset> <train> <test> <epochs> <lr> "
+                 "<hidden> <k> [cap]\n";
+    return 1;
+  }
+  const std::string name = argv[1];
+  const std::int64_t n_train = std::atoll(argv[2]);
+  const std::int64_t n_test = std::atoll(argv[3]);
+  const std::int64_t epochs = std::atoll(argv[4]);
+  hpo::HyperParams hp;
+  hp.learning_rate = std::atof(argv[5]);
+  hp.hidden_dim = std::atoll(argv[6]);
+  hp.sort_k = std::atoll(argv[7]);
+  const std::int64_t cap = argc > 8 ? std::atoll(argv[8]) : 32;
+  const std::int64_t bs = argc > 9 ? std::atoll(argv[9]) : 16;
+
+  datasets::LinkDataset data;
+  if (name == "wordnet") {
+    datasets::WordNetSimOptions o;
+    o.num_nodes = 2000;
+    o.num_train = n_train;
+    o.num_test = n_test;
+    data = datasets::make_wordnet_sim(o);
+  } else if (name == "primekg") {
+    datasets::PrimeKGSimOptions o;
+    o.scale = 0.5;
+    o.num_train = n_train;
+    o.num_test = n_test;
+    data = datasets::make_primekg_sim(o);
+  } else if (name == "biokg") {
+    datasets::BioKGSimOptions o;
+    o.scale = 0.5;
+    o.num_train = n_train;
+    o.num_test = n_test;
+    data = datasets::make_biokg_sim(o);
+  } else if (name == "cora") {
+    datasets::CoraSimOptions o;
+    o.num_pos_links = n_train / 2 + n_test / 2;
+    data = datasets::make_cora_sim(o);
+  } else {
+    std::cerr << "unknown dataset\n";
+    return 1;
+  }
+
+  util::Stopwatch watch;
+  auto ds = core::prepare_seal_dataset(data, cap);
+  std::cerr << "dataset built in " << watch.seconds() << "s, mean subgraph "
+            << ds.mean_subgraph_nodes() << " nodes\n";
+
+  for (auto kind :
+       {models::GnnKind::kAMDGCNN, models::GnnKind::kVanillaDGCNN}) {
+    watch.reset();
+    auto run = core::run_model(ds, kind, hp, epochs, 17, /*eval_every=*/2, 0, bs);
+    std::cout << run.model_name << ": final AUC "
+              << run.final_eval.metrics.macro_auc << " AP "
+              << run.final_eval.metrics.macro_precision << " acc "
+              << run.final_eval.metrics.accuracy << " (" << watch.seconds()
+              << "s)\n  curve:";
+    for (const auto& r : run.curve)
+      std::cout << " e" << r.epoch << "=" << r.test_auc;
+    std::cout << "\n";
+  }
+  return 0;
+}
