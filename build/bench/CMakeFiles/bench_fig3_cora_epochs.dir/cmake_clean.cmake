@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cora_epochs.dir/bench_fig3_cora_epochs.cpp.o"
+  "CMakeFiles/bench_fig3_cora_epochs.dir/bench_fig3_cora_epochs.cpp.o.d"
+  "bench_fig3_cora_epochs"
+  "bench_fig3_cora_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cora_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

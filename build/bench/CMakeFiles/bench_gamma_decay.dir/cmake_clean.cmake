@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gamma_decay.dir/bench_gamma_decay.cpp.o"
+  "CMakeFiles/bench_gamma_decay.dir/bench_gamma_decay.cpp.o.d"
+  "bench_gamma_decay"
+  "bench_gamma_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gamma_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hpo_space.dir/bench_hpo_space.cpp.o"
+  "CMakeFiles/bench_hpo_space.dir/bench_hpo_space.cpp.o.d"
+  "bench_hpo_space"
+  "bench_hpo_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hpo_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperparameter_tuning.dir/hyperparameter_tuning.cpp.o"
+  "CMakeFiles/hyperparameter_tuning.dir/hyperparameter_tuning.cpp.o.d"
+  "hyperparameter_tuning"
+  "hyperparameter_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperparameter_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

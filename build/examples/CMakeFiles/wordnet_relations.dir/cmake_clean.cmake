@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordnet_relations.dir/wordnet_relations.cpp.o"
+  "CMakeFiles/wordnet_relations.dir/wordnet_relations.cpp.o.d"
+  "wordnet_relations"
+  "wordnet_relations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordnet_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

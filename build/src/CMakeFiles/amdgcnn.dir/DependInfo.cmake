@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/decision_tree.cpp" "src/CMakeFiles/amdgcnn.dir/baselines/decision_tree.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/baselines/decision_tree.cpp.o.d"
+  "/root/repo/src/baselines/logistic_regression.cpp" "src/CMakeFiles/amdgcnn.dir/baselines/logistic_regression.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/baselines/logistic_regression.cpp.o.d"
+  "/root/repo/src/baselines/wlnm.cpp" "src/CMakeFiles/amdgcnn.dir/baselines/wlnm.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/baselines/wlnm.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/amdgcnn.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/seal_link_classifier.cpp" "src/CMakeFiles/amdgcnn.dir/core/seal_link_classifier.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/core/seal_link_classifier.cpp.o.d"
+  "/root/repo/src/datasets/biokg_sim.cpp" "src/CMakeFiles/amdgcnn.dir/datasets/biokg_sim.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/datasets/biokg_sim.cpp.o.d"
+  "/root/repo/src/datasets/cora_sim.cpp" "src/CMakeFiles/amdgcnn.dir/datasets/cora_sim.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/datasets/cora_sim.cpp.o.d"
+  "/root/repo/src/datasets/kg_generator.cpp" "src/CMakeFiles/amdgcnn.dir/datasets/kg_generator.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/datasets/kg_generator.cpp.o.d"
+  "/root/repo/src/datasets/primekg_sim.cpp" "src/CMakeFiles/amdgcnn.dir/datasets/primekg_sim.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/datasets/primekg_sim.cpp.o.d"
+  "/root/repo/src/datasets/wordnet_sim.cpp" "src/CMakeFiles/amdgcnn.dir/datasets/wordnet_sim.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/datasets/wordnet_sim.cpp.o.d"
+  "/root/repo/src/embed/node2vec.cpp" "src/CMakeFiles/amdgcnn.dir/embed/node2vec.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/embed/node2vec.cpp.o.d"
+  "/root/repo/src/embed/random_walk.cpp" "src/CMakeFiles/amdgcnn.dir/embed/random_walk.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/embed/random_walk.cpp.o.d"
+  "/root/repo/src/graph/knowledge_graph.cpp" "src/CMakeFiles/amdgcnn.dir/graph/knowledge_graph.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/graph/knowledge_graph.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/CMakeFiles/amdgcnn.dir/graph/subgraph.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/graph/subgraph.cpp.o.d"
+  "/root/repo/src/graph/traversal.cpp" "src/CMakeFiles/amdgcnn.dir/graph/traversal.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/graph/traversal.cpp.o.d"
+  "/root/repo/src/heuristics/katz.cpp" "src/CMakeFiles/amdgcnn.dir/heuristics/katz.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/heuristics/katz.cpp.o.d"
+  "/root/repo/src/heuristics/local_scores.cpp" "src/CMakeFiles/amdgcnn.dir/heuristics/local_scores.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/heuristics/local_scores.cpp.o.d"
+  "/root/repo/src/heuristics/pagerank.cpp" "src/CMakeFiles/amdgcnn.dir/heuristics/pagerank.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/heuristics/pagerank.cpp.o.d"
+  "/root/repo/src/heuristics/pair_features.cpp" "src/CMakeFiles/amdgcnn.dir/heuristics/pair_features.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/heuristics/pair_features.cpp.o.d"
+  "/root/repo/src/heuristics/scorer.cpp" "src/CMakeFiles/amdgcnn.dir/heuristics/scorer.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/heuristics/scorer.cpp.o.d"
+  "/root/repo/src/heuristics/simrank.cpp" "src/CMakeFiles/amdgcnn.dir/heuristics/simrank.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/heuristics/simrank.cpp.o.d"
+  "/root/repo/src/hpo/bayes_opt.cpp" "src/CMakeFiles/amdgcnn.dir/hpo/bayes_opt.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/hpo/bayes_opt.cpp.o.d"
+  "/root/repo/src/hpo/gaussian_process.cpp" "src/CMakeFiles/amdgcnn.dir/hpo/gaussian_process.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/hpo/gaussian_process.cpp.o.d"
+  "/root/repo/src/hpo/random_search.cpp" "src/CMakeFiles/amdgcnn.dir/hpo/random_search.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/hpo/random_search.cpp.o.d"
+  "/root/repo/src/hpo/search_space.cpp" "src/CMakeFiles/amdgcnn.dir/hpo/search_space.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/hpo/search_space.cpp.o.d"
+  "/root/repo/src/metrics/classification.cpp" "src/CMakeFiles/amdgcnn.dir/metrics/classification.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/metrics/classification.cpp.o.d"
+  "/root/repo/src/metrics/ranking.cpp" "src/CMakeFiles/amdgcnn.dir/metrics/ranking.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/metrics/ranking.cpp.o.d"
+  "/root/repo/src/models/dgcnn.cpp" "src/CMakeFiles/amdgcnn.dir/models/dgcnn.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/models/dgcnn.cpp.o.d"
+  "/root/repo/src/models/link_gnn.cpp" "src/CMakeFiles/amdgcnn.dir/models/link_gnn.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/models/link_gnn.cpp.o.d"
+  "/root/repo/src/models/serialize.cpp" "src/CMakeFiles/amdgcnn.dir/models/serialize.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/models/serialize.cpp.o.d"
+  "/root/repo/src/models/trainer.cpp" "src/CMakeFiles/amdgcnn.dir/models/trainer.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/models/trainer.cpp.o.d"
+  "/root/repo/src/nn/conv1d.cpp" "src/CMakeFiles/amdgcnn.dir/nn/conv1d.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/nn/conv1d.cpp.o.d"
+  "/root/repo/src/nn/gat_conv.cpp" "src/CMakeFiles/amdgcnn.dir/nn/gat_conv.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/nn/gat_conv.cpp.o.d"
+  "/root/repo/src/nn/gcn_conv.cpp" "src/CMakeFiles/amdgcnn.dir/nn/gcn_conv.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/nn/gcn_conv.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/amdgcnn.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/amdgcnn.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/amdgcnn.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/nn/module.cpp.o.d"
+  "/root/repo/src/nn/sort_pooling.cpp" "src/CMakeFiles/amdgcnn.dir/nn/sort_pooling.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/nn/sort_pooling.cpp.o.d"
+  "/root/repo/src/seal/dataset.cpp" "src/CMakeFiles/amdgcnn.dir/seal/dataset.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/seal/dataset.cpp.o.d"
+  "/root/repo/src/seal/drnl.cpp" "src/CMakeFiles/amdgcnn.dir/seal/drnl.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/seal/drnl.cpp.o.d"
+  "/root/repo/src/seal/feature_builder.cpp" "src/CMakeFiles/amdgcnn.dir/seal/feature_builder.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/seal/feature_builder.cpp.o.d"
+  "/root/repo/src/seal/sampling.cpp" "src/CMakeFiles/amdgcnn.dir/seal/sampling.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/seal/sampling.cpp.o.d"
+  "/root/repo/src/tensor/conv_ops.cpp" "src/CMakeFiles/amdgcnn.dir/tensor/conv_ops.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/tensor/conv_ops.cpp.o.d"
+  "/root/repo/src/tensor/linalg.cpp" "src/CMakeFiles/amdgcnn.dir/tensor/linalg.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/tensor/linalg.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/amdgcnn.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/optim.cpp" "src/CMakeFiles/amdgcnn.dir/tensor/optim.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/tensor/optim.cpp.o.d"
+  "/root/repo/src/tensor/segment_ops.cpp" "src/CMakeFiles/amdgcnn.dir/tensor/segment_ops.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/tensor/segment_ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/amdgcnn.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/amdgcnn.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stopwatch.cpp" "src/CMakeFiles/amdgcnn.dir/util/stopwatch.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/util/stopwatch.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/amdgcnn.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/amdgcnn.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

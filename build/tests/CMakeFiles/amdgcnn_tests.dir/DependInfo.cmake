@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_datasets.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_datasets.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_datasets.cpp.o.d"
+  "/root/repo/tests/test_embed_hpo.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_embed_hpo.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_embed_hpo.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_heuristics.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_heuristics.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_heuristics.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_nn_layers.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_nn_layers.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_nn_layers.cpp.o.d"
+  "/root/repo/tests/test_optim_linalg.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_optim_linalg.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_optim_linalg.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_segment_conv_ops.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_segment_conv_ops.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_segment_conv_ops.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_subgraph_seal.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_subgraph_seal.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_subgraph_seal.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_tensor_grad.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_tensor_grad.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_tensor_grad.cpp.o.d"
+  "/root/repo/tests/test_tensor_ops.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_tensor_ops.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_tensor_ops.cpp.o.d"
+  "/root/repo/tests/test_util_module.cpp" "tests/CMakeFiles/amdgcnn_tests.dir/test_util_module.cpp.o" "gcc" "tests/CMakeFiles/amdgcnn_tests.dir/test_util_module.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amdgcnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdgcnn_cli.dir/amdgcnn_cli.cpp.o"
+  "CMakeFiles/amdgcnn_cli.dir/amdgcnn_cli.cpp.o.d"
+  "amdgcnn_cli"
+  "amdgcnn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdgcnn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
