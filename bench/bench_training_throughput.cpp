@@ -1,0 +1,295 @@
+// Training-throughput benchmark for the tensor-engine hot path.
+//
+// Trains both models (AM-DGCNN, Vanilla-DGCNN) on the Cora and WordNet
+// simulators and reports end-to-end samples/sec for
+//   * the legacy serial trainer path   (num_threads = 0),
+//   * the deterministic parallel path with 1 worker, and
+//   * the parallel path with all hardware workers (when OpenMP is present);
+// the two parallel rows must produce bit-identical losses — the benchmark
+// asserts this.  Alongside, it times the three dominant primitives
+// (matmul forward+backward, segment_softmax, scatter_add_rows) in µs/op and
+// records buffer-pool statistics (peak bytes, hit rate).
+//
+// Output goes to stdout as a table and to a JSON file (default
+// BENCH_training.json in the current directory; override with --out PATH).
+// --smoke shrinks everything so the binary doubles as a CTest smoke test.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "bench_common.h"
+#include "models/trainer.h"
+#include "tensor/ops.h"
+#include "tensor/segment_ops.h"
+
+namespace {
+
+using namespace amdgcnn;
+
+struct RunResult {
+  std::string mode;       // "serial" or "parallel"
+  int threads = 0;        // TrainConfig::num_threads
+  double samples_per_sec = 0.0;
+  double seconds = 0.0;
+  double final_loss = 0.0;
+};
+
+struct ModelResult {
+  std::string model;
+  std::vector<RunResult> runs;
+  ag::PoolStats pool;  // captured after the serial run
+};
+
+struct DatasetResult {
+  std::string dataset;
+  std::size_t train_samples = 0;
+  std::vector<ModelResult> models;
+};
+
+struct MicroResult {
+  std::string op;
+  double us_per_op = 0.0;
+};
+
+RunResult time_training(models::LinkGNN& model, const seal::SealDataset& ds,
+                        std::int64_t num_threads, int epochs) {
+  models::TrainConfig tc;
+  tc.seed = 17;
+  tc.num_threads = num_threads;
+  models::Trainer trainer(model, tc);
+  trainer.train_epoch(ds.train);  // warmup: fills the buffer pool
+  util::Stopwatch watch;
+  double loss = 0.0;
+  for (int e = 0; e < epochs; ++e) loss = trainer.train_epoch(ds.train);
+  RunResult r;
+  r.mode = num_threads == 0 ? "serial" : "parallel";
+  r.threads = static_cast<int>(num_threads);
+  r.seconds = watch.seconds();
+  r.samples_per_sec =
+      static_cast<double>(ds.train.size()) * epochs / r.seconds;
+  r.final_loss = loss;
+  return r;
+}
+
+/// µs per forward+backward of a representative matmul
+/// ([rows, 64] x [64, 32], both sides differentiable).
+MicroResult micro_matmul(int iters) {
+  util::Rng rng(7);
+  auto a = ag::Tensor::randn({48, 64}, rng).requires_grad(true);
+  auto b = ag::Tensor::randn({64, 32}, rng).requires_grad(true);
+  util::Stopwatch watch;
+  for (int i = 0; i < iters; ++i) {
+    auto y = ag::ops::matmul(a, b);
+    auto loss = ag::ops::sum(y);
+    loss.backward();
+    ag::release_graph(loss);
+  }
+  return {"matmul_48x64x32_fwd_bwd", watch.seconds() * 1e6 / iters};
+}
+
+/// µs per forward+backward of segment_softmax over a GAT-sized score matrix
+/// (200 edges, 4 heads, 48 destination segments).
+MicroResult micro_segment_softmax(int iters) {
+  util::Rng rng(7);
+  auto scores = ag::Tensor::randn({200, 4}, rng).requires_grad(true);
+  std::vector<std::int64_t> seg(200);
+  for (std::size_t i = 0; i < seg.size(); ++i)
+    seg[i] = static_cast<std::int64_t>(rng.uniform_int(std::uint64_t{48}));
+  util::Stopwatch watch;
+  for (int i = 0; i < iters; ++i) {
+    auto alpha = ag::ops::segment_softmax(scores, seg, 48);
+    auto loss = ag::ops::sum(alpha);
+    loss.backward();
+    ag::release_graph(loss);
+  }
+  return {"segment_softmax_200x4_seg48_fwd_bwd", watch.seconds() * 1e6 / iters};
+}
+
+/// µs per forward+backward of scatter_add_rows on message-passing shapes
+/// (200 edge messages of width 64 into 48 nodes).
+MicroResult micro_scatter_add(int iters) {
+  util::Rng rng(7);
+  auto src = ag::Tensor::randn({200, 64}, rng).requires_grad(true);
+  std::vector<std::int64_t> idx(200);
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    idx[i] = static_cast<std::int64_t>(rng.uniform_int(std::uint64_t{48}));
+  util::Stopwatch watch;
+  for (int i = 0; i < iters; ++i) {
+    auto agg = ag::ops::scatter_add_rows(src, idx, 48);
+    auto loss = ag::ops::sum(agg);
+    loss.backward();
+    ag::release_graph(loss);
+  }
+  return {"scatter_add_200x64_to_48_fwd_bwd", watch.seconds() * 1e6 / iters};
+}
+
+void write_json(const std::string& path,
+                const std::vector<DatasetResult>& datasets,
+                const std::vector<MicroResult>& micros, bool smoke) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n  \"bench\": \"training_throughput\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"datasets\": [\n";
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    const auto& ds = datasets[d];
+    out << "    {\n      \"dataset\": \"" << ds.dataset << "\",\n"
+        << "      \"train_samples\": " << ds.train_samples << ",\n"
+        << "      \"models\": [\n";
+    for (std::size_t m = 0; m < ds.models.size(); ++m) {
+      const auto& mr = ds.models[m];
+      out << "        {\n          \"model\": \"" << mr.model << "\",\n"
+          << "          \"runs\": [\n";
+      for (std::size_t r = 0; r < mr.runs.size(); ++r) {
+        const auto& run = mr.runs[r];
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "            {\"mode\": \"%s\", \"threads\": %d, "
+                      "\"samples_per_sec\": %.1f, \"seconds\": %.4f, "
+                      "\"final_loss\": %.9f}%s\n",
+                      run.mode.c_str(), run.threads, run.samples_per_sec,
+                      run.seconds, run.final_loss,
+                      r + 1 < mr.runs.size() ? "," : "");
+        out << buf;
+      }
+      const double acq =
+          static_cast<double>(mr.pool.hits + mr.pool.misses);
+      out << "          ],\n          \"pool\": {"
+          << "\"peak_in_use_bytes\": " << mr.pool.peak_in_use_bytes
+          << ", \"peak_pooled_bytes\": " << mr.pool.peak_pooled_bytes
+          << ", \"hit_rate\": "
+          << (acq > 0.0 ? static_cast<double>(mr.pool.hits) / acq : 0.0)
+          << "}\n        }" << (m + 1 < ds.models.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n    }" << (d + 1 < datasets.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"micro_ops_us\": {\n";
+  for (std::size_t i = 0; i < micros.size(); ++i) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "    \"%s\": %.3f%s\n",
+                  micros[i].op.c_str(), micros[i].us_per_op,
+                  i + 1 < micros.size() ? "," : "");
+    out << buf;
+  }
+  out << "  }\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_training.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --out requires a PATH argument\n");
+        return 2;
+      }
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\nusage: %s [--smoke] [--out PATH]\n",
+                   argv[i], argv[0]);
+      return 2;
+    }
+  }
+  const int epochs = smoke ? 1 : 3;
+  const int micro_iters = smoke ? 50 : 2000;
+
+  int max_threads = 1;
+#ifdef _OPENMP
+  max_threads = omp_get_max_threads();
+#endif
+
+  std::vector<datasets::LinkDataset> data;
+  {
+    datasets::CoraSimOptions o;
+    o.num_pos_links = smoke ? 60 : 500;
+    data.push_back(datasets::make_cora_sim(o));
+  }
+  {
+    datasets::WordNetSimOptions o;
+    o.num_nodes = smoke ? 500 : 2000;
+    o.num_train = smoke ? 150 : 1300;
+    o.num_test = smoke ? 40 : 300;
+    data.push_back(datasets::make_wordnet_sim(o));
+  }
+
+  std::vector<DatasetResult> results;
+  for (const auto& dset : data) {
+    const auto seal_ds = bench::prepare(dset);
+    DatasetResult dr;
+    dr.dataset = dset.name;
+    dr.train_samples = seal_ds.train.size();
+    for (auto kind :
+         {models::GnnKind::kAMDGCNN, models::GnnKind::kVanillaDGCNN}) {
+      models::ModelConfig mc;
+      mc.kind = kind;
+      mc.node_feature_dim = seal_ds.train[0].node_feat.dim(1);
+      mc.edge_attr_dim = seal_ds.edge_attr_dim;
+      mc.num_classes = seal_ds.num_classes;
+      ModelResult mr;
+      mr.model = models::gnn_kind_name(kind);
+
+      // Fresh identically-seeded weights per run so every row trains the
+      // same function and the losses are comparable.
+      for (std::int64_t nt : std::vector<std::int64_t>{0, 1}) {
+        util::Rng rng(17);
+        auto model = models::make_link_gnn(mc, rng);
+        if (nt == 0) ag::reset_pool_stats();
+        mr.runs.push_back(time_training(*model, seal_ds, nt, epochs));
+        if (nt == 0) mr.pool = ag::pool_stats();
+      }
+      if (max_threads > 1) {
+        util::Rng rng(17);
+        auto model = models::make_link_gnn(mc, rng);
+        mr.runs.push_back(time_training(*model, seal_ds, max_threads, epochs));
+        // Determinism contract: 1 worker and N workers must agree bit-for-bit.
+        if (mr.runs.back().final_loss != mr.runs[1].final_loss) {
+          std::fprintf(stderr,
+                       "FATAL: parallel trainer is not deterministic "
+                       "(1-thread loss %.17g vs %d-thread loss %.17g)\n",
+                       mr.runs[1].final_loss, max_threads,
+                       mr.runs.back().final_loss);
+          return 1;
+        }
+      }
+
+      for (const auto& run : mr.runs)
+        std::printf("%-12s %-14s %s threads=%d  %8.1f samples/sec  loss=%.6f\n",
+                    dr.dataset.c_str(), mr.model.c_str(), run.mode.c_str(),
+                    run.threads, run.samples_per_sec, run.final_loss);
+      std::printf("%-12s %-14s pool: peak_in_use=%zuB peak_pooled=%zuB "
+                  "hit_rate=%.4f\n",
+                  dr.dataset.c_str(), mr.model.c_str(),
+                  mr.pool.peak_in_use_bytes, mr.pool.peak_pooled_bytes,
+                  static_cast<double>(mr.pool.hits) /
+                      std::max<std::uint64_t>(1, mr.pool.hits +
+                                                     mr.pool.misses));
+      dr.models.push_back(std::move(mr));
+    }
+    results.push_back(std::move(dr));
+  }
+
+  std::vector<MicroResult> micros = {micro_matmul(micro_iters),
+                                     micro_segment_softmax(micro_iters),
+                                     micro_scatter_add(micro_iters)};
+  for (const auto& m : micros)
+    std::printf("%-40s %10.3f us/op\n", m.op.c_str(), m.us_per_op);
+
+  write_json(out_path, results, micros, smoke);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

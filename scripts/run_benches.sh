@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build the Release tree and run the training-throughput benchmark, leaving
+# BENCH_training.json at the repository root.
+#
+# Usage: scripts/run_benches.sh [--smoke]
+#   --smoke   shrink datasets/iterations (seconds instead of minutes)
+#
+# AMDGCNN_BENCH_SCALE=full additionally scales the figure benches when run
+# by hand; this script only drives the throughput bench.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j --target bench_training_throughput
+
+"${build_dir}/bench/bench_training_throughput" \
+  --out "${repo_root}/BENCH_training.json" "$@"
+
+echo "wrote ${repo_root}/BENCH_training.json"

@@ -9,20 +9,43 @@
 
 namespace amdgcnn::models {
 
+namespace {
+
+/// SplitMix64-style mix of (epoch seed, sample position) into an independent
+/// per-sample RNG seed, so dropout draws do not depend on which worker runs
+/// the sample.
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9E3779B97F4A7C15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 Trainer::Trainer(LinkGNN& model, const TrainConfig& config)
     : model_(model), config_(config), rng_(config.seed) {
   if (config_.learning_rate <= 0.0)
     throw std::invalid_argument("Trainer: learning_rate must be positive");
   if (config_.batch_size <= 0)
     throw std::invalid_argument("Trainer: batch_size must be positive");
-  optimizer_ =
-      std::make_unique<ag::Adam>(model_.parameters(), config_.learning_rate);
+  if (config_.num_threads < 0)
+    throw std::invalid_argument("Trainer: num_threads must be >= 0");
+  params_ = model_.parameters();
+  for (std::size_t p = 0; p < params_.size(); ++p)
+    slot_of_[params_[p].unsafe_impl()] = p;
+  optimizer_ = std::make_unique<ag::Adam>(params_, config_.learning_rate);
 }
 
-double Trainer::train_epoch(
-    const std::vector<seal::SubgraphSample>& samples) {
+double Trainer::train_epoch(const std::vector<seal::SubgraphSample>& samples) {
   if (samples.empty())
     throw std::invalid_argument("train_epoch: no samples");
+  if (config_.num_threads <= 0) return train_epoch_serial(samples);
+  return train_epoch_parallel(samples);
+}
+
+double Trainer::train_epoch_serial(
+    const std::vector<seal::SubgraphSample>& samples) {
   model_.set_training(true);
 
   std::vector<std::size_t> order(samples.size());
@@ -45,9 +68,92 @@ double Trainer::train_epoch(
       // Scale so accumulated gradients average over the batch.
       auto scaled = ag::ops::mul_scalar(loss, inv_batch);
       scaled.backward();
+      // Sever the sample's tape so interior buffers go back to the pool now
+      // instead of through a deep recursive destructor chain later.
+      ag::release_graph(scaled);
     }
     if (config_.grad_clip > 0.0) optimizer_->clip_grad_norm(config_.grad_clip);
     optimizer_->step();
+  }
+  return total_loss / static_cast<double>(samples.size());
+}
+
+double Trainer::train_epoch_parallel(
+    const std::vector<seal::SubgraphSample>& samples) {
+  model_.set_training(true);
+
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng_.shuffle(order);
+  const std::uint64_t epoch_seed = rng_.next_u64();
+
+  double total_loss = 0.0;
+  std::size_t i = 0;
+  [[maybe_unused]] const int nt = static_cast<int>(config_.num_threads);
+  while (i < order.size()) {
+    const std::size_t batch_end = std::min(
+        order.size(), i + static_cast<std::size_t>(config_.batch_size));
+    const std::size_t bs = batch_end - i;
+    const double inv_batch = 1.0 / static_cast<double>(bs);
+    optimizer_->zero_grad();
+
+    // Per-sample private gradient buffers (one per parameter), acquired and
+    // released on this thread so the pool recycles them across batches.
+    std::vector<std::vector<std::vector<double>>> sinks(bs);
+    for (auto& sink : sinks) {
+      sink.reserve(params_.size());
+      for (const auto& p : params_)
+        sink.push_back(
+            ag::detail::new_zeroed(static_cast<std::size_t>(p.numel())));
+    }
+    std::vector<double> losses(bs, 0.0);
+    std::exception_ptr error;
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) num_threads(nt)
+#endif
+    for (std::int64_t b = 0; b < static_cast<std::int64_t>(bs); ++b) {
+      try {
+        const std::size_t k = i + static_cast<std::size_t>(b);
+        // Leaf gradients of this sample's backward pass land in sinks[b];
+        // interior nodes are sample-private, so workers never write shared
+        // state.  The per-sample RNG depends only on the sample's position.
+        ag::GradSinkScope scope(slot_of_, sinks[b]);
+        util::Rng sample_rng(
+            mix_seed(epoch_seed, static_cast<std::uint64_t>(k)));
+        const auto& sample = samples[order[k]];
+        auto logits = model_.forward(sample, sample_rng);
+        auto loss = ag::ops::cross_entropy(
+            logits, {static_cast<std::int64_t>(sample.label)});
+        losses[b] = loss.item();
+        auto scaled = ag::ops::mul_scalar(loss, inv_batch);
+        scaled.backward();
+        ag::release_graph(scaled);
+      } catch (...) {
+#ifdef _OPENMP
+#pragma omp critical
+#endif
+        {
+          if (!error) error = std::current_exception();
+        }
+      }
+    }
+    if (error) std::rethrow_exception(error);
+
+    // Reduce in sample order — deterministic for any worker count, since
+    // each sink's contents depend only on its sample.
+    for (std::size_t b = 0; b < bs; ++b) {
+      for (std::size_t p = 0; p < params_.size(); ++p) {
+        auto& g = params_[p].grad();
+        const auto& s = sinks[b][p];
+        for (std::size_t j = 0; j < s.size(); ++j) g[j] += s[j];
+        ag::detail::buffer_pool().release(std::move(sinks[b][p]));
+      }
+      total_loss += losses[b];
+    }
+    if (config_.grad_clip > 0.0) optimizer_->clip_grad_norm(config_.grad_clip);
+    optimizer_->step();
+    i = batch_end;
   }
   return total_loss / static_cast<double>(samples.size());
 }

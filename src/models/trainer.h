@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "metrics/classification.h"
@@ -23,6 +24,14 @@ struct TrainConfig {
   std::int64_t batch_size = 32;
   double grad_clip = 5.0;       // 0 disables clipping
   std::uint64_t seed = 17;
+  /// Batch-accumulation workers.  0 = the legacy serial path (bit-identical
+  /// to pre-threading builds, used by the seeded regression tests).  >= 1 =
+  /// the data-parallel path: samples of a batch run concurrently on up to
+  /// this many OpenMP threads, each accumulating into private per-sample
+  /// gradient buffers that are reduced in sample order before the Adam step,
+  /// so results are bit-identical for ANY worker count (1 == N).  Without
+  /// OpenMP the parallel path runs serially and produces the same numbers.
+  std::int64_t num_threads = 0;
 };
 
 struct EvalResult {
@@ -63,10 +72,18 @@ class Trainer {
   const TrainConfig& config() const { return config_; }
 
  private:
+  double train_epoch_serial(const std::vector<seal::SubgraphSample>& samples);
+  double train_epoch_parallel(
+      const std::vector<seal::SubgraphSample>& samples);
+
   LinkGNN& model_;
   TrainConfig config_;
   std::unique_ptr<ag::Adam> optimizer_;
   mutable util::Rng rng_;
+  // Parameter handles and their slot indices for the grad-sink redirection
+  // used by train_epoch_parallel.
+  std::vector<ag::Tensor> params_;
+  std::unordered_map<const ag::detail::TensorImpl*, std::size_t> slot_of_;
 };
 
 }  // namespace amdgcnn::models

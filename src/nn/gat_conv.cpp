@@ -71,8 +71,7 @@ ag::Tensor GATConv::forward(const ag::Tensor& x,
   scores = ops::leaky_relu(scores, negative_slope_);
   auto alpha = ops::segment_softmax(scores, d, num_nodes);  // [E, H]
   auto msg = ops::heads_scale(payload, alpha, heads_);      // [E, H*F]
-  auto agg = ops::scatter_add_rows(msg, d, num_nodes);      // [n, H*F]
-  return ops::add_rowvec(agg, bias_);
+  return ops::scatter_add_bias(msg, d, num_nodes, bias_);   // [n, H*F] + bias
 }
 
 }  // namespace amdgcnn::nn

@@ -43,8 +43,8 @@ ag::Tensor GCNConv::forward(const ag::Tensor& x,
   auto xw = ag::ops::matmul(x, weight_);
   auto msg = ag::ops::gather_rows(xw, s);
   msg = ag::ops::scale_rows(msg, coef);
-  auto agg = ag::ops::scatter_add_rows(msg, d, num_nodes);
-  return ag::ops::add_rowvec(agg, bias_);
+  // Fused aggregate + bias: one pass over the node matrix instead of two.
+  return ag::ops::scatter_add_bias(msg, d, num_nodes, bias_);
 }
 
 }  // namespace amdgcnn::nn

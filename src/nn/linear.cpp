@@ -12,9 +12,18 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
 }
 
 ag::Tensor Linear::forward(const ag::Tensor& x) const {
-  auto y = ag::ops::matmul(x, weight_);
-  if (bias_.defined()) y = ag::ops::add_rowvec(y, bias_);
-  return y;
+  if (bias_.defined()) return ag::ops::addmm(x, weight_, bias_);
+  return ag::ops::matmul(x, weight_);
+}
+
+ag::Tensor Linear::forward_relu(const ag::Tensor& x) const {
+  if (bias_.defined()) return ag::ops::linear_relu(x, weight_, bias_);
+  return ag::ops::relu(ag::ops::matmul(x, weight_));
+}
+
+ag::Tensor Linear::forward_tanh(const ag::Tensor& x) const {
+  if (bias_.defined()) return ag::ops::linear_tanh(x, weight_, bias_);
+  return ag::ops::tanh_act(ag::ops::matmul(x, weight_));
 }
 
 }  // namespace amdgcnn::nn

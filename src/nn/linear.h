@@ -14,6 +14,12 @@ class Linear final : public Module {
   /// x: [n, in] -> [n, out].
   ag::Tensor forward(const ag::Tensor& x) const;
 
+  /// relu(forward(x)) as a single fused tape node (see ops::linear_relu).
+  ag::Tensor forward_relu(const ag::Tensor& x) const;
+
+  /// tanh(forward(x)) as a single fused tape node (see ops::linear_tanh).
+  ag::Tensor forward_tanh(const ag::Tensor& x) const;
+
   std::int64_t in_features() const { return in_; }
   std::int64_t out_features() const { return out_; }
 

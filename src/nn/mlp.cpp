@@ -17,10 +17,11 @@ MLP::MLP(const std::vector<std::int64_t>& dims, double dropout,
 ag::Tensor MLP::forward(const ag::Tensor& x, util::Rng& rng) const {
   ag::Tensor h = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i]->forward(h);
     if (i + 1 < layers_.size()) {
-      h = ag::ops::relu(h);
+      h = layers_[i]->forward_relu(h);
       h = ag::ops::dropout(h, dropout_, training(), rng);
+    } else {
+      h = layers_[i]->forward(h);
     }
   }
   return h;

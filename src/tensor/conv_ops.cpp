@@ -25,7 +25,8 @@ Tensor sort_pool(const Tensor& x, std::int64_t k) {
   });
 
   const std::int64_t keep = std::min(n, k);
-  std::vector<double> out(static_cast<std::size_t>(k * c), 0.0);
+  std::vector<double> out =
+      detail::new_zeroed(static_cast<std::size_t>(k * c));
   for (std::int64_t r = 0; r < keep; ++r)
     std::copy_n(d.begin() + perm[r] * c, c, out.begin() + r * c);
 
@@ -34,7 +35,7 @@ Tensor sort_pool(const Tensor& x, std::int64_t k) {
       {k, c}, std::move(out), {x},
       [x, sel, c](detail::TensorImpl& self) {
         if (!x.requires_grad()) return;
-        auto& g = x.impl()->grad;
+        auto& g = detail::grad_of(*x.impl());
         for (std::size_t r = 0; r < sel.size(); ++r)
           for (std::int64_t col = 0; col < c; ++col)
             g[sel[r] * c + col] += self.grad[r * c + col];
@@ -56,18 +57,24 @@ Tensor conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
   if (has_bias)
     check(bias.numel() == cout, "conv1d: bias length must equal C_out");
 
-  std::vector<double> out(static_cast<std::size_t>(cout * lout), 0.0);
+  std::vector<double> out =
+      detail::new_buffer(static_cast<std::size_t>(cout * lout));
   const auto& xd = x.data();
   const auto& wd = weight.data();
-  for (std::int64_t oc = 0; oc < cout; ++oc)
+  const double* bv = has_bias ? bias.data().data() : nullptr;
+  for (std::int64_t oc = 0; oc < cout; ++oc) {
+    const double* wrow = wd.data() + oc * cin * kernel;
     for (std::int64_t j = 0; j < lout; ++j) {
-      double acc = has_bias ? bias.data()[oc] : 0.0;
+      double acc = has_bias ? bv[oc] : 0.0;
       const std::int64_t base = j * stride;
-      for (std::int64_t ic = 0; ic < cin; ++ic)
-        for (std::int64_t t = 0; t < kernel; ++t)
-          acc += xd[ic * len + base + t] * wd[oc * cin * kernel + ic * kernel + t];
+      for (std::int64_t ic = 0; ic < cin; ++ic) {
+        const double* xrow = xd.data() + ic * len + base;
+        const double* wk = wrow + ic * kernel;
+        for (std::int64_t t = 0; t < kernel; ++t) acc += xrow[t] * wk[t];
+      }
       out[oc * lout + j] = acc;
     }
+  }
 
   std::vector<Tensor> parents = {x, weight};
   if (has_bias) parents.push_back(bias);
@@ -77,27 +84,35 @@ Tensor conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
        has_bias](detail::TensorImpl& self) {
         const auto& xd = x.data();
         const auto& wd = weight.data();
+        // Hoist the requires_grad branches and sink lookups out of the
+        // quadruple loop; null pointers mean "no gradient wanted".
+        double* gx = x.requires_grad()
+                         ? detail::grad_of(*x.impl()).data()
+                         : nullptr;
+        double* gw = weight.requires_grad()
+                         ? detail::grad_of(*weight.impl()).data()
+                         : nullptr;
+        double* gb = (has_bias && bias.requires_grad())
+                         ? detail::grad_of(*bias.impl()).data()
+                         : nullptr;
         for (std::int64_t oc = 0; oc < cout; ++oc)
           for (std::int64_t j = 0; j < lout; ++j) {
             const double go = self.grad[oc * lout + j];
+            // Post-ReLU/pool upstream gradients are mostly zero here; this
+            // skip is a measured win, unlike in dense matmul backward.
             if (go == 0.0) continue;
             const std::int64_t base = j * stride;
-            if (x.requires_grad()) {
-              auto& gx = x.impl()->grad;
+            if (gx != nullptr)
               for (std::int64_t ic = 0; ic < cin; ++ic)
                 for (std::int64_t t = 0; t < kernel; ++t)
                   gx[ic * len + base + t] +=
                       go * wd[oc * cin * kernel + ic * kernel + t];
-            }
-            if (weight.requires_grad()) {
-              auto& gw = weight.impl()->grad;
+            if (gw != nullptr)
               for (std::int64_t ic = 0; ic < cin; ++ic)
                 for (std::int64_t t = 0; t < kernel; ++t)
                   gw[oc * cin * kernel + ic * kernel + t] +=
                       go * xd[ic * len + base + t];
-            }
-            if (has_bias && bias.requires_grad())
-              bias.impl()->grad[oc] += go;
+            if (gb != nullptr) gb[oc] += go;
           }
       });
 }
@@ -109,7 +124,8 @@ Tensor max_pool1d(const Tensor& x, std::int64_t size, std::int64_t stride) {
   check(len >= size, "max_pool1d: input shorter than window");
   const std::int64_t lout = (len - size) / stride + 1;
 
-  std::vector<double> out(static_cast<std::size_t>(c * lout));
+  std::vector<double> out =
+      detail::new_buffer(static_cast<std::size_t>(c * lout));
   auto argmax = std::make_shared<std::vector<std::int64_t>>(
       static_cast<std::size_t>(c * lout));
   const auto& xd = x.data();
@@ -126,7 +142,7 @@ Tensor max_pool1d(const Tensor& x, std::int64_t size, std::int64_t stride) {
       {c, lout}, std::move(out), {x},
       [x, argmax, c, len, lout](detail::TensorImpl& self) {
         if (!x.requires_grad()) return;
-        auto& g = x.impl()->grad;
+        auto& g = detail::grad_of(*x.impl());
         for (std::int64_t ch = 0; ch < c; ++ch)
           for (std::int64_t j = 0; j < lout; ++j)
             g[ch * len + (*argmax)[ch * lout + j]] +=

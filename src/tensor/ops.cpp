@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/kernels.h"
+
 namespace amdgcnn::ag::ops {
 
 namespace {
@@ -12,14 +14,54 @@ namespace {
 bool wants_grad(const Tensor& t) { return t.requires_grad(); }
 
 void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
-  check(a.shape() == b.shape(),
-        std::string(op) + ": shape mismatch " + shape_str(a.shape()) +
-            " vs " + shape_str(b.shape()));
+  if (a.shape() != b.shape())
+    fail(std::string(op) + ": shape mismatch " + shape_str(a.shape()) +
+         " vs " + shape_str(b.shape()));
 }
 
 void check_rank2(const Tensor& a, const char* op) {
-  check(a.rank() == 2, std::string(op) + ": expected rank-2 tensor, got " +
-                           shape_str(a.shape()));
+  if (a.rank() != 2)
+    fail(std::string(op) + ": expected rank-2 tensor, got " +
+         shape_str(a.shape()));
+}
+
+void check_linear_shapes(const Tensor& a, const Tensor& w, const Tensor& bias,
+                         const char* op) {
+  check_rank2(a, op);
+  check_rank2(w, op);
+  if (a.dim(1) != w.dim(0))
+    fail(std::string(op) + ": inner dimensions differ, " +
+         shape_str(a.shape()) + " x " + shape_str(w.shape()));
+  if (bias.numel() != w.dim(1))
+    fail(std::string(op) + ": bias length " + std::to_string(bias.numel()) +
+         " vs columns " + std::to_string(w.dim(1)));
+}
+
+/// Forward of the fused linear family: out = a·w + bias (row broadcast).
+std::vector<double> linear_forward(const Tensor& a, const Tensor& w,
+                                   const Tensor& bias) {
+  const std::int64_t n = a.dim(0), k = a.dim(1), m = w.dim(1);
+  std::vector<double> out = detail::new_buffer(static_cast<std::size_t>(n * m));
+  const double* bv = bias.data().data();
+  for (std::int64_t i = 0; i < n; ++i)
+    std::copy_n(bv, m, out.data() + i * m);
+  kern::mm_add(a.data().data(), w.data().data(), out.data(), n, k, m);
+  return out;
+}
+
+/// Backward of the fused linear family given the post-activation gradient
+/// `gz` (already masked/scaled by the activation derivative).
+void linear_backward(const Tensor& a, const Tensor& w, const Tensor& bias,
+                     const double* gz, std::int64_t n, std::int64_t k,
+                     std::int64_t m) {
+  if (wants_grad(a))
+    kern::mm_abt_add(gz, w.data().data(),
+                     detail::grad_of(*a.impl()).data(), n, k, m);
+  if (wants_grad(w))
+    kern::mm_atb_add(a.data().data(), gz,
+                     detail::grad_of(*w.impl()).data(), n, k, m);
+  if (wants_grad(bias))
+    kern::col_sum_add(gz, detail::grad_of(*bias.impl()).data(), n, m);
 }
 
 }  // namespace
@@ -28,19 +70,20 @@ void check_rank2(const Tensor& a, const char* op) {
 
 Tensor add(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add");
-  std::vector<double> out(a.data().size());
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = a.data()[i] + b.data()[i];
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  std::vector<double> out = detail::new_buffer(av.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = av[i] + bv[i];
   return Tensor::make_op_result(
       a.shape(), std::move(out), {a, b},
       [a, b](detail::TensorImpl& self) {
         if (wants_grad(a)) {
-          auto& ga = a.impl()->grad;
+          auto& ga = detail::grad_of(*a.impl());
           for (std::size_t i = 0; i < self.grad.size(); ++i)
             ga[i] += self.grad[i];
         }
         if (wants_grad(b)) {
-          auto& gb = b.impl()->grad;
+          auto& gb = detail::grad_of(*b.impl());
           for (std::size_t i = 0; i < self.grad.size(); ++i)
             gb[i] += self.grad[i];
         }
@@ -49,19 +92,20 @@ Tensor add(const Tensor& a, const Tensor& b) {
 
 Tensor sub(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "sub");
-  std::vector<double> out(a.data().size());
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = a.data()[i] - b.data()[i];
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  std::vector<double> out = detail::new_buffer(av.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = av[i] - bv[i];
   return Tensor::make_op_result(
       a.shape(), std::move(out), {a, b},
       [a, b](detail::TensorImpl& self) {
         if (wants_grad(a)) {
-          auto& ga = a.impl()->grad;
+          auto& ga = detail::grad_of(*a.impl());
           for (std::size_t i = 0; i < self.grad.size(); ++i)
             ga[i] += self.grad[i];
         }
         if (wants_grad(b)) {
-          auto& gb = b.impl()->grad;
+          auto& gb = detail::grad_of(*b.impl());
           for (std::size_t i = 0; i < self.grad.size(); ++i)
             gb[i] -= self.grad[i];
         }
@@ -70,44 +114,49 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul");
-  std::vector<double> out(a.data().size());
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = a.data()[i] * b.data()[i];
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  std::vector<double> out = detail::new_buffer(av.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = av[i] * bv[i];
   return Tensor::make_op_result(
       a.shape(), std::move(out), {a, b},
       [a, b](detail::TensorImpl& self) {
         if (wants_grad(a)) {
-          auto& ga = a.impl()->grad;
+          auto& ga = detail::grad_of(*a.impl());
+          const auto& bd = b.data();
           for (std::size_t i = 0; i < self.grad.size(); ++i)
-            ga[i] += self.grad[i] * b.data()[i];
+            ga[i] += self.grad[i] * bd[i];
         }
         if (wants_grad(b)) {
-          auto& gb = b.impl()->grad;
+          auto& gb = detail::grad_of(*b.impl());
+          const auto& ad = a.data();
           for (std::size_t i = 0; i < self.grad.size(); ++i)
-            gb[i] += self.grad[i] * a.data()[i];
+            gb[i] += self.grad[i] * ad[i];
         }
       });
 }
 
 Tensor add_scalar(const Tensor& a, double s) {
-  std::vector<double> out(a.data().size());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] + s;
+  const auto& av = a.data();
+  std::vector<double> out = detail::new_buffer(av.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = av[i] + s;
   return Tensor::make_op_result(
       a.shape(), std::move(out), {a}, [a](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
-        auto& ga = a.impl()->grad;
+        auto& ga = detail::grad_of(*a.impl());
         for (std::size_t i = 0; i < self.grad.size(); ++i)
           ga[i] += self.grad[i];
       });
 }
 
 Tensor mul_scalar(const Tensor& a, double s) {
-  std::vector<double> out(a.data().size());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] * s;
+  const auto& av = a.data();
+  std::vector<double> out = detail::new_buffer(av.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = av[i] * s;
   return Tensor::make_op_result(
       a.shape(), std::move(out), {a}, [a, s](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
-        auto& ga = a.impl()->grad;
+        auto& ga = detail::grad_of(*a.impl());
         for (std::size_t i = 0; i < self.grad.size(); ++i)
           ga[i] += self.grad[i] * s;
       });
@@ -115,28 +164,27 @@ Tensor mul_scalar(const Tensor& a, double s) {
 
 Tensor add_rowvec(const Tensor& a, const Tensor& bias) {
   check_rank2(a, "add_rowvec");
-  check(bias.numel() == a.dim(1),
-        "add_rowvec: bias length " + std::to_string(bias.numel()) +
-            " vs columns " + std::to_string(a.dim(1)));
+  if (bias.numel() != a.dim(1))
+    fail("add_rowvec: bias length " + std::to_string(bias.numel()) +
+         " vs columns " + std::to_string(a.dim(1)));
   const std::int64_t n = a.dim(0), m = a.dim(1);
-  std::vector<double> out(a.data().size());
+  const auto& av = a.data();
+  const auto& bv = bias.data();
+  std::vector<double> out = detail::new_buffer(av.size());
   for (std::int64_t r = 0; r < n; ++r)
     for (std::int64_t c = 0; c < m; ++c)
-      out[r * m + c] = a.data()[r * m + c] + bias.data()[c];
+      out[r * m + c] = av[r * m + c] + bv[c];
   return Tensor::make_op_result(
       a.shape(), std::move(out), {a, bias},
       [a, bias, n, m](detail::TensorImpl& self) {
         if (wants_grad(a)) {
-          auto& ga = a.impl()->grad;
+          auto& ga = detail::grad_of(*a.impl());
           for (std::size_t i = 0; i < self.grad.size(); ++i)
             ga[i] += self.grad[i];
         }
-        if (wants_grad(bias)) {
-          auto& gb = bias.impl()->grad;
-          for (std::int64_t r = 0; r < n; ++r)
-            for (std::int64_t c = 0; c < m; ++c)
-              gb[c] += self.grad[r * m + c];
-        }
+        if (wants_grad(bias))
+          kern::col_sum_add(self.grad.data(),
+                            detail::grad_of(*bias.impl()).data(), n, m);
       });
 }
 
@@ -145,65 +193,83 @@ Tensor add_rowvec(const Tensor& a, const Tensor& bias) {
 Tensor matmul(const Tensor& a, const Tensor& b) {
   check_rank2(a, "matmul");
   check_rank2(b, "matmul");
-  check(a.dim(1) == b.dim(0),
-        "matmul: inner dimensions differ, " + shape_str(a.shape()) + " x " +
-            shape_str(b.shape()));
+  if (a.dim(1) != b.dim(0))
+    fail("matmul: inner dimensions differ, " + shape_str(a.shape()) + " x " +
+         shape_str(b.shape()));
   const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
-  std::vector<double> out(static_cast<std::size_t>(n * m), 0.0);
-  const auto& A = a.data();
-  const auto& B = b.data();
-  // i-k-j loop order: unit-stride inner loop over B and out.
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t p = 0; p < k; ++p) {
-      const double av = A[i * k + p];
-      if (av == 0.0) continue;
-      const double* brow = B.data() + p * m;
-      double* orow = out.data() + i * m;
-      for (std::int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
-    }
-  }
+  std::vector<double> out =
+      detail::new_zeroed(static_cast<std::size_t>(n * m));
+  kern::mm_add(a.data().data(), b.data().data(), out.data(), n, k, m);
   return Tensor::make_op_result(
       {n, m}, std::move(out), {a, b},
       [a, b, n, k, m](detail::TensorImpl& self) {
-        // dA = dOut * B^T; dB = A^T * dOut.
-        if (wants_grad(a)) {
-          auto& ga = a.impl()->grad;
-          const auto& B = b.data();
-          for (std::int64_t i = 0; i < n; ++i)
-            for (std::int64_t p = 0; p < k; ++p) {
-              double acc = 0.0;
-              const double* grow = self.grad.data() + i * m;
-              const double* brow = B.data() + p * m;
-              for (std::int64_t j = 0; j < m; ++j) acc += grow[j] * brow[j];
-              ga[i * k + p] += acc;
-            }
+        // dA = dOut · Bᵀ; dB = Aᵀ · dOut — same blocked kernels as forward.
+        if (wants_grad(a))
+          kern::mm_abt_add(self.grad.data(), b.data().data(),
+                           detail::grad_of(*a.impl()).data(), n, k, m);
+        if (wants_grad(b))
+          kern::mm_atb_add(a.data().data(), self.grad.data(),
+                           detail::grad_of(*b.impl()).data(), n, k, m);
+      });
+}
+
+Tensor addmm(const Tensor& a, const Tensor& w, const Tensor& bias) {
+  check_linear_shapes(a, w, bias, "addmm");
+  const std::int64_t n = a.dim(0), k = a.dim(1), m = w.dim(1);
+  return Tensor::make_op_result(
+      {n, m}, linear_forward(a, w, bias), {a, w, bias},
+      [a, w, bias, n, k, m](detail::TensorImpl& self) {
+        linear_backward(a, w, bias, self.grad.data(), n, k, m);
+      });
+}
+
+Tensor linear_relu(const Tensor& a, const Tensor& w, const Tensor& bias) {
+  check_linear_shapes(a, w, bias, "linear_relu");
+  const std::int64_t n = a.dim(0), k = a.dim(1), m = w.dim(1);
+  std::vector<double> out = linear_forward(a, w, bias);
+  for (auto& v : out) v = v > 0.0 ? v : 0.0;
+  return Tensor::make_op_result(
+      {n, m}, std::move(out), {a, w, bias},
+      [a, w, bias, n, k, m](detail::TensorImpl& self) {
+        // Mask the upstream gradient by the activation before the shared
+        // matmul backward; the temporary comes from (and returns to) the pool.
+        std::vector<double> gz = detail::new_buffer(self.grad.size());
+        for (std::size_t i = 0; i < gz.size(); ++i)
+          gz[i] = self.data[i] > 0.0 ? self.grad[i] : 0.0;
+        linear_backward(a, w, bias, gz.data(), n, k, m);
+        detail::buffer_pool().release(std::move(gz));
+      });
+}
+
+Tensor linear_tanh(const Tensor& a, const Tensor& w, const Tensor& bias) {
+  check_linear_shapes(a, w, bias, "linear_tanh");
+  const std::int64_t n = a.dim(0), k = a.dim(1), m = w.dim(1);
+  std::vector<double> out = linear_forward(a, w, bias);
+  for (auto& v : out) v = std::tanh(v);
+  return Tensor::make_op_result(
+      {n, m}, std::move(out), {a, w, bias},
+      [a, w, bias, n, k, m](detail::TensorImpl& self) {
+        std::vector<double> gz = detail::new_buffer(self.grad.size());
+        for (std::size_t i = 0; i < gz.size(); ++i) {
+          const double y = self.data[i];
+          gz[i] = self.grad[i] * (1.0 - y * y);
         }
-        if (wants_grad(b)) {
-          auto& gb = b.impl()->grad;
-          const auto& A = a.data();
-          for (std::int64_t p = 0; p < k; ++p)
-            for (std::int64_t i = 0; i < n; ++i) {
-              const double av = A[i * k + p];
-              if (av == 0.0) continue;
-              const double* grow = self.grad.data() + i * m;
-              double* brow = gb.data() + p * m;
-              for (std::int64_t j = 0; j < m; ++j) brow[j] += av * grow[j];
-            }
-        }
+        linear_backward(a, w, bias, gz.data(), n, k, m);
+        detail::buffer_pool().release(std::move(gz));
       });
 }
 
 Tensor transpose(const Tensor& a) {
   check_rank2(a, "transpose");
   const std::int64_t n = a.dim(0), m = a.dim(1);
-  std::vector<double> out(a.data().size());
+  const auto& av = a.data();
+  std::vector<double> out = detail::new_buffer(av.size());
   for (std::int64_t r = 0; r < n; ++r)
-    for (std::int64_t c = 0; c < m; ++c)
-      out[c * n + r] = a.data()[r * m + c];
+    for (std::int64_t c = 0; c < m; ++c) out[c * n + r] = av[r * m + c];
   return Tensor::make_op_result(
       {m, n}, std::move(out), {a}, [a, n, m](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
-        auto& ga = a.impl()->grad;
+        auto& ga = detail::grad_of(*a.impl());
         for (std::int64_t r = 0; r < n; ++r)
           for (std::int64_t c = 0; c < m; ++c)
             ga[r * m + c] += self.grad[c * n + r];
@@ -213,15 +279,17 @@ Tensor transpose(const Tensor& a) {
 // ---- Shape manipulation -----------------------------------------------------
 
 Tensor reshape(const Tensor& a, Shape new_shape) {
-  check(ag::numel(new_shape) == a.numel(),
-        "reshape: numel mismatch " + shape_str(a.shape()) + " -> " +
-            shape_str(new_shape));
-  std::vector<double> out = a.data();
+  if (ag::numel(new_shape) != a.numel())
+    fail("reshape: numel mismatch " + shape_str(a.shape()) + " -> " +
+         shape_str(new_shape));
+  const auto& av = a.data();
+  std::vector<double> out = detail::new_buffer(av.size());
+  std::copy(av.begin(), av.end(), out.begin());
   return Tensor::make_op_result(
       std::move(new_shape), std::move(out), {a},
       [a](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
-        auto& ga = a.impl()->grad;
+        auto& ga = detail::grad_of(*a.impl());
         for (std::size_t i = 0; i < self.grad.size(); ++i)
           ga[i] += self.grad[i];
       });
@@ -236,13 +304,15 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
     check(p.dim(0) == n, "concat_cols: row count mismatch");
     total_cols += p.dim(1);
   }
-  std::vector<double> out(static_cast<std::size_t>(n * total_cols));
+  std::vector<double> out =
+      detail::new_buffer(static_cast<std::size_t>(n * total_cols));
   std::int64_t col_off = 0;
   for (const auto& p : parts) {
     const std::int64_t m = p.dim(1);
+    const auto& pd = p.data();
     for (std::int64_t r = 0; r < n; ++r)
       for (std::int64_t c = 0; c < m; ++c)
-        out[r * total_cols + col_off + c] = p.data()[r * m + c];
+        out[r * total_cols + col_off + c] = pd[r * m + c];
     col_off += m;
   }
   auto parts_copy = parts;
@@ -253,7 +323,7 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
         for (const auto& p : parts_copy) {
           const std::int64_t m = p.dim(1);
           if (wants_grad(p)) {
-            auto& gp = p.impl()->grad;
+            auto& gp = detail::grad_of(*p.impl());
             for (std::int64_t r = 0; r < n; ++r)
               for (std::int64_t c = 0; c < m; ++c)
                 gp[r * m + c] += self.grad[r * total_cols + off + c];
@@ -272,10 +342,14 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
     check(p.dim(1) == m, "concat_rows: column count mismatch");
     total_rows += p.dim(0);
   }
-  std::vector<double> out;
-  out.reserve(static_cast<std::size_t>(total_rows * m));
-  for (const auto& p : parts)
-    out.insert(out.end(), p.data().begin(), p.data().end());
+  std::vector<double> out =
+      detail::new_buffer(static_cast<std::size_t>(total_rows * m));
+  std::size_t off = 0;
+  for (const auto& p : parts) {
+    const auto& pd = p.data();
+    std::copy(pd.begin(), pd.end(), out.begin() + off);
+    off += pd.size();
+  }
   auto parts_copy = parts;
   return Tensor::make_op_result(
       {total_rows, m}, std::move(out), parts,
@@ -284,7 +358,7 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
         for (const auto& p : parts_copy) {
           const std::size_t sz = p.data().size();
           if (wants_grad(p)) {
-            auto& gp = p.impl()->grad;
+            auto& gp = detail::grad_of(*p.impl());
             for (std::size_t i = 0; i < sz; ++i)
               gp[i] += self.grad[off + i];
           }
@@ -298,13 +372,14 @@ Tensor slice_rows(const Tensor& a, std::int64_t start, std::int64_t len) {
   check(start >= 0 && len >= 0 && start + len <= a.dim(0),
         "slice_rows: range out of bounds");
   const std::int64_t m = a.dim(1);
-  std::vector<double> out(a.data().begin() + start * m,
-                          a.data().begin() + (start + len) * m);
+  std::vector<double> out =
+      detail::new_buffer(static_cast<std::size_t>(len * m));
+  std::copy_n(a.data().begin() + start * m, len * m, out.begin());
   return Tensor::make_op_result(
       {len, m}, std::move(out), {a},
       [a, start, m](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
-        auto& ga = a.impl()->grad;
+        auto& ga = detail::grad_of(*a.impl());
         for (std::size_t i = 0; i < self.grad.size(); ++i)
           ga[static_cast<std::size_t>(start * m) + i] += self.grad[i];
       });
@@ -316,14 +391,16 @@ Tensor gather_rows(const Tensor& a, const std::vector<std::int64_t>& index) {
   for (auto i : index)
     check(i >= 0 && i < n, "gather_rows: index out of bounds");
   const auto e = static_cast<std::int64_t>(index.size());
-  std::vector<double> out(static_cast<std::size_t>(e * m));
+  const auto& av = a.data();
+  std::vector<double> out =
+      detail::new_buffer(static_cast<std::size_t>(e * m));
   for (std::int64_t r = 0; r < e; ++r)
-    std::copy_n(a.data().begin() + index[r] * m, m, out.begin() + r * m);
+    std::copy_n(av.begin() + index[r] * m, m, out.begin() + r * m);
   return Tensor::make_op_result(
       {e, m}, std::move(out), {a},
       [a, index, m](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
-        auto& ga = a.impl()->grad;
+        auto& ga = detail::grad_of(*a.impl());
         for (std::size_t r = 0; r < index.size(); ++r)
           for (std::int64_t c = 0; c < m; ++c)
             ga[index[r] * m + c] += self.grad[r * m + c];
@@ -335,15 +412,16 @@ Tensor scale_rows(const Tensor& a, const std::vector<double>& scale) {
   check(static_cast<std::int64_t>(scale.size()) == a.dim(0),
         "scale_rows: scale length mismatch");
   const std::int64_t n = a.dim(0), m = a.dim(1);
-  std::vector<double> out(a.data().size());
+  const auto& av = a.data();
+  std::vector<double> out = detail::new_buffer(av.size());
   for (std::int64_t r = 0; r < n; ++r)
     for (std::int64_t c = 0; c < m; ++c)
-      out[r * m + c] = a.data()[r * m + c] * scale[r];
+      out[r * m + c] = av[r * m + c] * scale[r];
   return Tensor::make_op_result(
       a.shape(), std::move(out), {a},
       [a, scale, n, m](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
-        auto& ga = a.impl()->grad;
+        auto& ga = detail::grad_of(*a.impl());
         for (std::int64_t r = 0; r < n; ++r)
           for (std::int64_t c = 0; c < m; ++c)
             ga[r * m + c] += self.grad[r * m + c] * scale[r];
@@ -353,39 +431,44 @@ Tensor scale_rows(const Tensor& a, const std::vector<double>& scale) {
 // ---- Activations ------------------------------------------------------------
 
 Tensor relu(const Tensor& a) {
-  std::vector<double> out(a.data().size());
+  const auto& av = a.data();
+  std::vector<double> out = detail::new_buffer(av.size());
   for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = a.data()[i] > 0.0 ? a.data()[i] : 0.0;
+    out[i] = av[i] > 0.0 ? av[i] : 0.0;
   return Tensor::make_op_result(
       a.shape(), std::move(out), {a}, [a](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
-        auto& ga = a.impl()->grad;
+        auto& ga = detail::grad_of(*a.impl());
+        const auto& ad = a.data();
         for (std::size_t i = 0; i < self.grad.size(); ++i)
-          if (a.data()[i] > 0.0) ga[i] += self.grad[i];
+          if (ad[i] > 0.0) ga[i] += self.grad[i];
       });
 }
 
 Tensor leaky_relu(const Tensor& a, double negative_slope) {
-  std::vector<double> out(a.data().size());
+  const auto& av = a.data();
+  std::vector<double> out = detail::new_buffer(av.size());
   for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = a.data()[i] > 0.0 ? a.data()[i] : negative_slope * a.data()[i];
+    out[i] = av[i] > 0.0 ? av[i] : negative_slope * av[i];
   return Tensor::make_op_result(
       a.shape(), std::move(out), {a},
       [a, negative_slope](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
-        auto& ga = a.impl()->grad;
+        auto& ga = detail::grad_of(*a.impl());
+        const auto& ad = a.data();
         for (std::size_t i = 0; i < self.grad.size(); ++i)
-          ga[i] += self.grad[i] * (a.data()[i] > 0.0 ? 1.0 : negative_slope);
+          ga[i] += self.grad[i] * (ad[i] > 0.0 ? 1.0 : negative_slope);
       });
 }
 
 Tensor tanh_act(const Tensor& a) {
-  std::vector<double> out(a.data().size());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(a.data()[i]);
+  const auto& av = a.data();
+  std::vector<double> out = detail::new_buffer(av.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(av[i]);
   return Tensor::make_op_result(
       a.shape(), std::move(out), {a}, [a](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
-        auto& ga = a.impl()->grad;
+        auto& ga = detail::grad_of(*a.impl());
         for (std::size_t i = 0; i < self.grad.size(); ++i) {
           const double y = self.data[i];
           ga[i] += self.grad[i] * (1.0 - y * y);
@@ -394,13 +477,14 @@ Tensor tanh_act(const Tensor& a) {
 }
 
 Tensor sigmoid(const Tensor& a) {
-  std::vector<double> out(a.data().size());
+  const auto& av = a.data();
+  std::vector<double> out = detail::new_buffer(av.size());
   for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = 1.0 / (1.0 + std::exp(-a.data()[i]));
+    out[i] = 1.0 / (1.0 + std::exp(-av[i]));
   return Tensor::make_op_result(
       a.shape(), std::move(out), {a}, [a](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
-        auto& ga = a.impl()->grad;
+        auto& ga = detail::grad_of(*a.impl());
         for (std::size_t i = 0; i < self.grad.size(); ++i) {
           const double y = self.data[i];
           ga[i] += self.grad[i] * y * (1.0 - y);
@@ -416,7 +500,7 @@ Tensor sum(const Tensor& a) {
   return Tensor::make_op_result(
       {1}, {total}, {a}, [a](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
-        auto& ga = a.impl()->grad;
+        auto& ga = detail::grad_of(*a.impl());
         for (auto& g : ga) g += self.grad[0];
       });
 }
@@ -429,7 +513,7 @@ Tensor mean(const Tensor& a) {
   return Tensor::make_op_result(
       {1}, {total * inv}, {a}, [a, inv](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
-        auto& ga = a.impl()->grad;
+        auto& ga = detail::grad_of(*a.impl());
         for (auto& g : ga) g += self.grad[0] * inv;
       });
 }
@@ -438,14 +522,14 @@ Tensor softmax_rows(const Tensor& a) {
   check_rank2(a, "softmax_rows");
   const std::int64_t n = a.dim(0), m = a.dim(1);
   check(m > 0, "softmax_rows: zero columns");
-  std::vector<double> out(a.data().size());
+  const auto& av = a.data();
+  std::vector<double> out = detail::new_buffer(av.size());
   for (std::int64_t r = 0; r < n; ++r) {
     double mx = -std::numeric_limits<double>::infinity();
-    for (std::int64_t c = 0; c < m; ++c)
-      mx = std::max(mx, a.data()[r * m + c]);
+    for (std::int64_t c = 0; c < m; ++c) mx = std::max(mx, av[r * m + c]);
     double z = 0.0;
     for (std::int64_t c = 0; c < m; ++c) {
-      out[r * m + c] = std::exp(a.data()[r * m + c] - mx);
+      out[r * m + c] = std::exp(av[r * m + c] - mx);
       z += out[r * m + c];
     }
     for (std::int64_t c = 0; c < m; ++c) out[r * m + c] /= z;
@@ -453,7 +537,7 @@ Tensor softmax_rows(const Tensor& a) {
   return Tensor::make_op_result(
       a.shape(), std::move(out), {a}, [a, n, m](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
-        auto& ga = a.impl()->grad;
+        auto& ga = detail::grad_of(*a.impl());
         for (std::int64_t r = 0; r < n; ++r) {
           double dot = 0.0;
           for (std::int64_t c = 0; c < m; ++c)
@@ -469,22 +553,20 @@ Tensor log_softmax_rows(const Tensor& a) {
   check_rank2(a, "log_softmax_rows");
   const std::int64_t n = a.dim(0), m = a.dim(1);
   check(m > 0, "log_softmax_rows: zero columns");
-  std::vector<double> out(a.data().size());
+  const auto& av = a.data();
+  std::vector<double> out = detail::new_buffer(av.size());
   for (std::int64_t r = 0; r < n; ++r) {
     double mx = -std::numeric_limits<double>::infinity();
-    for (std::int64_t c = 0; c < m; ++c)
-      mx = std::max(mx, a.data()[r * m + c]);
+    for (std::int64_t c = 0; c < m; ++c) mx = std::max(mx, av[r * m + c]);
     double z = 0.0;
-    for (std::int64_t c = 0; c < m; ++c)
-      z += std::exp(a.data()[r * m + c] - mx);
+    for (std::int64_t c = 0; c < m; ++c) z += std::exp(av[r * m + c] - mx);
     const double logz = mx + std::log(z);
-    for (std::int64_t c = 0; c < m; ++c)
-      out[r * m + c] = a.data()[r * m + c] - logz;
+    for (std::int64_t c = 0; c < m; ++c) out[r * m + c] = av[r * m + c] - logz;
   }
   return Tensor::make_op_result(
       a.shape(), std::move(out), {a}, [a, n, m](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
-        auto& ga = a.impl()->grad;
+        auto& ga = detail::grad_of(*a.impl());
         for (std::int64_t r = 0; r < n; ++r) {
           double gsum = 0.0;
           for (std::int64_t c = 0; c < m; ++c) gsum += self.grad[r * m + c];
@@ -501,17 +583,18 @@ Tensor nll_loss(const Tensor& logp, const std::vector<std::int64_t>& targets) {
   check(static_cast<std::int64_t>(targets.size()) == n,
         "nll_loss: target count mismatch");
   double loss = 0.0;
+  const auto& lp = logp.data();
   for (std::int64_t r = 0; r < n; ++r) {
     check(targets[r] >= 0 && targets[r] < m,
           "nll_loss: target class out of range");
-    loss -= logp.data()[r * m + targets[r]];
+    loss -= lp[r * m + targets[r]];
   }
   const double inv = 1.0 / static_cast<double>(n);
   return Tensor::make_op_result(
       {1}, {loss * inv}, {logp},
       [logp, targets, m, inv](detail::TensorImpl& self) {
         if (!wants_grad(logp)) return;
-        auto& g = logp.impl()->grad;
+        auto& g = detail::grad_of(*logp.impl());
         for (std::size_t r = 0; r < targets.size(); ++r)
           g[r * m + targets[r]] -= self.grad[0] * inv;
       });
@@ -531,16 +614,17 @@ Tensor dropout(const Tensor& a, double p, bool training, util::Rng& rng) {
     return mul_scalar(a, 1.0);
   }
   const double keep = 1.0 - p;
-  auto mask = std::make_shared<std::vector<double>>(a.data().size());
-  std::vector<double> out(a.data().size());
+  const auto& av = a.data();
+  auto mask = std::make_shared<std::vector<double>>(av.size());
+  std::vector<double> out = detail::new_buffer(av.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     (*mask)[i] = rng.bernoulli(keep) ? 1.0 / keep : 0.0;
-    out[i] = a.data()[i] * (*mask)[i];
+    out[i] = av[i] * (*mask)[i];
   }
   return Tensor::make_op_result(
       a.shape(), std::move(out), {a}, [a, mask](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
-        auto& ga = a.impl()->grad;
+        auto& ga = detail::grad_of(*a.impl());
         for (std::size_t i = 0; i < self.grad.size(); ++i)
           ga[i] += self.grad[i] * (*mask)[i];
       });
@@ -554,35 +638,42 @@ Tensor heads_dot(const Tensor& x, const Tensor& a, std::int64_t heads) {
         "heads_dot: columns not divisible by heads");
   check(a.numel() == x.dim(1), "heads_dot: parameter length mismatch");
   const std::int64_t e = x.dim(0), hf = x.dim(1), f = hf / heads;
-  std::vector<double> out(static_cast<std::size_t>(e * heads), 0.0);
-  for (std::int64_t r = 0; r < e; ++r)
+  const auto& xd = x.data();
+  const auto& ad = a.data();
+  std::vector<double> out =
+      detail::new_buffer(static_cast<std::size_t>(e * heads));
+  for (std::int64_t r = 0; r < e; ++r) {
+    const double* xrow = xd.data() + r * hf;
     for (std::int64_t h = 0; h < heads; ++h) {
       double acc = 0.0;
-      for (std::int64_t c = 0; c < f; ++c)
-        acc += x.data()[r * hf + h * f + c] * a.data()[h * f + c];
+      const double* arow = ad.data() + h * f;
+      for (std::int64_t c = 0; c < f; ++c) acc += xrow[h * f + c] * arow[c];
       out[r * heads + h] = acc;
     }
+  }
   return Tensor::make_op_result(
       {e, heads}, std::move(out), {x, a},
       [x, a, e, heads, f, hf](detail::TensorImpl& self) {
         if (wants_grad(x)) {
-          auto& gx = x.impl()->grad;
+          auto& gx = detail::grad_of(*x.impl());
+          const auto& ad = a.data();
           for (std::int64_t r = 0; r < e; ++r)
             for (std::int64_t h = 0; h < heads; ++h) {
               const double go = self.grad[r * heads + h];
               if (go == 0.0) continue;
               for (std::int64_t c = 0; c < f; ++c)
-                gx[r * hf + h * f + c] += go * a.data()[h * f + c];
+                gx[r * hf + h * f + c] += go * ad[h * f + c];
             }
         }
         if (wants_grad(a)) {
-          auto& ga = a.impl()->grad;
+          auto& ga = detail::grad_of(*a.impl());
+          const auto& xd = x.data();
           for (std::int64_t r = 0; r < e; ++r)
             for (std::int64_t h = 0; h < heads; ++h) {
               const double go = self.grad[r * heads + h];
               if (go == 0.0) continue;
               for (std::int64_t c = 0; c < f; ++c)
-                ga[h * f + c] += go * x.data()[r * hf + h * f + c];
+                ga[h * f + c] += go * xd[r * hf + h * f + c];
             }
         }
       });
@@ -596,33 +687,37 @@ Tensor heads_scale(const Tensor& x, const Tensor& alpha, std::int64_t heads) {
   check(alpha.dim(0) == x.dim(0) && alpha.dim(1) == heads,
         "heads_scale: alpha shape mismatch");
   const std::int64_t e = x.dim(0), hf = x.dim(1), f = hf / heads;
-  std::vector<double> out(x.data().size());
+  const auto& xd = x.data();
+  const auto& al = alpha.data();
+  std::vector<double> out = detail::new_buffer(xd.size());
   for (std::int64_t r = 0; r < e; ++r)
     for (std::int64_t h = 0; h < heads; ++h) {
-      const double s = alpha.data()[r * heads + h];
+      const double s = al[r * heads + h];
       for (std::int64_t c = 0; c < f; ++c)
-        out[r * hf + h * f + c] = x.data()[r * hf + h * f + c] * s;
+        out[r * hf + h * f + c] = xd[r * hf + h * f + c] * s;
     }
   return Tensor::make_op_result(
       x.shape(), std::move(out), {x, alpha},
       [x, alpha, e, heads, f, hf](detail::TensorImpl& self) {
         if (wants_grad(x)) {
-          auto& gx = x.impl()->grad;
+          auto& gx = detail::grad_of(*x.impl());
+          const auto& al = alpha.data();
           for (std::int64_t r = 0; r < e; ++r)
             for (std::int64_t h = 0; h < heads; ++h) {
-              const double s = alpha.data()[r * heads + h];
+              const double s = al[r * heads + h];
               for (std::int64_t c = 0; c < f; ++c)
                 gx[r * hf + h * f + c] += self.grad[r * hf + h * f + c] * s;
             }
         }
         if (wants_grad(alpha)) {
-          auto& gal = alpha.impl()->grad;
+          auto& gal = detail::grad_of(*alpha.impl());
+          const auto& xd = x.data();
           for (std::int64_t r = 0; r < e; ++r)
             for (std::int64_t h = 0; h < heads; ++h) {
               double acc = 0.0;
               for (std::int64_t c = 0; c < f; ++c)
                 acc += self.grad[r * hf + h * f + c] *
-                       x.data()[r * hf + h * f + c];
+                       xd[r * hf + h * f + c];
               gal[r * heads + h] += acc;
             }
         }

@@ -32,6 +32,14 @@ Tensor add_rowvec(const Tensor& a, const Tensor& bias);
 
 /// [n, k] x [k, m] -> [n, m].
 Tensor matmul(const Tensor& a, const Tensor& b);
+/// Fused linear layer: a[n, k] · w[k, m] + bias[m] (row broadcast).
+/// One kernel and one tape node instead of matmul + add_rowvec.
+Tensor addmm(const Tensor& a, const Tensor& w, const Tensor& bias);
+/// relu(addmm(a, w, bias)) fused into a single tape node; the backward pass
+/// masks the upstream gradient in-place before the shared matmul backward.
+Tensor linear_relu(const Tensor& a, const Tensor& w, const Tensor& bias);
+/// tanh(addmm(a, w, bias)) fused into a single tape node.
+Tensor linear_tanh(const Tensor& a, const Tensor& w, const Tensor& bias);
 /// [n, m] -> [m, n].
 Tensor transpose(const Tensor& a);
 

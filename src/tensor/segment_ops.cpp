@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/kernels.h"
+
 namespace amdgcnn::ag::ops {
 
 Tensor scatter_add_rows(const Tensor& src,
@@ -15,18 +17,54 @@ Tensor scatter_add_rows(const Tensor& src,
   const std::int64_t m = src.dim(1);
   for (auto i : index)
     check(i >= 0 && i < num_rows, "scatter_add_rows: index out of range");
-  std::vector<double> out(static_cast<std::size_t>(num_rows * m), 0.0);
+  const auto& sv = src.data();
+  std::vector<double> out =
+      detail::new_zeroed(static_cast<std::size_t>(num_rows * m));
   for (std::size_t r = 0; r < index.size(); ++r)
     for (std::int64_t c = 0; c < m; ++c)
-      out[index[r] * m + c] += src.data()[r * m + c];
+      out[index[r] * m + c] += sv[r * m + c];
   return Tensor::make_op_result(
       {num_rows, m}, std::move(out), {src},
       [src, index, m](detail::TensorImpl& self) {
         if (!src.requires_grad()) return;
-        auto& g = src.impl()->grad;
+        auto& g = detail::grad_of(*src.impl());
         for (std::size_t r = 0; r < index.size(); ++r)
           for (std::int64_t c = 0; c < m; ++c)
             g[r * m + c] += self.grad[index[r] * m + c];
+      });
+}
+
+Tensor scatter_add_bias(const Tensor& src,
+                        const std::vector<std::int64_t>& index,
+                        std::int64_t num_rows, const Tensor& bias) {
+  check(src.rank() == 2, "scatter_add_bias: src must be rank-2");
+  check(static_cast<std::int64_t>(index.size()) == src.dim(0),
+        "scatter_add_bias: index length must equal src rows");
+  const std::int64_t m = src.dim(1);
+  check(bias.numel() == m, "scatter_add_bias: bias length must equal columns");
+  for (auto i : index)
+    check(i >= 0 && i < num_rows, "scatter_add_bias: index out of range");
+  const auto& sv = src.data();
+  const double* bv = bias.data().data();
+  std::vector<double> out =
+      detail::new_buffer(static_cast<std::size_t>(num_rows * m));
+  for (std::int64_t r = 0; r < num_rows; ++r)
+    std::copy_n(bv, m, out.data() + r * m);
+  for (std::size_t r = 0; r < index.size(); ++r)
+    for (std::int64_t c = 0; c < m; ++c)
+      out[index[r] * m + c] += sv[r * m + c];
+  return Tensor::make_op_result(
+      {num_rows, m}, std::move(out), {src, bias},
+      [src, bias, index, num_rows, m](detail::TensorImpl& self) {
+        if (src.requires_grad()) {
+          auto& g = detail::grad_of(*src.impl());
+          for (std::size_t r = 0; r < index.size(); ++r)
+            for (std::int64_t c = 0; c < m; ++c)
+              g[r * m + c] += self.grad[index[r] * m + c];
+        }
+        if (bias.requires_grad())
+          kern::col_sum_add(self.grad.data(),
+                            detail::grad_of(*bias.impl()).data(), num_rows, m);
       });
 }
 
@@ -39,44 +77,51 @@ Tensor segment_softmax(const Tensor& scores,
   const std::int64_t e = scores.dim(0), h = scores.dim(1);
   for (auto s : segment)
     check(s >= 0 && s < num_segments, "segment_softmax: segment out of range");
+  const auto& sv = scores.data();
 
-  // Per-(segment, column) max for numerical stability, then normalise.
-  std::vector<double> seg_max(static_cast<std::size_t>(num_segments * h),
-                              -std::numeric_limits<double>::infinity());
+  // Per-(segment, column) max for numerical stability, then normalise.  The
+  // scratch vectors are pooled; only `out` escapes into the tape.
+  std::vector<double> seg_max =
+      detail::new_buffer(static_cast<std::size_t>(num_segments * h));
+  std::fill(seg_max.begin(), seg_max.end(),
+            -std::numeric_limits<double>::infinity());
   for (std::int64_t r = 0; r < e; ++r)
     for (std::int64_t c = 0; c < h; ++c)
       seg_max[segment[r] * h + c] =
-          std::max(seg_max[segment[r] * h + c], scores.data()[r * h + c]);
+          std::max(seg_max[segment[r] * h + c], sv[r * h + c]);
 
-  std::vector<double> out(scores.data().size());
-  std::vector<double> seg_sum(static_cast<std::size_t>(num_segments * h), 0.0);
+  std::vector<double> out = detail::new_buffer(sv.size());
+  std::vector<double> seg_sum =
+      detail::new_zeroed(static_cast<std::size_t>(num_segments * h));
   for (std::int64_t r = 0; r < e; ++r)
     for (std::int64_t c = 0; c < h; ++c) {
-      out[r * h + c] =
-          std::exp(scores.data()[r * h + c] - seg_max[segment[r] * h + c]);
+      out[r * h + c] = std::exp(sv[r * h + c] - seg_max[segment[r] * h + c]);
       seg_sum[segment[r] * h + c] += out[r * h + c];
     }
   for (std::int64_t r = 0; r < e; ++r)
     for (std::int64_t c = 0; c < h; ++c)
       out[r * h + c] /= seg_sum[segment[r] * h + c];
+  detail::buffer_pool().release(std::move(seg_max));
+  detail::buffer_pool().release(std::move(seg_sum));
 
   return Tensor::make_op_result(
       {e, h}, std::move(out), {scores},
       [scores, segment, e, h, num_segments](detail::TensorImpl& self) {
         if (!scores.requires_grad()) return;
         // d score = alpha * (d alpha - sum_seg(alpha * d alpha)).
-        std::vector<double> seg_dot(
-            static_cast<std::size_t>(num_segments * h), 0.0);
+        std::vector<double> seg_dot =
+            detail::new_zeroed(static_cast<std::size_t>(num_segments * h));
         for (std::int64_t r = 0; r < e; ++r)
           for (std::int64_t c = 0; c < h; ++c)
             seg_dot[segment[r] * h + c] +=
                 self.data[r * h + c] * self.grad[r * h + c];
-        auto& g = scores.impl()->grad;
+        auto& g = detail::grad_of(*scores.impl());
         for (std::int64_t r = 0; r < e; ++r)
           for (std::int64_t c = 0; c < h; ++c)
             g[r * h + c] += self.data[r * h + c] *
                             (self.grad[r * h + c] -
                              seg_dot[segment[r] * h + c]);
+        detail::buffer_pool().release(std::move(seg_dot));
       });
 }
 

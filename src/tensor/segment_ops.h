@@ -19,6 +19,14 @@ Tensor scatter_add_rows(const Tensor& src,
                         const std::vector<std::int64_t>& index,
                         std::int64_t num_rows);
 
+/// Fused scatter_add_rows + row-broadcast bias add:
+/// out = bias (broadcast over rows); out[index[i], :] += src[i, :].
+/// Saves one full pass over the aggregated node matrix per GNN layer
+/// compared with scatter_add_rows followed by add_rowvec.
+Tensor scatter_add_bias(const Tensor& src,
+                        const std::vector<std::int64_t>& index,
+                        std::int64_t num_rows, const Tensor& bias);
+
 /// Softmax over rows sharing a segment id, independently per column.
 /// scores: [E, H]; segment: E ids in [0, num_segments).
 /// out[e, h] = exp(scores[e, h]) / sum_{e': segment[e']=segment[e]}

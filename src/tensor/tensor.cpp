@@ -1,20 +1,25 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_set>
 
 namespace amdgcnn::ag {
 
+void fail(const char* message) { throw std::invalid_argument(message); }
+void fail(const std::string& message) { throw std::invalid_argument(message); }
+
 void check(bool cond, const std::string& message) {
-  if (!cond) throw std::invalid_argument(message);
+  if (!cond) fail(message);
 }
 
 std::int64_t numel(const Shape& shape) {
   std::int64_t n = 1;
   for (auto d : shape) {
-    check(d >= 0, "negative dimension in shape " + shape_str(shape));
+    check(d >= 0, "negative dimension in shape");
     n *= d;
   }
   return n;
@@ -31,17 +36,87 @@ std::string shape_str(const Shape& shape) {
   return os.str();
 }
 
+// ---- Buffer pool -----------------------------------------------------------
+
 namespace detail {
-void TensorImpl::ensure_grad() {
-  if (grad.size() != data.size()) grad.assign(data.size(), 0.0);
+
+std::vector<double> BufferPool::acquire(std::size_t n) {
+  if (n == 0) return {};
+  auto it = buckets_.find(n);
+  if (it != buckets_.end() && !it->second.empty()) {
+    std::vector<double> buf = std::move(it->second.back());
+    it->second.pop_back();
+    stats_.pooled_bytes -= n * sizeof(double);
+    ++stats_.hits;
+    stats_.in_use_bytes += n * sizeof(double);
+    stats_.peak_in_use_bytes =
+        std::max(stats_.peak_in_use_bytes, stats_.in_use_bytes);
+    return buf;
+  }
+  ++stats_.misses;
+  stats_.in_use_bytes += n * sizeof(double);
+  stats_.peak_in_use_bytes =
+      std::max(stats_.peak_in_use_bytes, stats_.in_use_bytes);
+  return std::vector<double>(n);
 }
+
+std::vector<double> BufferPool::acquire_zeroed(std::size_t n) {
+  std::vector<double> buf = acquire(n);
+  std::fill(buf.begin(), buf.end(), 0.0);
+  return buf;
+}
+
+void BufferPool::release(std::vector<double>&& buf) noexcept {
+  const std::size_t n = buf.size();
+  if (n == 0) return;
+  const std::size_t bytes = n * sizeof(double);
+  stats_.in_use_bytes -= std::min(stats_.in_use_bytes, bytes);
+  if (stats_.pooled_bytes + bytes > kMaxPooledBytes) return;  // frees buf
+  auto& bucket = buckets_[n];
+  if (bucket.size() >= kMaxBucketBuffers) return;
+  bucket.push_back(std::move(buf));
+  stats_.pooled_bytes += bytes;
+  stats_.peak_pooled_bytes =
+      std::max(stats_.peak_pooled_bytes, stats_.pooled_bytes);
+}
+
+void BufferPool::clear() {
+  buckets_.clear();
+  stats_.pooled_bytes = 0;
+}
+
+BufferPool& buffer_pool() {
+  // Leaked on purpose: tensors destroyed during thread/static teardown can
+  // still release into a live pool.
+  thread_local BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+thread_local GradSink* tls_grad_sink = nullptr;
+
 }  // namespace detail
+
+PoolStats pool_stats() { return detail::buffer_pool().stats(); }
+void reset_pool_stats() { detail::buffer_pool().reset_stats(); }
+void clear_buffer_pool() { detail::buffer_pool().clear(); }
+
+GradSinkScope::GradSinkScope(
+    const std::unordered_map<const detail::TensorImpl*, std::size_t>& slot_of,
+    std::vector<std::vector<double>>& buffers)
+    : prev_(detail::tls_grad_sink) {
+  sink_.slot_of = &slot_of;
+  sink_.buffers = &buffers;
+  detail::tls_grad_sink = &sink_;
+}
+
+GradSinkScope::~GradSinkScope() { detail::tls_grad_sink = prev_; }
 
 // ---- Constructors ----------------------------------------------------------
 
 Tensor Tensor::zeros(Shape shape) {
   auto impl = std::make_shared<detail::TensorImpl>();
-  impl->data.assign(static_cast<std::size_t>(ag::numel(shape)), 0.0);
+  impl->data =
+      detail::new_zeroed(static_cast<std::size_t>(ag::numel(shape)));
   impl->shape = std::move(shape);
   return Tensor(std::move(impl));
 }
@@ -50,15 +125,17 @@ Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0); }
 
 Tensor Tensor::full(Shape shape, double value) {
   auto impl = std::make_shared<detail::TensorImpl>();
-  impl->data.assign(static_cast<std::size_t>(ag::numel(shape)), value);
+  impl->data =
+      detail::new_buffer(static_cast<std::size_t>(ag::numel(shape)));
+  std::fill(impl->data.begin(), impl->data.end(), value);
   impl->shape = std::move(shape);
   return Tensor(std::move(impl));
 }
 
 Tensor Tensor::from_data(Shape shape, std::vector<double> data) {
-  check(static_cast<std::int64_t>(data.size()) == ag::numel(shape),
-        "from_data: " + std::to_string(data.size()) +
-            " values for shape " + shape_str(shape));
+  if (static_cast<std::int64_t>(data.size()) != ag::numel(shape))
+    fail("from_data: " + std::to_string(data.size()) + " values for shape " +
+         shape_str(shape));
   auto impl = std::make_shared<detail::TensorImpl>();
   impl->shape = std::move(shape);
   impl->data = std::move(data);
@@ -85,62 +162,7 @@ Tensor Tensor::xavier(std::int64_t fan_in, std::int64_t fan_out,
   return rand_uniform({fan_in, fan_out}, -bound, bound, rng);
 }
 
-// ---- Introspection ---------------------------------------------------------
-
-const Shape& Tensor::shape() const {
-  check(defined(), "shape() on undefined tensor");
-  return impl_->shape;
-}
-
-std::int64_t Tensor::dim(std::size_t i) const {
-  check(defined() && i < impl_->shape.size(), "dim(): index out of range");
-  return impl_->shape[i];
-}
-
-std::int64_t Tensor::rank() const {
-  check(defined(), "rank() on undefined tensor");
-  return static_cast<std::int64_t>(impl_->shape.size());
-}
-
-std::int64_t Tensor::numel() const {
-  check(defined(), "numel() on undefined tensor");
-  return static_cast<std::int64_t>(impl_->data.size());
-}
-
-const std::vector<double>& Tensor::data() const {
-  check(defined(), "data() on undefined tensor");
-  return impl_->data;
-}
-
-std::vector<double>& Tensor::data() {
-  check(defined(), "data() on undefined tensor");
-  return impl_->data;
-}
-
-double Tensor::at(std::int64_t r, std::int64_t c) const {
-  check(rank() == 2, "at(r, c) requires a rank-2 tensor");
-  check(r >= 0 && r < dim(0) && c >= 0 && c < dim(1),
-        "at(): index out of bounds");
-  return impl_->data[static_cast<std::size_t>(r * dim(1) + c)];
-}
-
-double& Tensor::at(std::int64_t r, std::int64_t c) {
-  check(rank() == 2, "at(r, c) requires a rank-2 tensor");
-  check(r >= 0 && r < dim(0) && c >= 0 && c < dim(1),
-        "at(): index out of bounds");
-  return impl_->data[static_cast<std::size_t>(r * dim(1) + c)];
-}
-
-double Tensor::item(std::int64_t i) const {
-  check(defined() && i >= 0 && i < numel(), "item(): index out of bounds");
-  return impl_->data[static_cast<std::size_t>(i)];
-}
-
 // ---- Autograd --------------------------------------------------------------
-
-bool Tensor::requires_grad() const {
-  return defined() && impl_->requires_grad;
-}
 
 Tensor& Tensor::requires_grad(bool value) {
   check(defined(), "requires_grad() on undefined tensor");
@@ -149,38 +171,31 @@ Tensor& Tensor::requires_grad(bool value) {
   return *this;
 }
 
-const std::vector<double>& Tensor::grad() const {
-  check(requires_grad(), "grad() on tensor without requires_grad");
-  impl_->ensure_grad();
-  return impl_->grad;
-}
-
-std::vector<double>& Tensor::grad() {
-  check(requires_grad(), "grad() on tensor without requires_grad");
-  impl_->ensure_grad();
-  return impl_->grad;
-}
-
 void Tensor::zero_grad() {
   check(defined(), "zero_grad() on undefined tensor");
-  impl_->grad.assign(impl_->data.size(), 0.0);
+  impl_->ensure_grad();
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0);
 }
 
 void Tensor::backward() {
   check(defined(), "backward() on undefined tensor");
-  check(numel() == 1, "backward() requires a scalar loss, got shape " +
-                          shape_str(impl_->shape));
+  check(numel() == 1, "backward() requires a scalar loss");
   check(requires_grad(), "backward() on tensor that does not require grad");
 
   // Topological order of the subgraph reachable from the loss (iterative DFS
-  // to survive deep tapes).
-  std::vector<detail::TensorImpl*> order;
-  std::unordered_set<detail::TensorImpl*> visited;
+  // to survive deep tapes).  Scratch containers are thread-local so the
+  // per-sample backward pass allocates nothing in steady state.
   struct Frame {
     detail::TensorImpl* node;
     std::size_t next_parent;
   };
-  std::vector<Frame> stack;
+  thread_local std::vector<detail::TensorImpl*> order;
+  thread_local std::unordered_set<detail::TensorImpl*> visited;
+  thread_local std::vector<Frame> stack;
+  order.clear();
+  visited.clear();
+  stack.clear();
+
   stack.push_back({impl_.get(), 0});
   visited.insert(impl_.get());
   while (!stack.empty()) {
@@ -213,7 +228,9 @@ void Tensor::backward() {
 
 Tensor Tensor::detach() const {
   check(defined(), "detach() on undefined tensor");
-  return from_data(impl_->shape, impl_->data);
+  std::vector<double> copy = detail::new_buffer(impl_->data.size());
+  std::copy(impl_->data.begin(), impl_->data.end(), copy.begin());
+  return from_data(impl_->shape, std::move(copy));
 }
 
 Tensor Tensor::make_op_result(Shape shape, std::vector<double> data,
@@ -230,6 +247,21 @@ Tensor Tensor::make_op_result(Shape shape, std::vector<double> data,
     out.impl_->backward_fn = std::move(bwd);
   }
   return out;
+}
+
+void release_graph(const Tensor& root) {
+  if (!root.defined()) return;
+  // Hold shared_ptr refs while severing links so no destructor chain can
+  // recurse; duplicates are harmless (second visit sees cleared parents).
+  std::vector<std::shared_ptr<detail::TensorImpl>> nodes;
+  nodes.push_back(root.impl());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    detail::TensorImpl& n = *nodes[i];
+    for (auto& p : n.parents)
+      if (!p->parents.empty() || p->backward_fn) nodes.push_back(p);
+    n.parents.clear();
+    n.backward_fn = nullptr;
+  }
 }
 
 }  // namespace amdgcnn::ag

@@ -16,12 +16,20 @@
 // Gradients accumulate (+=) into `grad()` until `zero_grad()` — exactly the
 // PyTorch contract, which the Trainer's gradient-accumulation minibatching
 // depends on.
+//
+// Storage management (DESIGN.md §2.1): every data/grad buffer is recycled
+// through a thread-local BufferPool when its tape node dies, so steady-state
+// training performs almost no heap allocation.  Training code can optionally
+// redirect leaf-gradient accumulation into private per-sample buffers via
+// GradSinkScope, which is what makes the Trainer's OpenMP data-parallel
+// batch accumulation deterministic.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "util/rng.h"
@@ -36,9 +44,83 @@ std::int64_t numel(const Shape& shape);
 /// Human-readable "[2, 3]" rendering for error messages.
 std::string shape_str(const Shape& shape);
 
+/// Throws std::invalid_argument. Out of line so the hot-path checks below
+/// compile to a test + cold call.
+[[noreturn]] void fail(const char* message);
+[[noreturn]] void fail(const std::string& message);
+
+/// Cheap check: the message is a literal, nothing is allocated unless the
+/// check fires.  Call sites that need a formatted message should test the
+/// condition themselves and call fail(...) on the error path, so the string
+/// is only built when the check actually fails.
+inline void check(bool cond, const char* message) {
+  if (!cond) [[unlikely]] fail(message);
+}
+void check(bool cond, const std::string& message);
+
 class Tensor;
 
+// ---- Buffer pool ------------------------------------------------------------
+
+/// Counters of the calling thread's buffer pool (see pool_stats()).
+struct PoolStats {
+  std::size_t pooled_bytes = 0;       ///< bytes currently parked in free lists
+  std::size_t peak_pooled_bytes = 0;  ///< high-water mark of pooled_bytes
+  std::size_t in_use_bytes = 0;       ///< bytes handed out and not yet back
+  std::size_t peak_in_use_bytes = 0;  ///< high-water mark of in_use_bytes
+  std::uint64_t hits = 0;             ///< acquires served from the pool
+  std::uint64_t misses = 0;           ///< acquires that fell back to malloc
+};
+
 namespace detail {
+
+/// Thread-local recycler for tensor storage.  Buffers are bucketed by exact
+/// element count; model shapes repeat every sample, so the hit rate is ~100%
+/// after the first minibatch.  No locks: each thread owns its pool, and a
+/// buffer released on a different thread than it was acquired on simply
+/// migrates pools.
+class BufferPool {
+ public:
+  /// A buffer with exactly n elements; contents are unspecified.
+  std::vector<double> acquire(std::size_t n);
+  /// A buffer with exactly n elements, all zero.
+  std::vector<double> acquire_zeroed(std::size_t n);
+  /// Park `buf` for reuse (frees it instead once the pool caps are hit).
+  void release(std::vector<double>&& buf) noexcept;
+
+  const PoolStats& stats() const { return stats_; }
+  /// Zero the hit/miss counters and rebase the peaks; the byte accounting of
+  /// parked and outstanding buffers must survive a reset, or the caps in
+  /// release() would compare against a corrupted (underflowed) total.
+  void reset_stats() {
+    stats_.hits = 0;
+    stats_.misses = 0;
+    stats_.peak_pooled_bytes = stats_.pooled_bytes;
+    stats_.peak_in_use_bytes = stats_.in_use_bytes;
+  }
+  /// Drop all parked buffers (used by tests and the sanitizer build).
+  void clear();
+
+ private:
+  // Caps keep a pathological workload from hoarding memory; training-sized
+  // graphs stay far below them.
+  static constexpr std::size_t kMaxBucketBuffers = 256;
+  static constexpr std::size_t kMaxPooledBytes = std::size_t{1} << 28;
+
+  std::unordered_map<std::size_t, std::vector<std::vector<double>>> buckets_;
+  PoolStats stats_;
+};
+
+/// The calling thread's pool.  Never destroyed (leaked on purpose) so tensor
+/// destructors can run safely during static/thread teardown.
+BufferPool& buffer_pool();
+
+inline std::vector<double> new_buffer(std::size_t n) {
+  return buffer_pool().acquire(n);
+}
+inline std::vector<double> new_zeroed(std::size_t n) {
+  return buffer_pool().acquire_zeroed(n);
+}
 
 /// One tape node: storage plus (optionally) the recipe for back-propagation.
 struct TensorImpl {
@@ -52,10 +134,73 @@ struct TensorImpl {
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void(TensorImpl&)> backward_fn;
 
-  void ensure_grad();
+  TensorImpl() = default;
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+  ~TensorImpl() {
+    buffer_pool().release(std::move(data));
+    buffer_pool().release(std::move(grad));
+  }
+
+  void ensure_grad() {
+    if (grad.size() != data.size()) {
+      buffer_pool().release(std::move(grad));
+      grad = new_zeroed(data.size());
+    }
+  }
 };
 
+/// Active gradient redirection for this thread (see GradSinkScope); null
+/// outside a scope.  `slot_of` maps leaf nodes (parameters) to an index into
+/// `buffers`; leaves not in the map, and all interior nodes, accumulate into
+/// their own impl as usual.
+struct GradSink {
+  const std::unordered_map<const TensorImpl*, std::size_t>* slot_of = nullptr;
+  std::vector<std::vector<double>>* buffers = nullptr;
+};
+
+extern thread_local GradSink* tls_grad_sink;
+
+/// The buffer a backward function must accumulate `impl`'s gradient into:
+/// the thread's sink slot when one is active, impl.grad otherwise.  All
+/// backward lambdas route leaf writes through this.
+inline std::vector<double>& grad_of(TensorImpl& impl) {
+  if (tls_grad_sink != nullptr) [[unlikely]] {
+    const auto& slots = *tls_grad_sink->slot_of;
+    auto it = slots.find(&impl);
+    if (it != slots.end()) return (*tls_grad_sink->buffers)[it->second];
+  }
+  return impl.grad;
+}
+
 }  // namespace detail
+
+/// Current thread's buffer-pool counters.
+PoolStats pool_stats();
+/// Reset the current thread's counters (bytes in free lists are kept).
+void reset_pool_stats();
+/// Free every parked buffer of the current thread's pool.
+void clear_buffer_pool();
+
+/// RAII redirection of leaf-gradient accumulation on the current thread.
+/// While alive, backward passes write the gradients of the mapped leaves
+/// into `buffers[slot]` instead of the shared parameter storage — each
+/// worker of a data-parallel batch gets its own accumulation buffers, which
+/// are then reduced in deterministic sample order (models::Trainer).
+/// Scopes nest; each buffer must be pre-sized to the leaf's numel.
+class GradSinkScope {
+ public:
+  GradSinkScope(
+      const std::unordered_map<const detail::TensorImpl*, std::size_t>& slot_of,
+      std::vector<std::vector<double>>& buffers);
+  ~GradSinkScope();
+  GradSinkScope(const GradSinkScope&) = delete;
+  GradSinkScope& operator=(const GradSinkScope&) = delete;
+
+ private:
+  detail::GradSink sink_;
+  detail::GradSink* prev_;
+};
 
 class Tensor {
  public:
@@ -81,30 +226,72 @@ class Tensor {
   // ---- Introspection ------------------------------------------------------
 
   bool defined() const { return impl_ != nullptr; }
-  const Shape& shape() const;
-  std::int64_t dim(std::size_t i) const;
-  std::int64_t rank() const;
-  std::int64_t numel() const;
 
-  const std::vector<double>& data() const;
-  std::vector<double>& data();
+  const Shape& shape() const {
+    check(defined(), "shape() on undefined tensor");
+    return impl_->shape;
+  }
 
-  /// 2-D element accessors (bounds-checked in debug, direct otherwise).
-  double at(std::int64_t r, std::int64_t c) const;
-  double& at(std::int64_t r, std::int64_t c);
+  std::int64_t dim(std::size_t i) const {
+    check(defined() && i < impl_->shape.size(), "dim(): index out of range");
+    return impl_->shape[i];
+  }
+
+  std::int64_t rank() const {
+    check(defined(), "rank() on undefined tensor");
+    return static_cast<std::int64_t>(impl_->shape.size());
+  }
+
+  std::int64_t numel() const {
+    check(defined(), "numel() on undefined tensor");
+    return static_cast<std::int64_t>(impl_->data.size());
+  }
+
+  const std::vector<double>& data() const {
+    check(defined(), "data() on undefined tensor");
+    return impl_->data;
+  }
+
+  std::vector<double>& data() {
+    check(defined(), "data() on undefined tensor");
+    return impl_->data;
+  }
+
+  /// 2-D element accessors (bounds-checked).
+  double at(std::int64_t r, std::int64_t c) const {
+    check_at(r, c);
+    return impl_->data[static_cast<std::size_t>(r * impl_->shape[1] + c)];
+  }
+  double& at(std::int64_t r, std::int64_t c) {
+    check_at(r, c);
+    return impl_->data[static_cast<std::size_t>(r * impl_->shape[1] + c)];
+  }
+
   /// Flat accessor.
-  double item(std::int64_t i = 0) const;
+  double item(std::int64_t i = 0) const {
+    check(defined() && i >= 0 && i < numel(), "item(): index out of bounds");
+    return impl_->data[static_cast<std::size_t>(i)];
+  }
 
   // ---- Autograd -----------------------------------------------------------
 
-  bool requires_grad() const;
+  bool requires_grad() const { return defined() && impl_->requires_grad; }
+
   /// Fluent toggle: returns *this for chaining after construction.
   Tensor& requires_grad(bool value);
 
   /// Gradient buffer; only meaningful after backward(). Throws if grads were
   /// never enabled for this tensor.
-  const std::vector<double>& grad() const;
-  std::vector<double>& grad();
+  const std::vector<double>& grad() const {
+    check(requires_grad(), "grad() on tensor without requires_grad");
+    impl_->ensure_grad();
+    return impl_->grad;
+  }
+  std::vector<double>& grad() {
+    check(requires_grad(), "grad() on tensor without requires_grad");
+    impl_->ensure_grad();
+    return impl_->grad;
+  }
 
   void zero_grad();
 
@@ -132,10 +319,22 @@ class Tensor {
   explicit Tensor(std::shared_ptr<detail::TensorImpl> impl)
       : impl_(std::move(impl)) {}
 
+  void check_at(std::int64_t r, std::int64_t c) const {
+    check(defined() && impl_->shape.size() == 2,
+          "at(r, c) requires a rank-2 tensor");
+    check(r >= 0 && r < impl_->shape[0] && c >= 0 && c < impl_->shape[1],
+          "at(): index out of bounds");
+  }
+
   std::shared_ptr<detail::TensorImpl> impl_;
 };
 
-/// Throws std::invalid_argument with a formatted message when `cond` is false.
-void check(bool cond, const std::string& message);
+/// Iteratively severs the tape below `root` (clears parent links and
+/// backward functions) so interior nodes return their buffers to the pool
+/// as soon as the last user handle dies, without recursing through deep
+/// shared_ptr chains.  Leaf storage — parameters, dataset tensors — is
+/// untouched.  The Trainer calls this on each sample's loss once its
+/// gradients have been accumulated.
+void release_graph(const Tensor& root);
 
 }  // namespace amdgcnn::ag

@@ -1,0 +1,311 @@
+// Tests for the tensor-engine hot-path machinery: fused linear/scatter ops
+// (forward equivalence + finite-difference gradients), buffer-pool recycling
+// correctness, and determinism of the parallel trainer path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "models/dgcnn.h"
+#include "models/trainer.h"
+#include "tensor/ops.h"
+#include "tensor/segment_ops.h"
+#include "test_util.h"
+
+namespace amdgcnn::ag {
+namespace {
+
+// ---- Fused ops: forward equivalence -----------------------------------------
+
+TEST(FusedOps, AddmmMatchesMatmulPlusRowvec) {
+  util::Rng rng(1);
+  auto a = Tensor::randn({5, 3}, rng);
+  auto w = Tensor::randn({3, 4}, rng);
+  auto b = Tensor::randn({1, 4}, rng);
+  auto fused = ops::addmm(a, w, b);
+  auto composed = ops::add_rowvec(ops::matmul(a, w), b);
+  ASSERT_EQ(fused.shape(), composed.shape());
+  for (std::int64_t i = 0; i < fused.numel(); ++i)
+    EXPECT_NEAR(fused.item(i), composed.item(i), 1e-12);
+}
+
+TEST(FusedOps, LinearReluMatchesComposition) {
+  util::Rng rng(2);
+  auto a = Tensor::randn({6, 4}, rng);
+  auto w = Tensor::randn({4, 3}, rng);
+  auto b = Tensor::randn({1, 3}, rng);
+  auto fused = ops::linear_relu(a, w, b);
+  auto composed = ops::relu(ops::add_rowvec(ops::matmul(a, w), b));
+  for (std::int64_t i = 0; i < fused.numel(); ++i)
+    EXPECT_NEAR(fused.item(i), composed.item(i), 1e-12);
+}
+
+TEST(FusedOps, LinearTanhMatchesComposition) {
+  util::Rng rng(3);
+  auto a = Tensor::randn({4, 5}, rng);
+  auto w = Tensor::randn({5, 2}, rng);
+  auto b = Tensor::randn({1, 2}, rng);
+  auto fused = ops::linear_tanh(a, w, b);
+  auto composed = ops::tanh_act(ops::add_rowvec(ops::matmul(a, w), b));
+  for (std::int64_t i = 0; i < fused.numel(); ++i)
+    EXPECT_NEAR(fused.item(i), composed.item(i), 1e-12);
+}
+
+TEST(FusedOps, ScatterAddBiasMatchesComposition) {
+  util::Rng rng(4);
+  auto src = Tensor::randn({7, 3}, rng);
+  auto bias = Tensor::randn({1, 3}, rng);
+  std::vector<std::int64_t> idx = {0, 2, 1, 2, 3, 0, 3};
+  auto fused = ops::scatter_add_bias(src, idx, 4, bias);
+  auto composed = ops::add_rowvec(ops::scatter_add_rows(src, idx, 4), bias);
+  ASSERT_EQ(fused.shape(), composed.shape());
+  for (std::int64_t i = 0; i < fused.numel(); ++i)
+    EXPECT_NEAR(fused.item(i), composed.item(i), 1e-12);
+}
+
+TEST(FusedOps, RejectShapeMismatches) {
+  util::Rng rng(5);
+  auto a = Tensor::randn({2, 3}, rng);
+  auto w = Tensor::randn({4, 2}, rng);  // inner dim mismatch
+  auto b = Tensor::randn({1, 2}, rng);
+  EXPECT_THROW(ops::addmm(a, w, b), std::invalid_argument);
+  auto w2 = Tensor::randn({3, 2}, rng);
+  auto bad_bias = Tensor::randn({1, 5}, rng);
+  EXPECT_THROW(ops::linear_relu(a, w2, bad_bias), std::invalid_argument);
+  EXPECT_THROW(ops::scatter_add_bias(a, {0, 5}, 3, b),
+               std::invalid_argument);  // index out of range
+}
+
+// ---- Fused ops: gradients vs central differences ----------------------------
+
+TEST(FusedOpsGrad, AddmmAllParents) {
+  util::Rng rng(6);
+  auto a = Tensor::randn({4, 3}, rng);
+  auto w = Tensor::randn({3, 5}, rng);
+  auto b = Tensor::randn({1, 5}, rng);
+  for (Tensor* p : {&a, &w, &b})
+    amdgcnn::testing::expect_gradient_matches(
+        *p, [&] { return ops::mean(ops::addmm(a, w, b)); });
+}
+
+TEST(FusedOpsGrad, LinearReluAllParents) {
+  util::Rng rng(7);
+  // Offset inputs away from the ReLU kink so finite differences are clean.
+  auto a = Tensor::randn({3, 4}, rng);
+  auto w = Tensor::randn({4, 3}, rng);
+  auto b = Tensor::full({1, 3}, 0.37);
+  for (Tensor* p : {&a, &w, &b})
+    amdgcnn::testing::expect_gradient_matches(
+        *p, [&] { return ops::mean(ops::linear_relu(a, w, b)); }, 1e-5, 1e-5);
+}
+
+TEST(FusedOpsGrad, LinearTanhAllParents) {
+  util::Rng rng(8);
+  auto a = Tensor::randn({3, 2}, rng);
+  auto w = Tensor::randn({2, 4}, rng);
+  auto b = Tensor::randn({1, 4}, rng);
+  for (Tensor* p : {&a, &w, &b})
+    amdgcnn::testing::expect_gradient_matches(
+        *p, [&] { return ops::mean(ops::linear_tanh(a, w, b)); });
+}
+
+TEST(FusedOpsGrad, ScatterAddBiasBothParents) {
+  util::Rng rng(9);
+  auto src = Tensor::randn({6, 3}, rng);
+  auto bias = Tensor::randn({1, 3}, rng);
+  std::vector<std::int64_t> idx = {1, 0, 2, 2, 1, 3};
+  for (Tensor* p : {&src, &bias})
+    amdgcnn::testing::expect_gradient_matches(*p, [&] {
+      return ops::mean(ops::scatter_add_bias(src, idx, 4, bias));
+    });
+}
+
+TEST(FusedOpsGrad, MatmulBackwardHandlesZeroEntries) {
+  // Regression for the removed zero-skip: dB must be exact even when A (and
+  // the upstream gradient) contain exact zeros.
+  auto a = Tensor::from_data({2, 3}, {0.0, 1.0, 0.0, 2.0, 0.0, 3.0});
+  auto b = Tensor::from_data({3, 2}, {1.0, 0.0, 0.0, 2.0, 3.0, 0.0});
+  for (Tensor* p : {&a, &b})
+    amdgcnn::testing::expect_gradient_matches(
+        *p, [&] { return ops::mean(ops::matmul(a, b)); });
+}
+
+// ---- Buffer pool ------------------------------------------------------------
+
+TEST(BufferPool, RecyclesTapeStorageAcrossIterations) {
+  clear_buffer_pool();
+  util::Rng rng(10);
+  auto w = Tensor::randn({8, 8}, rng).requires_grad(true);
+  auto x = Tensor::randn({4, 8}, rng);
+  // Warm the pool with one iteration, then measure hits over the next ones.
+  for (int warm = 0; warm < 2; ++warm) {
+    auto loss = ops::mean(ops::matmul(x, w));
+    loss.backward();
+    release_graph(loss);
+  }
+  reset_pool_stats();
+  for (int i = 0; i < 5; ++i) {
+    auto loss = ops::mean(ops::matmul(x, w));
+    loss.backward();
+    release_graph(loss);
+  }
+  const auto stats = pool_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u) << "steady-state iterations should allocate "
+                                 "nothing once the pool is warm";
+}
+
+TEST(BufferPool, LiveTensorsNeverShareRecycledStorage) {
+  auto a = Tensor::zeros({16});
+  const double* pa = a.data().data();
+  auto b = Tensor::zeros({16});
+  EXPECT_NE(pa, b.data().data());
+  // Release `a`'s buffer back to the pool, then reacquire the same size: the
+  // new tensor may reuse the dead buffer but must never overlap `b`.
+  a = Tensor();
+  auto c = Tensor::zeros({16});
+  EXPECT_NE(c.data().data(), b.data().data());
+}
+
+TEST(BufferPool, GradAccumulationSurvivesGraphRecycling) {
+  // Two consecutive "batches" over recycled tape storage must accumulate
+  // into the SAME live gradient buffer without corruption: after the second
+  // backward the gradient is exactly twice the first.
+  util::Rng rng(11);
+  auto w = Tensor::randn({6, 6}, rng).requires_grad(true);
+  auto x = Tensor::randn({3, 6}, rng);
+  w.zero_grad();
+  auto loss1 = ops::mean(ops::matmul(x, w));
+  loss1.backward();
+  release_graph(loss1);
+  const std::vector<double> after_first = w.grad();
+  auto loss2 = ops::mean(ops::matmul(x, w));
+  loss2.backward();
+  release_graph(loss2);
+  for (std::size_t i = 0; i < after_first.size(); ++i)
+    EXPECT_DOUBLE_EQ(w.grad()[i], 2.0 * after_first[i]);
+}
+
+TEST(BufferPool, StatsTrackInUseBytes) {
+  clear_buffer_pool();
+  reset_pool_stats();
+  {
+    auto t = Tensor::zeros({1000});
+    EXPECT_GE(pool_stats().in_use_bytes, 1000 * sizeof(double));
+    EXPECT_GE(pool_stats().peak_in_use_bytes, 1000 * sizeof(double));
+  }
+  // After destruction the buffer is parked, not in use.
+  EXPECT_GE(pool_stats().pooled_bytes, 1000 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace amdgcnn::ag
+
+// ---- Parallel trainer determinism -------------------------------------------
+
+namespace amdgcnn::models {
+namespace {
+
+seal::SubgraphSample toy_sample(std::int64_t leaves, double attr_value,
+                                std::int32_t label) {
+  seal::SubgraphSample s;
+  s.num_nodes = leaves + 1;
+  s.label = label;
+  const std::int64_t f = 4;
+  std::vector<double> feat(static_cast<std::size_t>(s.num_nodes * f), 0.0);
+  for (std::int64_t i = 0; i < s.num_nodes; ++i)
+    feat[i * f + (i == 0 ? 0 : 1)] = 1.0;
+  s.node_feat = ag::Tensor::from_data({s.num_nodes, f}, std::move(feat));
+  std::vector<double> ea;
+  for (std::int64_t l = 1; l <= leaves; ++l) {
+    s.src.push_back(0);
+    s.dst.push_back(l);
+    s.src.push_back(l);
+    s.dst.push_back(0);
+    for (int rep = 0; rep < 2; ++rep) {
+      ea.push_back(attr_value);
+      ea.push_back(1.0 - attr_value);
+    }
+  }
+  s.edge_attr = ag::Tensor::from_data(
+      {static_cast<std::int64_t>(s.src.size()), 2}, std::move(ea));
+  return s;
+}
+
+ModelConfig toy_config(GnnKind kind) {
+  ModelConfig mc;
+  mc.kind = kind;
+  mc.node_feature_dim = 4;
+  mc.edge_attr_dim = 2;
+  mc.num_classes = 2;
+  mc.hidden_dim = 8;
+  mc.heads = 2;
+  mc.num_layers = 2;
+  mc.sort_k = 10;
+  mc.dense_dim = 16;
+  return mc;
+}
+
+std::vector<seal::SubgraphSample> toy_dataset() {
+  std::vector<seal::SubgraphSample> train;
+  for (int i = 0; i < 30; ++i)
+    train.push_back(toy_sample(2 + i % 5, (i % 2) ? 0.9 : 0.1, i % 2));
+  return train;
+}
+
+/// Epoch losses + final flat parameter vector for a fresh seeded model
+/// trained with the given worker count.
+std::pair<std::vector<double>, std::vector<double>> train_with_threads(
+    GnnKind kind, std::int64_t num_threads, int epochs) {
+  util::Rng init(42);
+  DGCNN model(toy_config(kind), init);
+  TrainConfig tc;
+  tc.learning_rate = 5e-3;
+  tc.num_threads = num_threads;
+  Trainer trainer(model, tc);
+  auto train = toy_dataset();
+  std::vector<double> losses;
+  for (int e = 0; e < epochs; ++e) losses.push_back(trainer.train_epoch(train));
+  std::vector<double> flat;
+  for (const auto& p : model.parameters())
+    flat.insert(flat.end(), p.data().begin(), p.data().end());
+  return {losses, flat};
+}
+
+TEST(ParallelTrainer, OneThreadAndManyThreadsAreBitIdentical) {
+  for (auto kind : {GnnKind::kAMDGCNN, GnnKind::kVanillaDGCNN}) {
+    auto [losses1, params1] = train_with_threads(kind, 1, 3);
+    auto [losses4, params4] = train_with_threads(kind, 4, 3);
+    ASSERT_EQ(losses1.size(), losses4.size());
+    for (std::size_t e = 0; e < losses1.size(); ++e)
+      EXPECT_EQ(losses1[e], losses4[e]) << "epoch " << e;
+    ASSERT_EQ(params1.size(), params4.size());
+    for (std::size_t i = 0; i < params1.size(); ++i)
+      ASSERT_EQ(params1[i], params4[i]) << "parameter flat index " << i;
+  }
+}
+
+TEST(ParallelTrainer, ParallelPathLearns) {
+  util::Rng init(43);
+  DGCNN model(toy_config(GnnKind::kVanillaDGCNN), init);
+  TrainConfig tc;
+  tc.learning_rate = 5e-3;
+  tc.num_threads = 2;
+  Trainer trainer(model, tc);
+  auto train = toy_dataset();
+  const double first = trainer.train_epoch(train);
+  double last = first;
+  for (int e = 0; e < 5; ++e) last = trainer.train_epoch(train);
+  EXPECT_LT(last, first);
+}
+
+TEST(ParallelTrainer, RejectsNegativeThreadCount) {
+  util::Rng init(44);
+  DGCNN model(toy_config(GnnKind::kAMDGCNN), init);
+  TrainConfig tc;
+  tc.num_threads = -1;
+  EXPECT_THROW(Trainer(model, tc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amdgcnn::models
