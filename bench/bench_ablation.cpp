@@ -23,9 +23,11 @@ struct Variant {
 
 double run_variant(const datasets::LinkDataset& data, const Variant& v,
                    const hpo::HyperParams& hp, std::int64_t epochs) {
+  seal::SealDatasetOptions build_opts = v.dataset;
+  build_opts.num_threads = seal::default_build_threads();
   auto ds = seal::build_seal_dataset(data.graph, data.train_links,
                                      data.test_links, data.num_classes,
-                                     v.dataset);
+                                     build_opts);
   models::ModelConfig mc = v.model;
   mc.node_feature_dim = ds.node_feature_dim;
   mc.edge_attr_dim = ds.edge_attr_dim;

@@ -61,12 +61,15 @@ inline datasets::LinkDataset make_cora(BenchScale scale) {
 
 /// Per-dataset enclosing-subgraph size caps (the knob the paper's
 /// intersection-vs-union discussion is about); values match the
-/// calibration runs recorded in EXPERIMENTS.md.
+/// calibration runs recorded in EXPERIMENTS.md.  The benches build with all
+/// hardware workers — safe because the parallel build is bit-identical to
+/// the serial path for any worker count.
 inline seal::SealDataset prepare(const datasets::LinkDataset& data) {
   std::int64_t cap = 48;  // cora
   if (data.name == "primekg_sim" || data.name == "wordnet_sim") cap = 32;
   else if (data.name == "biokg_sim") cap = 40;
-  return core::prepare_seal_dataset(data, cap);
+  return core::prepare_seal_dataset(data, cap, /*max_drnl_label=*/24,
+                                    seal::default_build_threads());
 }
 
 /// Per-dataset auto-tuned hyperparameters (paper experiment set (ii)).

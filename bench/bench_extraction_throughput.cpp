@@ -1,0 +1,279 @@
+// Throughput benchmark for the SEAL dataset-build pipeline (DESIGN.md §2.2).
+//
+// For each dataset it measures end-to-end links/sec of build_samples under
+//   * the legacy serial loop            (num_threads = 0),
+//   * the deterministic parallel path with 1 worker, and
+//   * the parallel path with all hardware workers (when OpenMP is present);
+// the parallel rows must be bit-identical to the serial build — the
+// benchmark asserts this over every tensor byte, edge list and label.
+// Alongside, it times the three pipeline stages in isolation on the serial
+// path: enclosing-subgraph extraction, DRNL labeling, and feature-tensor
+// construction (the feature stage re-runs DRNL internally, so the three
+// stage times slightly exceed the end-to-end time).
+//
+// Output goes to stdout as a table and to a JSON file (default
+// BENCH_extraction.json in the current directory; override with --out PATH).
+// --smoke shrinks everything so the binary doubles as a CTest smoke test.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "seal/drnl.h"
+
+namespace {
+
+using namespace amdgcnn;
+
+struct RunResult {
+  std::string mode;  // "serial" or "parallel"
+  int threads = 0;   // SealDatasetOptions::num_threads
+  double links_per_sec = 0.0;
+  double seconds = 0.0;
+};
+
+struct StageResult {
+  std::string stage;
+  double seconds = 0.0;
+  double links_per_sec = 0.0;
+};
+
+struct DatasetResult {
+  std::string dataset;
+  std::size_t num_links = 0;
+  std::vector<RunResult> runs;
+  std::vector<StageResult> stages;  // serial per-stage breakdown
+  ag::PoolStats i32_pool;           // int32 scratch pool after the runs
+};
+
+seal::SealDatasetOptions build_options(const datasets::LinkDataset& data) {
+  seal::SealDatasetOptions o;
+  o.extract.num_hops = 2;
+  o.extract.mode = data.neighborhood_mode;
+  o.extract.max_nodes = 32;
+  o.features.max_drnl_label = 24;
+  return o;
+}
+
+bool samples_identical(const std::vector<seal::SubgraphSample>& a,
+                       const std::vector<seal::SubgraphSample>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].num_nodes != b[i].num_nodes || a[i].label != b[i].label ||
+        a[i].src != b[i].src || a[i].dst != b[i].dst)
+      return false;
+    if (a[i].node_feat.shape() != b[i].node_feat.shape() ||
+        a[i].node_feat.data() != b[i].node_feat.data())
+      return false;
+    if (a[i].edge_attr.defined() != b[i].edge_attr.defined()) return false;
+    if (a[i].edge_attr.defined() &&
+        (a[i].edge_attr.shape() != b[i].edge_attr.shape() ||
+         a[i].edge_attr.data() != b[i].edge_attr.data()))
+      return false;
+  }
+  return true;
+}
+
+RunResult time_build(const graph::KnowledgeGraph& g,
+                     const std::vector<seal::LinkExample>& links,
+                     seal::SealDatasetOptions options, std::int64_t threads,
+                     int reps, std::vector<seal::SubgraphSample>* keep) {
+  options.num_threads = threads;
+  seal::build_samples(g, links, options);  // warmup: fills the scratch pool
+  util::Stopwatch watch;
+  std::vector<seal::SubgraphSample> samples;
+  for (int r = 0; r < reps; ++r)
+    samples = seal::build_samples(g, links, options);
+  RunResult result;
+  result.mode = threads == 0 ? "serial" : "parallel";
+  result.threads = static_cast<int>(threads);
+  result.seconds = watch.seconds();
+  result.links_per_sec =
+      static_cast<double>(links.size()) * reps / result.seconds;
+  if (keep != nullptr) *keep = std::move(samples);
+  return result;
+}
+
+/// Serial per-stage timings: extraction alone, DRNL over the cached
+/// subgraphs, and feature-tensor construction over the cached subgraphs.
+std::vector<StageResult> time_stages(const graph::KnowledgeGraph& g,
+                                     const std::vector<seal::LinkExample>& links,
+                                     const seal::SealDatasetOptions& options,
+                                     int reps) {
+  std::vector<StageResult> stages;
+  const double n = static_cast<double>(links.size()) * reps;
+
+  std::vector<graph::EnclosingSubgraph> subs;
+  subs.reserve(links.size());
+  {
+    util::Stopwatch watch;
+    for (int r = 0; r < reps; ++r) {
+      subs.clear();
+      for (const auto& link : links)
+        subs.push_back(graph::extract_enclosing_subgraph(g, link.a, link.b,
+                                                         options.extract));
+    }
+    const double s = watch.seconds();
+    stages.push_back({"extract", s, n / s});
+  }
+  {
+    util::Stopwatch watch;
+    for (int r = 0; r < reps; ++r)
+      for (const auto& sub : subs) seal::drnl_labels(sub);
+    const double s = watch.seconds();
+    stages.push_back({"drnl", s, n / s});
+  }
+  {
+    util::Stopwatch watch;
+    for (int r = 0; r < reps; ++r)
+      for (std::size_t i = 0; i < subs.size(); ++i)
+        seal::build_sample(g, subs[i], links[i].label, options.features);
+    const double s = watch.seconds();
+    stages.push_back({"features", s, n / s});
+  }
+  return stages;
+}
+
+void write_json(const std::string& path,
+                const std::vector<DatasetResult>& datasets, bool smoke) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n  \"bench\": \"extraction_throughput\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"datasets\": [\n";
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    const auto& ds = datasets[d];
+    out << "    {\n      \"dataset\": \"" << ds.dataset << "\",\n"
+        << "      \"num_links\": " << ds.num_links << ",\n"
+        << "      \"runs\": [\n";
+    for (std::size_t r = 0; r < ds.runs.size(); ++r) {
+      const auto& run = ds.runs[r];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "        {\"mode\": \"%s\", \"threads\": %d, "
+                    "\"links_per_sec\": %.1f, \"seconds\": %.4f}%s\n",
+                    run.mode.c_str(), run.threads, run.links_per_sec,
+                    run.seconds, r + 1 < ds.runs.size() ? "," : "");
+      out << buf;
+    }
+    out << "      ],\n      \"serial_stages\": [\n";
+    for (std::size_t s = 0; s < ds.stages.size(); ++s) {
+      const auto& st = ds.stages[s];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "        {\"stage\": \"%s\", \"seconds\": %.4f, "
+                    "\"links_per_sec\": %.1f}%s\n",
+                    st.stage.c_str(), st.seconds, st.links_per_sec,
+                    s + 1 < ds.stages.size() ? "," : "");
+      out << buf;
+    }
+    const double acq =
+        static_cast<double>(ds.i32_pool.hits + ds.i32_pool.misses);
+    out << "      ],\n      \"i32_pool\": {"
+        << "\"peak_in_use_bytes\": " << ds.i32_pool.peak_in_use_bytes
+        << ", \"peak_pooled_bytes\": " << ds.i32_pool.peak_pooled_bytes
+        << ", \"hit_rate\": "
+        << (acq > 0.0 ? static_cast<double>(ds.i32_pool.hits) / acq : 0.0)
+        << "}\n    }" << (d + 1 < datasets.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_extraction.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --out requires a PATH argument\n");
+        return 2;
+      }
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown argument '%s'\nusage: %s [--smoke] [--out PATH]\n",
+                   argv[i], argv[0]);
+      return 2;
+    }
+  }
+  const int reps = smoke ? 1 : 3;
+  const auto max_threads = seal::default_build_threads();
+
+  std::vector<datasets::LinkDataset> data;
+  {
+    datasets::CoraSimOptions o;
+    o.num_pos_links = smoke ? 60 : 500;
+    data.push_back(datasets::make_cora_sim(o));
+  }
+  {
+    datasets::WordNetSimOptions o;
+    o.num_nodes = smoke ? 500 : 2000;
+    o.num_train = smoke ? 150 : 1300;
+    o.num_test = smoke ? 40 : 300;
+    data.push_back(datasets::make_wordnet_sim(o));
+  }
+
+  std::vector<DatasetResult> results;
+  for (const auto& dset : data) {
+    // Train + test links together: the build path is the same and more
+    // links mean steadier timings.
+    std::vector<seal::LinkExample> links = dset.train_links;
+    links.insert(links.end(), dset.test_links.begin(), dset.test_links.end());
+    const auto options = build_options(dset);
+
+    DatasetResult dr;
+    dr.dataset = dset.name;
+    dr.num_links = links.size();
+
+    std::vector<seal::SubgraphSample> serial_samples, one_thread_samples;
+    dr.runs.push_back(time_build(dset.graph, links, options, /*threads=*/0,
+                                 reps, &serial_samples));
+    dr.runs.push_back(time_build(dset.graph, links, options, /*threads=*/1,
+                                 reps, &one_thread_samples));
+    if (!samples_identical(serial_samples, one_thread_samples)) {
+      std::fprintf(stderr,
+                   "FATAL: 1-worker build differs from the serial build on %s\n",
+                   dset.name.c_str());
+      return 1;
+    }
+    if (max_threads > 1) {
+      std::vector<seal::SubgraphSample> parallel_samples;
+      dr.runs.push_back(time_build(dset.graph, links, options, max_threads,
+                                   reps, &parallel_samples));
+      // Determinism contract: N workers must reproduce the serial bytes.
+      if (!samples_identical(serial_samples, parallel_samples)) {
+        std::fprintf(stderr,
+                     "FATAL: %d-worker build differs from the serial build "
+                     "on %s\n",
+                     static_cast<int>(max_threads), dset.name.c_str());
+        return 1;
+      }
+    }
+    dr.stages = time_stages(dset.graph, links, options, reps);
+    dr.i32_pool = ag::detail::i32_buffer_pool().stats();
+
+    for (const auto& run : dr.runs)
+      std::printf("%-12s %-8s threads=%d  %8.1f links/sec  (%.4fs)\n",
+                  dr.dataset.c_str(), run.mode.c_str(), run.threads,
+                  run.links_per_sec, run.seconds);
+    for (const auto& st : dr.stages)
+      std::printf("%-12s stage %-9s %8.1f links/sec  (%.4fs)\n",
+                  dr.dataset.c_str(), st.stage.c_str(), st.links_per_sec,
+                  st.seconds);
+    results.push_back(std::move(dr));
+  }
+
+  write_json(out_path, results, smoke);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

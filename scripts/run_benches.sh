@@ -1,21 +1,55 @@
 #!/usr/bin/env bash
-# Build the Release tree and run the training-throughput benchmark, leaving
-# BENCH_training.json at the repository root.
+# Build the Release tree and run the throughput benchmarks, leaving
+# BENCH_training.json and BENCH_extraction.json at the repository root,
+# then re-run the parallel-build determinism/property tests under
+# ASan+UBSan (AMDGCNN_SANITIZE=ON) in a separate build tree.
 #
-# Usage: scripts/run_benches.sh [--smoke]
-#   --smoke   shrink datasets/iterations (seconds instead of minutes)
+# Usage: scripts/run_benches.sh [--smoke] [--skip-sanitize]
+#   --smoke           shrink datasets/iterations (seconds instead of minutes)
+#   --skip-sanitize   skip the sanitizer re-run of the new test layer
 #
 # AMDGCNN_BENCH_SCALE=full additionally scales the figure benches when run
-# by hand; this script only drives the throughput bench.
+# by hand; this script only drives the throughput benches.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build"
+asan_dir="${repo_root}/build-asan"
+
+bench_args=()
+run_sanitize=1
+for arg in "$@"; do
+  case "${arg}" in
+    --smoke) bench_args+=("--smoke") ;;
+    --skip-sanitize) run_sanitize=0 ;;
+    *)
+      echo "unknown argument: ${arg}" >&2
+      echo "usage: $0 [--smoke] [--skip-sanitize]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${build_dir}" -j --target bench_training_throughput
+cmake --build "${build_dir}" -j \
+  --target bench_training_throughput bench_extraction_throughput
 
 "${build_dir}/bench/bench_training_throughput" \
-  --out "${repo_root}/BENCH_training.json" "$@"
-
+  --out "${repo_root}/BENCH_training.json" ${bench_args[@]+"${bench_args[@]}"}
 echo "wrote ${repo_root}/BENCH_training.json"
+
+"${build_dir}/bench/bench_extraction_throughput" \
+  --out "${repo_root}/BENCH_extraction.json" ${bench_args[@]+"${bench_args[@]}"}
+echo "wrote ${repo_root}/BENCH_extraction.json"
+
+if [[ "${run_sanitize}" -eq 1 ]]; then
+  # The determinism / property / pool tests guard the parallel dataset build;
+  # running them under ASan+UBSan catches scratch-buffer misuse (aliasing,
+  # use-after-release) that the plain build cannot see.
+  cmake -B "${asan_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAMDGCNN_SANITIZE=ON
+  cmake --build "${asan_dir}" -j --target amdgcnn_tests
+  ctest --test-dir "${asan_dir}" --output-on-failure \
+    -R 'ParallelDatasetBuild|DrnlProperty|ExtractionProperty|BufferPool|SortPoolEquivalence'
+  echo "sanitizer pass over the parallel-build test layer: OK"
+fi

@@ -28,12 +28,14 @@ std::int64_t scaled_links(std::int64_t full_count, BenchScale scale) {
 
 seal::SealDataset prepare_seal_dataset(const datasets::LinkDataset& data,
                                        std::int64_t max_subgraph_nodes,
-                                       std::int64_t max_drnl_label) {
+                                       std::int64_t max_drnl_label,
+                                       std::int64_t build_threads) {
   seal::SealDatasetOptions options;
   options.extract.num_hops = 2;  // paper §III-A
   options.extract.mode = data.neighborhood_mode;
   options.extract.max_nodes = max_subgraph_nodes;
   options.features.max_drnl_label = max_drnl_label;
+  options.num_threads = build_threads;
   return seal::build_seal_dataset(data.graph, data.train_links,
                                   data.test_links, data.num_classes, options);
 }

@@ -27,10 +27,13 @@ std::int64_t scaled_links(std::int64_t full_count, BenchScale scale);
 
 /// Turn a generated LinkDataset into ready-to-train SEAL samples using the
 /// dataset's prescribed neighborhood rule (paper §III-A: k = 2 hops,
-/// intersection for PrimeKG, union otherwise).
+/// intersection for PrimeKG, union otherwise).  `build_threads` follows the
+/// SealDatasetOptions contract: 0 = serial, >= 1 = deterministic parallel
+/// build with that many workers (bit-identical output either way).
 seal::SealDataset prepare_seal_dataset(const datasets::LinkDataset& data,
                                        std::int64_t max_subgraph_nodes = 48,
-                                       std::int64_t max_drnl_label = 24);
+                                       std::int64_t max_drnl_label = 24,
+                                       std::int64_t build_threads = 0);
 
 /// The "default hyperparameters" of the paper's experiment design: the
 /// configuration auto-tuned on Cora (no edge attributes) and reused

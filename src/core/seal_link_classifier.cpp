@@ -31,10 +31,9 @@ std::vector<double> SealLinkClassifier::predict_proba(
     const graph::KnowledgeGraph& g,
     const std::vector<seal::LinkExample>& links) const {
   require_fitted();
-  std::vector<seal::SubgraphSample> samples(links.size());
-#pragma omp parallel for schedule(dynamic)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(links.size()); ++i)
-    samples[i] = seal::make_sample(g, links[i], config_.dataset);
+  // Inference-time subgraph construction goes through the same deterministic
+  // build path as fit(), honouring config_.dataset.num_threads.
+  const auto samples = seal::build_samples(g, links, config_.dataset);
   return trainer_->predict_proba(samples);
 }
 
@@ -49,10 +48,7 @@ models::EvalResult SealLinkClassifier::evaluate(
     const graph::KnowledgeGraph& g,
     const std::vector<seal::LinkExample>& links) const {
   require_fitted();
-  std::vector<seal::SubgraphSample> samples(links.size());
-#pragma omp parallel for schedule(dynamic)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(links.size()); ++i)
-    samples[i] = seal::make_sample(g, links[i], config_.dataset);
+  const auto samples = seal::build_samples(g, links, config_.dataset);
   return trainer_->evaluate(samples);
 }
 

@@ -37,6 +37,40 @@ std::int32_t noisy_label(std::int32_t label, std::int64_t num_classes,
   return other >= label ? other + 1 : other;
 }
 
+graph::KnowledgeGraph make_random_kg(const RandomKGOptions& options) {
+  if (options.num_nodes < 2)
+    throw std::invalid_argument("make_random_kg: need at least 2 nodes");
+  graph::KnowledgeGraph g(options.num_node_types, options.num_edge_types,
+                          /*edge_attr_dim=*/options.num_edge_types);
+  util::Rng rng(options.seed);
+  for (std::int64_t i = 0; i < options.num_nodes; ++i)
+    g.add_node(static_cast<std::int32_t>(rng.uniform_int(
+        static_cast<std::uint64_t>(options.num_node_types))));
+  for (std::int32_t t = 0; t < options.num_edge_types; ++t) {
+    std::vector<double> attr(
+        static_cast<std::size_t>(options.num_edge_types), 0.0);
+    attr[static_cast<std::size_t>(t)] = 1.0;
+    g.set_edge_type_attr(t, attr);
+  }
+  GraphBuilder b(g);
+  // Bounded attempts: dense requests (num_edges near the complete-graph
+  // limit) terminate instead of spinning on duplicate draws.
+  const std::int64_t max_attempts = options.num_edges * 20;
+  for (std::int64_t a = 0;
+       a < max_attempts && b.num_edges_added() < options.num_edges; ++a) {
+    const auto u = static_cast<graph::NodeId>(
+        rng.uniform_int(static_cast<std::uint64_t>(options.num_nodes)));
+    const auto v = static_cast<graph::NodeId>(
+        rng.uniform_int(static_cast<std::uint64_t>(options.num_nodes)));
+    if (u == v) continue;
+    b.add_edge_unique(u, v,
+                      static_cast<std::int32_t>(rng.uniform_int(
+                          static_cast<std::uint64_t>(options.num_edge_types))));
+  }
+  g.finalize();
+  return g;
+}
+
 void split_links(std::vector<seal::LinkExample> links, std::int64_t num_train,
                  std::int64_t num_test, util::Rng& rng, LinkDataset& out) {
   if (num_train + num_test > static_cast<std::int64_t>(links.size()))

@@ -92,6 +92,22 @@ void wire_bipartite(GraphBuilder& b, const std::vector<graph::NodeId>& from,
 std::int32_t noisy_label(std::int32_t label, std::int64_t num_classes,
                          double noise, util::Rng& rng);
 
+/// Knobs for `make_random_kg` — an unstructured Erdős–Rényi-style KG used
+/// by the property/determinism tests, where the planted-latent recipe of
+/// the named generators would only slow things down.
+struct RandomKGOptions {
+  std::int64_t num_nodes = 60;
+  std::int64_t num_edges = 150;  ///< target; dedup may land slightly under
+  std::int32_t num_node_types = 3;
+  std::int32_t num_edge_types = 4;
+  std::uint64_t seed = 1;
+};
+
+/// A finalized random KG: uniform node/edge types, one-hot edge-type
+/// attributes (edge_attr_dim == num_edge_types), no node features.
+/// Deterministic in `options.seed`.
+graph::KnowledgeGraph make_random_kg(const RandomKGOptions& options);
+
 /// Split a labeled link list into train/test with exact sizes (shuffled).
 void split_links(std::vector<seal::LinkExample> links, std::int64_t num_train,
                  std::int64_t num_test, util::Rng& rng, LinkDataset& out);

@@ -1,36 +1,49 @@
 #include "graph/subgraph.h"
 
 #include <algorithm>
-#include <deque>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "graph/traversal.h"
+#include "tensor/tensor.h"
 
 namespace amdgcnn::graph {
 
 namespace {
 
+/// Scratch buffer borrowed from the calling thread's int32 pool and returned
+/// on destruction.  Each worker of the parallel dataset build recycles the
+/// same distance maps / frontier queues / CSR scratch across its links, so
+/// steady-state extraction performs no heap allocation (DESIGN.md §2.2).
+struct PooledI32 {
+  std::vector<std::int32_t> v;
+  explicit PooledI32(std::size_t n)
+      : v(ag::detail::i32_buffer_pool().acquire(n)) {}
+  ~PooledI32() { ag::detail::i32_buffer_pool().release(std::move(v)); }
+  PooledI32(const PooledI32&) = delete;
+  PooledI32& operator=(const PooledI32&) = delete;
+};
+
 /// BFS distances within the local subgraph from `source`, with one local
-/// node masked (removed).  Adjacency given as CSR-ish vector of vectors.
-std::vector<std::int32_t> local_bfs(
-    const std::vector<std::vector<std::int32_t>>& adj, std::int32_t source,
-    std::int32_t masked_node) {
-  std::vector<std::int32_t> dist(adj.size(), kUnreachable);
-  if (source == masked_node) return dist;
-  std::deque<std::int32_t> queue;
+/// node masked (removed).  Adjacency is flat CSR (off has m + 1 entries);
+/// `queue` is reusable frontier scratch, `dist` escapes to the caller.
+void local_bfs_csr(const std::int32_t* off, const std::int32_t* adj,
+                   std::int32_t m, std::int32_t source, std::int32_t masked,
+                   std::vector<std::int32_t>& dist,
+                   std::vector<std::int32_t>& queue) {
+  dist.assign(static_cast<std::size_t>(m), kUnreachable);
+  queue.clear();
+  if (source == masked) return;
   dist[source] = 0;
   queue.push_back(source);
-  while (!queue.empty()) {
-    const std::int32_t u = queue.front();
-    queue.pop_front();
-    for (std::int32_t v : adj[u]) {
-      if (v == masked_node || dist[v] != kUnreachable) continue;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::int32_t u = queue[head];
+    for (std::int32_t i = off[u]; i < off[u + 1]; ++i) {
+      const std::int32_t v = adj[i];
+      if (v == masked || dist[v] != kUnreachable) continue;
       dist[v] = dist[u] + 1;
       queue.push_back(v);
     }
   }
-  return dist;
 }
 
 }  // namespace
@@ -49,15 +62,17 @@ EnclosingSubgraph extract_enclosing_subgraph(const KnowledgeGraph& g, NodeId a,
   BfsOptions bfs_opts;
   bfs_opts.max_depth = options.num_hops;
   bfs_opts.masked_edge = masked_edge;
-  const auto da = bfs_distances(g, a, bfs_opts);
-  const auto db = bfs_distances(g, b, bfs_opts);
+  const std::size_t total_nodes = static_cast<std::size_t>(g.num_nodes());
+  PooledI32 da(total_nodes), db(total_nodes), queue(total_nodes);
+  bfs_distances_into(g, a, bfs_opts, da.v, queue.v);
+  bfs_distances_into(g, b, bfs_opts, db.v, queue.v);
 
   // Collect candidate nodes per the union / intersection rule.
   std::vector<NodeId> candidates;
   for (NodeId v = 0; v < static_cast<NodeId>(g.num_nodes()); ++v) {
     if (v == a || v == b) continue;
-    const bool in_a = da[v] != kUnreachable;
-    const bool in_b = db[v] != kUnreachable;
+    const bool in_a = da.v[v] != kUnreachable;
+    const bool in_b = db.v[v] != kUnreachable;
     const bool keep = options.mode == NeighborhoodMode::kUnion
                           ? (in_a || in_b)
                           : (in_a && in_b);
@@ -71,8 +86,8 @@ EnclosingSubgraph extract_enclosing_subgraph(const KnowledgeGraph& g, NodeId a,
       // Unreachable distances count as a large constant so reachable-from-
       // both nodes sort first.
       const std::int32_t large = 4 * options.num_hops + 4;
-      const std::int32_t xa = da[v] == kUnreachable ? large : da[v];
-      const std::int32_t xb = db[v] == kUnreachable ? large : db[v];
+      const std::int32_t xa = da.v[v] == kUnreachable ? large : da.v[v];
+      const std::int32_t xb = db.v[v] == kUnreachable ? large : db.v[v];
       return std::make_tuple(xa + xb, std::min(xa, xb), v);
     };
     std::sort(candidates.begin(), candidates.end(),
@@ -86,10 +101,13 @@ EnclosingSubgraph extract_enclosing_subgraph(const KnowledgeGraph& g, NodeId a,
   sub.nodes.push_back(b);
   sub.nodes.insert(sub.nodes.end(), candidates.begin(), candidates.end());
 
-  std::unordered_map<NodeId, std::int32_t> local_id;
-  local_id.reserve(sub.nodes.size() * 2);
+  // Original-id -> local-id lookup as a full-size array (pooled scratch):
+  // the O(num_nodes) fill is already paid by the BFS dist maps, and the
+  // per-neighbor probes in the induction loop become branch + load.
+  PooledI32 local_of(total_nodes);
+  std::fill(local_of.v.begin(), local_of.v.end(), std::int32_t{-1});
   for (std::size_t i = 0; i < sub.nodes.size(); ++i)
-    local_id.emplace(sub.nodes[i], static_cast<std::int32_t>(i));
+    local_of.v[sub.nodes[i]] = static_cast<std::int32_t>(i);
 
   // Induce edges: both endpoints inside, target link excluded.  Each
   // undirected edge is visited from both endpoints; keep it once.
@@ -97,25 +115,37 @@ EnclosingSubgraph extract_enclosing_subgraph(const KnowledgeGraph& g, NodeId a,
     const NodeId u = sub.nodes[i];
     for (const auto& adj : g.neighbors(u)) {
       if (adj.edge == masked_edge) continue;
-      auto it = local_id.find(adj.node);
-      if (it == local_id.end()) continue;
+      const std::int32_t lv = local_of.v[adj.node];
+      if (lv < 0) continue;
       const std::int32_t lu = static_cast<std::int32_t>(i);
-      const std::int32_t lv = it->second;
       if (lu < lv) sub.edges.push_back({lu, lv, adj.edge});
     }
   }
 
   // DRNL distances on the induced subgraph, each with the other target
-  // removed (Zhang & Chen 2018 convention).
-  std::vector<std::vector<std::int32_t>> adj(sub.nodes.size());
+  // removed (Zhang & Chen 2018 convention).  Local adjacency as flat CSR
+  // in pooled scratch (counting sort over the edge list).
+  const auto m = static_cast<std::int32_t>(sub.nodes.size());
+  PooledI32 off(static_cast<std::size_t>(m) + 1),
+      ladj(2 * sub.edges.size());
+  std::fill(off.v.begin(), off.v.end(), std::int32_t{0});
   for (const auto& e : sub.edges) {
-    adj[e.src].push_back(e.dst);
-    adj[e.dst].push_back(e.src);
+    ++off.v[e.src + 1];
+    ++off.v[e.dst + 1];
   }
-  sub.dist_a = local_bfs(adj, EnclosingSubgraph::kTargetA,
-                         EnclosingSubgraph::kTargetB);
-  sub.dist_b = local_bfs(adj, EnclosingSubgraph::kTargetB,
-                         EnclosingSubgraph::kTargetA);
+  for (std::int32_t i = 0; i < m; ++i) off.v[i + 1] += off.v[i];
+  {
+    PooledI32 cursor(static_cast<std::size_t>(m));
+    std::copy(off.v.begin(), off.v.end() - 1, cursor.v.begin());
+    for (const auto& e : sub.edges) {
+      ladj.v[cursor.v[e.src]++] = e.dst;
+      ladj.v[cursor.v[e.dst]++] = e.src;
+    }
+  }
+  local_bfs_csr(off.v.data(), ladj.v.data(), m, EnclosingSubgraph::kTargetA,
+                EnclosingSubgraph::kTargetB, sub.dist_a, queue.v);
+  local_bfs_csr(off.v.data(), ladj.v.data(), m, EnclosingSubgraph::kTargetB,
+                EnclosingSubgraph::kTargetA, sub.dist_b, queue.v);
   // The targets know their own distances regardless of masking.
   sub.dist_a[EnclosingSubgraph::kTargetA] = 0;
   sub.dist_b[EnclosingSubgraph::kTargetB] = 0;

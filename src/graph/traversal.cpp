@@ -1,23 +1,24 @@
 #include "graph/traversal.h"
 
-#include <deque>
 #include <stdexcept>
 
 namespace amdgcnn::graph {
 
-std::vector<std::int32_t> bfs_distances(const KnowledgeGraph& g, NodeId source,
-                                        const BfsOptions& options) {
+void bfs_distances_into(const KnowledgeGraph& g, NodeId source,
+                        const BfsOptions& options,
+                        std::vector<std::int32_t>& dist,
+                        std::vector<NodeId>& queue) {
   if (source < 0 || source >= g.num_nodes())
     throw std::invalid_argument("bfs_distances: source out of range");
-  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_nodes()),
-                                 kUnreachable);
-  if (source == options.masked_node) return dist;
-  std::deque<NodeId> queue;
+  dist.assign(static_cast<std::size_t>(g.num_nodes()), kUnreachable);
+  queue.clear();
+  if (source == options.masked_node) return;
   dist[source] = 0;
   queue.push_back(source);
-  while (!queue.empty()) {
-    const NodeId u = queue.front();
-    queue.pop_front();
+  // Flat frontier with a read cursor instead of a deque: the vector is
+  // reusable scratch and never deallocates between calls.
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
     const std::int32_t du = dist[u];
     if (options.max_depth >= 0 && du >= options.max_depth) continue;
     for (const auto& a : g.neighbors(u)) {
@@ -28,6 +29,13 @@ std::vector<std::int32_t> bfs_distances(const KnowledgeGraph& g, NodeId source,
       queue.push_back(a.node);
     }
   }
+}
+
+std::vector<std::int32_t> bfs_distances(const KnowledgeGraph& g, NodeId source,
+                                        const BfsOptions& options) {
+  std::vector<std::int32_t> dist;
+  std::vector<NodeId> queue;
+  bfs_distances_into(g, source, options, dist, queue);
   return dist;
 }
 

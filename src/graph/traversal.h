@@ -27,6 +27,16 @@ struct BfsOptions {
 std::vector<std::int32_t> bfs_distances(const KnowledgeGraph& g, NodeId source,
                                         const BfsOptions& options = {});
 
+/// Allocation-free variant for hot loops: fills `dist` (resized to
+/// g.num_nodes()) and uses `queue` as the BFS frontier.  Both vectors are
+/// caller-provided scratch — the parallel dataset build hands each worker
+/// buffers borrowed from its thread-local pool (ag::detail::i32_buffer_pool),
+/// so per-link traversals allocate nothing in steady state.
+void bfs_distances_into(const KnowledgeGraph& g, NodeId source,
+                        const BfsOptions& options,
+                        std::vector<std::int32_t>& dist,
+                        std::vector<NodeId>& queue);
+
 /// The set of nodes within `k` hops of `source` (including `source`),
 /// in BFS discovery order.
 std::vector<NodeId> k_hop_nodes(const KnowledgeGraph& g, NodeId source,

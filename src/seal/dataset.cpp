@@ -1,6 +1,11 @@
 #include "seal/dataset.h"
 
+#include <exception>
 #include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace amdgcnn::seal {
 
@@ -13,12 +18,62 @@ double SealDataset::mean_subgraph_nodes() const {
   return sum / static_cast<double>(total);
 }
 
+std::int64_t default_build_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
 SubgraphSample make_sample(const graph::KnowledgeGraph& g,
                            const LinkExample& link,
                            const SealDatasetOptions& options) {
   const auto sub =
       graph::extract_enclosing_subgraph(g, link.a, link.b, options.extract);
   return build_sample(g, sub, link.label, options.features);
+}
+
+std::vector<SubgraphSample> build_samples(
+    const graph::KnowledgeGraph& g, const std::vector<LinkExample>& links,
+    const SealDatasetOptions& options) {
+  if (options.num_threads < 0)
+    throw std::invalid_argument("build_samples: num_threads must be >= 0");
+  std::vector<SubgraphSample> out(links.size());
+  const auto n = static_cast<std::int64_t>(links.size());
+
+  if (options.num_threads == 0) {
+    for (std::int64_t i = 0; i < n; ++i)
+      out[i] = make_sample(g, links[i], options);
+    return out;
+  }
+
+  // Deterministic parallel path (same pattern as Trainer::train_epoch_parallel):
+  // links are distributed dynamically, but each sample lands in its pre-sized
+  // slot and depends only on its link, so the result is bit-identical for any
+  // worker count.  Per-worker BFS scratch lives in thread-local pools inside
+  // extract_enclosing_subgraph; feature tensors allocate from each worker's
+  // own tensor pool.  Exceptions cannot cross the OpenMP region, so the
+  // first one is captured and rethrown after the join.
+  [[maybe_unused]] const int nt = static_cast<int>(options.num_threads);
+  std::exception_ptr error;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) num_threads(nt)
+#endif
+  for (std::int64_t i = 0; i < n; ++i) {
+    try {
+      out[i] = make_sample(g, links[i], options);
+    } catch (...) {
+#ifdef _OPENMP
+#pragma omp critical
+#endif
+      {
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+  if (error) std::rethrow_exception(error);
+  return out;
 }
 
 SealDataset build_seal_dataset(const graph::KnowledgeGraph& g,
@@ -37,19 +92,8 @@ SealDataset build_seal_dataset(const graph::KnowledgeGraph& g,
   ds.num_classes = num_classes;
   ds.node_feature_dim = node_feature_dim(g, options.features);
   ds.edge_attr_dim = g.edge_attr_dim();
-  ds.train.resize(train_links.size());
-  ds.test.resize(test_links.size());
-
-#pragma omp parallel for schedule(dynamic)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(train_links.size());
-       ++i)
-    ds.train[i] = make_sample(g, train_links[i], options);
-
-#pragma omp parallel for schedule(dynamic)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(test_links.size());
-       ++i)
-    ds.test[i] = make_sample(g, test_links[i], options);
-
+  ds.train = build_samples(g, train_links, options);
+  ds.test = build_samples(g, test_links, options);
   return ds;
 }
 

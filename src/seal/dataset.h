@@ -4,6 +4,13 @@
 // Samples are materialised once and shared across epochs and across the two
 // models under comparison — matching the reference pipeline, where subgraph
 // extraction happens in the dataset loader, not in the training loop.
+//
+// Per-link work is independent, so the build is parallelised with the same
+// deterministic OpenMP pattern as models::Trainer (DESIGN.md §2.2): every
+// sample is written into its pre-sized slot, each worker draws extraction
+// scratch from its own thread-local buffer pool, and no stage depends on
+// worker scheduling — the built dataset is bit-identical for ANY worker
+// count, including the serial path.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +26,13 @@ namespace amdgcnn::seal {
 struct SealDatasetOptions {
   graph::ExtractOptions extract;
   FeatureOptions features;
+  /// Dataset-build workers (mirrors models::TrainConfig::num_threads).
+  /// 0 = the legacy serial loop; >= 1 = the OpenMP path, links distributed
+  /// dynamically over up to this many threads.  Outputs are bit-identical
+  /// (tensor bytes, labels, DRNL vectors) for every setting; negative
+  /// values are rejected.  Without OpenMP the parallel path runs serially
+  /// and produces the same bytes.
+  std::int64_t num_threads = 0;
 };
 
 struct SealDataset {
@@ -32,13 +46,24 @@ struct SealDataset {
   double mean_subgraph_nodes() const;
 };
 
+/// Worker count for callers that just want "all hardware threads":
+/// omp_get_max_threads() under OpenMP, 1 otherwise.
+std::int64_t default_build_threads();
+
 /// Convert one labeled link to a sample.
 SubgraphSample make_sample(const graph::KnowledgeGraph& g,
                            const LinkExample& link,
                            const SealDatasetOptions& options);
 
-/// Build the full dataset.  Sample construction is embarrassingly parallel
-/// and is OpenMP-parallelised over links.
+/// Convert a whole link list, honouring options.num_threads; sample i of the
+/// result always corresponds to links[i].  This is the single build path for
+/// both dataset splits and for inference-time sample construction
+/// (core::SealLinkClassifier).
+std::vector<SubgraphSample> build_samples(
+    const graph::KnowledgeGraph& g, const std::vector<LinkExample>& links,
+    const SealDatasetOptions& options);
+
+/// Build the full dataset (both splits via build_samples).
 SealDataset build_seal_dataset(const graph::KnowledgeGraph& g,
                                const std::vector<LinkExample>& train_links,
                                const std::vector<LinkExample>& test_links,

@@ -11,20 +11,27 @@ Tensor sort_pool(const Tensor& x, std::int64_t k) {
   const std::int64_t n = x.dim(0), c = x.dim(1);
   check(c > 0, "sort_pool: zero-width embeddings");
 
-  // Stable sort of row indices by descending last column, then by descending
-  // earlier columns, finally by ascending original index (determinism).
+  // Order row indices by descending last column, then by descending earlier
+  // columns, finally by ascending original index.  The index tie-break makes
+  // the comparator a strict total order, so the top-k row SET is unique:
+  // nth_element + partial sort of the kept prefix selects exactly the rows a
+  // full sort would, in the same order, at O(n + k log k) instead of
+  // O(n log n) — only the k surviving rows ever need mutual ordering.
   std::vector<std::int64_t> perm(static_cast<std::size_t>(n));
   std::iota(perm.begin(), perm.end(), std::int64_t{0});
   const auto& d = x.data();
-  std::sort(perm.begin(), perm.end(), [&](std::int64_t a, std::int64_t b) {
+  const auto row_before = [&](std::int64_t a, std::int64_t b) {
     for (std::int64_t col = c - 1; col >= 0; --col) {
       const double va = d[a * c + col], vb = d[b * c + col];
       if (va != vb) return va > vb;
     }
     return a < b;
-  });
-
+  };
   const std::int64_t keep = std::min(n, k);
+  if (keep < n)
+    std::nth_element(perm.begin(), perm.begin() + keep, perm.end(),
+                     row_before);
+  std::sort(perm.begin(), perm.begin() + keep, row_before);
   std::vector<double> out =
       detail::new_zeroed(static_cast<std::size_t>(k * c));
   for (std::int64_t r = 0; r < keep; ++r)

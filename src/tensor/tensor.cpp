@@ -40,55 +40,16 @@ std::string shape_str(const Shape& shape) {
 
 namespace detail {
 
-std::vector<double> BufferPool::acquire(std::size_t n) {
-  if (n == 0) return {};
-  auto it = buckets_.find(n);
-  if (it != buckets_.end() && !it->second.empty()) {
-    std::vector<double> buf = std::move(it->second.back());
-    it->second.pop_back();
-    stats_.pooled_bytes -= n * sizeof(double);
-    ++stats_.hits;
-    stats_.in_use_bytes += n * sizeof(double);
-    stats_.peak_in_use_bytes =
-        std::max(stats_.peak_in_use_bytes, stats_.in_use_bytes);
-    return buf;
-  }
-  ++stats_.misses;
-  stats_.in_use_bytes += n * sizeof(double);
-  stats_.peak_in_use_bytes =
-      std::max(stats_.peak_in_use_bytes, stats_.in_use_bytes);
-  return std::vector<double>(n);
-}
-
-std::vector<double> BufferPool::acquire_zeroed(std::size_t n) {
-  std::vector<double> buf = acquire(n);
-  std::fill(buf.begin(), buf.end(), 0.0);
-  return buf;
-}
-
-void BufferPool::release(std::vector<double>&& buf) noexcept {
-  const std::size_t n = buf.size();
-  if (n == 0) return;
-  const std::size_t bytes = n * sizeof(double);
-  stats_.in_use_bytes -= std::min(stats_.in_use_bytes, bytes);
-  if (stats_.pooled_bytes + bytes > kMaxPooledBytes) return;  // frees buf
-  auto& bucket = buckets_[n];
-  if (bucket.size() >= kMaxBucketBuffers) return;
-  bucket.push_back(std::move(buf));
-  stats_.pooled_bytes += bytes;
-  stats_.peak_pooled_bytes =
-      std::max(stats_.peak_pooled_bytes, stats_.pooled_bytes);
-}
-
-void BufferPool::clear() {
-  buckets_.clear();
-  stats_.pooled_bytes = 0;
-}
-
 BufferPool& buffer_pool() {
   // Leaked on purpose: tensors destroyed during thread/static teardown can
   // still release into a live pool.
   thread_local BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+BasicBufferPool<std::int32_t>& i32_buffer_pool() {
+  thread_local BasicBufferPool<std::int32_t>* pool =
+      new BasicBufferPool<std::int32_t>();
   return *pool;
 }
 
@@ -98,7 +59,10 @@ thread_local GradSink* tls_grad_sink = nullptr;
 
 PoolStats pool_stats() { return detail::buffer_pool().stats(); }
 void reset_pool_stats() { detail::buffer_pool().reset_stats(); }
-void clear_buffer_pool() { detail::buffer_pool().clear(); }
+void clear_buffer_pool() {
+  detail::buffer_pool().clear();
+  detail::i32_buffer_pool().clear();
+}
 
 GradSinkScope::GradSinkScope(
     const std::unordered_map<const detail::TensorImpl*, std::size_t>& slot_of,

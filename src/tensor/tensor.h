@@ -25,6 +25,8 @@
 // batch accumulation deterministic.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -74,19 +76,80 @@ struct PoolStats {
 
 namespace detail {
 
-/// Thread-local recycler for tensor storage.  Buffers are bucketed by exact
-/// element count; model shapes repeat every sample, so the hit rate is ~100%
-/// after the first minibatch.  No locks: each thread owns its pool, and a
-/// buffer released on a different thread than it was acquired on simply
-/// migrates pools.
-class BufferPool {
+/// Smallest bucket the pool bothers tracking, in elements.
+inline constexpr std::size_t kMinPoolClass = 16;
+
+/// Round a requested element count up to its power-of-two size class.
+/// Near-duplicate subgraph shapes (variable node counts) then share one
+/// bucket instead of each parking its own buffer, which cuts the peak pooled
+/// footprint sharply (ROADMAP: ~96 MB of near-duplicate buckets).
+inline std::size_t pool_size_class(std::size_t n) {
+  std::size_t c = kMinPoolClass;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+/// Thread-local recycler for tensor and scratch storage.  Buffers are
+/// bucketed by power-of-two size class (capacity); a request is served by
+/// any parked buffer of its class, so shapes that differ by a few elements
+/// recycle the same storage.  Model shapes repeat every sample, so the hit
+/// rate is ~100% after the first minibatch.  No locks: each thread owns its
+/// pool, and a buffer released on a different thread than it was acquired on
+/// simply migrates pools.
+template <typename T>
+class BasicBufferPool {
  public:
   /// A buffer with exactly n elements; contents are unspecified.
-  std::vector<double> acquire(std::size_t n);
+  std::vector<T> acquire(std::size_t n) {
+    if (n == 0) return {};
+    const std::size_t cls = pool_size_class(n);
+    auto it = buckets_.find(cls);
+    if (it != buckets_.end() && !it->second.empty()) {
+      std::vector<T> buf = std::move(it->second.back());
+      it->second.pop_back();
+      stats_.pooled_bytes -= buf.capacity() * sizeof(T);
+      buf.resize(n);  // capacity >= cls >= n: never reallocates
+      ++stats_.hits;
+      note_in_use(buf.capacity());
+      return buf;
+    }
+    ++stats_.misses;
+    std::vector<T> buf;
+    buf.reserve(cls);  // allocate the full class so the buffer is reusable
+    buf.resize(n);
+    note_in_use(buf.capacity());
+    return buf;
+  }
+
   /// A buffer with exactly n elements, all zero.
-  std::vector<double> acquire_zeroed(std::size_t n);
+  std::vector<T> acquire_zeroed(std::size_t n) {
+    std::vector<T> buf = acquire(n);
+    std::fill(buf.begin(), buf.end(), T{});
+    return buf;
+  }
+
   /// Park `buf` for reuse (frees it instead once the pool caps are hit).
-  void release(std::vector<double>&& buf) noexcept;
+  /// The bucket is the largest size class the buffer's capacity covers, so
+  /// externally allocated buffers (odd capacities) are parked conservatively.
+  void release(std::vector<T>&& buf) noexcept {
+    if (buf.size() == 0) return;
+    const std::size_t cap = buf.capacity();
+    // In-use accounting is by capacity on both ends: the caller may have
+    // resized the buffer (BFS queues shrink) but never reallocated it, so
+    // capacity is the one quantity that round-trips acquire -> release.
+    stats_.in_use_bytes -= std::min(stats_.in_use_bytes, cap * sizeof(T));
+    if (cap < kMinPoolClass) return;  // frees buf
+    std::size_t cls = kMinPoolClass;
+    while (cls * 2 <= cap) cls <<= 1;
+    const std::size_t bytes = cap * sizeof(T);
+    if (stats_.pooled_bytes + bytes > kMaxPooledBytes) return;  // frees buf
+    auto& bucket = buckets_[cls];
+    if (bucket.size() >= kMaxBucketBuffers) return;
+    bucket.push_back(std::move(buf));
+    stats_.pooled_bytes += bytes;
+    stats_.peak_pooled_bytes =
+        std::max(stats_.peak_pooled_bytes, stats_.pooled_bytes);
+  }
 
   const PoolStats& stats() const { return stats_; }
   /// Zero the hit/miss counters and rebase the peaks; the byte accounting of
@@ -99,21 +162,37 @@ class BufferPool {
     stats_.peak_in_use_bytes = stats_.in_use_bytes;
   }
   /// Drop all parked buffers (used by tests and the sanitizer build).
-  void clear();
+  void clear() {
+    buckets_.clear();
+    stats_.pooled_bytes = 0;
+  }
 
  private:
+  void note_in_use(std::size_t n) {
+    stats_.in_use_bytes += n * sizeof(T);
+    stats_.peak_in_use_bytes =
+        std::max(stats_.peak_in_use_bytes, stats_.in_use_bytes);
+  }
+
   // Caps keep a pathological workload from hoarding memory; training-sized
   // graphs stay far below them.
   static constexpr std::size_t kMaxBucketBuffers = 256;
   static constexpr std::size_t kMaxPooledBytes = std::size_t{1} << 28;
 
-  std::unordered_map<std::size_t, std::vector<std::vector<double>>> buckets_;
+  std::unordered_map<std::size_t, std::vector<std::vector<T>>> buckets_;
   PoolStats stats_;
 };
+
+using BufferPool = BasicBufferPool<double>;
 
 /// The calling thread's pool.  Never destroyed (leaked on purpose) so tensor
 /// destructors can run safely during static/thread teardown.
 BufferPool& buffer_pool();
+
+/// The calling thread's int32 scratch pool — BFS distance maps and frontier
+/// queues of the parallel dataset build borrow from it (graph/traversal.cpp),
+/// so per-link extraction is allocation-free in steady state.
+BasicBufferPool<std::int32_t>& i32_buffer_pool();
 
 inline std::vector<double> new_buffer(std::size_t n) {
   return buffer_pool().acquire(n);

@@ -3,6 +3,7 @@
 // correctness, and determinism of the parallel trainer path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -184,6 +185,71 @@ TEST(BufferPool, GradAccumulationSurvivesGraphRecycling) {
   release_graph(loss2);
   for (std::size_t i = 0; i < after_first.size(); ++i)
     EXPECT_DOUBLE_EQ(w.grad()[i], 2.0 * after_first[i]);
+}
+
+TEST(BufferPool, SizeClassRoundingIsPowerOfTwo) {
+  EXPECT_EQ(detail::pool_size_class(1), detail::kMinPoolClass);
+  EXPECT_EQ(detail::pool_size_class(16), 16u);
+  EXPECT_EQ(detail::pool_size_class(17), 32u);
+  EXPECT_EQ(detail::pool_size_class(900), 1024u);
+  EXPECT_EQ(detail::pool_size_class(1024), 1024u);
+  EXPECT_EQ(detail::pool_size_class(1025), 2048u);
+}
+
+TEST(BufferPool, NearDuplicateSizesShareOneBucket) {
+  // Regression guard for the pow2 rounding policy: sizes 513..1024 all map
+  // to the 1024 class, so a sweep over near-duplicate subgraph shapes is
+  // served by ONE parked buffer instead of parking one buffer per size —
+  // the failure mode that inflated the peak pooled footprint before
+  // size-class rounding.
+  clear_buffer_pool();
+  auto& pool = detail::buffer_pool();
+  pool.release(pool.acquire(900));  // warm: allocates the class-1024 buffer
+  pool.reset_stats();
+  for (std::size_t n : {901u, 950u, 1000u, 1024u, 600u, 513u})
+    pool.release(pool.acquire(n));
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.hits, 6u);
+  EXPECT_EQ(stats.misses, 0u) << "every size in (512, 1024] must reuse the "
+                                 "single warmed class-1024 buffer";
+  EXPECT_LE(stats.peak_pooled_bytes, 1024 * sizeof(double))
+      << "the sweep must park at most one class-1024 buffer";
+  clear_buffer_pool();
+}
+
+TEST(BufferPool, PooledBuffersAcrossClassesNeverAlias) {
+  // Simultaneously held buffers — same class, different classes, and across
+  // the double/int32 pools — must be disjoint allocations: writes through
+  // one must never show up in another.
+  clear_buffer_pool();
+  auto& dpool = detail::buffer_pool();
+  auto& ipool = detail::i32_buffer_pool();
+  auto a = dpool.acquire_zeroed(600);   // class 1024
+  auto b = dpool.acquire_zeroed(900);   // class 1024, a still live
+  auto c = dpool.acquire_zeroed(100);   // class 128
+  auto d = ipool.acquire_zeroed(600);   // int pool, class 1024
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_NE(a.data(), c.data());
+  EXPECT_NE(static_cast<const void*>(a.data()),
+            static_cast<const void*>(d.data()));
+  std::fill(a.begin(), a.end(), 1.0);
+  std::fill(d.begin(), d.end(), std::int32_t{7});
+  EXPECT_TRUE(std::all_of(b.begin(), b.end(),
+                          [](double v) { return v == 0.0; }));
+  EXPECT_TRUE(std::all_of(c.begin(), c.end(),
+                          [](double v) { return v == 0.0; }));
+  EXPECT_TRUE(std::all_of(a.begin(), a.end(),
+                          [](double v) { return v == 1.0; }));
+  dpool.release(std::move(a));
+  // A recycled buffer may reuse a's storage but must never overlap the
+  // still-live b.
+  auto e = dpool.acquire(700);
+  EXPECT_NE(e.data(), b.data());
+  dpool.release(std::move(b));
+  dpool.release(std::move(c));
+  dpool.release(std::move(e));
+  ipool.release(std::move(d));
+  clear_buffer_pool();
 }
 
 TEST(BufferPool, StatsTrackInUseBytes) {

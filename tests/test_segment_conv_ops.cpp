@@ -97,6 +97,102 @@ TEST(SortPool, PermutationInvariant) {
   EXPECT_EQ(ops::sort_pool(x, 4).data(), ops::sort_pool(y, 4).data());
 }
 
+// ---- sort_pool: nth_element path vs full-sort reference ---------------------
+
+/// The pre-optimisation algorithm: full std::sort of all row indices.
+/// Returns the permutation prefix the op must reproduce exactly.
+std::vector<std::int64_t> reference_sort_perm(const Tensor& x,
+                                              std::int64_t keep) {
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) perm[i] = i;
+  const auto& d = x.data();
+  std::sort(perm.begin(), perm.end(), [&](std::int64_t a, std::int64_t b) {
+    for (std::int64_t col = c - 1; col >= 0; --col) {
+      const double va = d[a * c + col], vb = d[b * c + col];
+      if (va != vb) return va > vb;
+    }
+    return a < b;
+  });
+  perm.resize(static_cast<std::size_t>(keep));
+  return perm;
+}
+
+/// Forward output and input gradient of sort_pool(x, k) under the loss
+/// sum(sort_pool(x, k) * w), checked bit-for-bit against the full-sort
+/// reference (forward rows copied from the reference permutation; gradient
+/// rows of w scattered back through it).
+void expect_matches_reference(const Tensor& input, std::int64_t k) {
+  const std::int64_t n = input.dim(0), c = input.dim(1);
+  const std::int64_t keep = std::min(n, k);
+  const auto perm = reference_sort_perm(input, keep);
+
+  Tensor x = Tensor::from_data(input.shape(), input.data()).requires_grad(true);
+  // Distinct weights per output slot so a permutation mistake cannot cancel.
+  std::vector<double> wdata(static_cast<std::size_t>(k * c));
+  for (std::size_t i = 0; i < wdata.size(); ++i)
+    wdata[i] = 0.25 * static_cast<double>(i + 1);
+  auto w = Tensor::from_data({k, c}, wdata);
+
+  auto out = ops::sort_pool(x, k);
+  ASSERT_EQ(out.shape(), (Shape{k, c}));
+  for (std::int64_t r = 0; r < keep; ++r)
+    for (std::int64_t col = 0; col < c; ++col)
+      ASSERT_EQ(out.at(r, col), input.at(perm[r], col))
+          << "forward row " << r << " col " << col;
+  for (std::int64_t r = keep; r < k; ++r)
+    for (std::int64_t col = 0; col < c; ++col)
+      ASSERT_EQ(out.at(r, col), 0.0) << "padding must be zero";
+
+  auto loss = ops::sum(ops::mul(out, w));
+  loss.backward();
+  std::vector<double> expected_grad(static_cast<std::size_t>(n * c), 0.0);
+  for (std::int64_t r = 0; r < keep; ++r)
+    for (std::int64_t col = 0; col < c; ++col)
+      expected_grad[perm[r] * c + col] += wdata[r * c + col];
+  ASSERT_EQ(x.grad().size(), expected_grad.size());
+  for (std::size_t i = 0; i < expected_grad.size(); ++i)
+    ASSERT_EQ(x.grad()[i], expected_grad[i]) << "gradient flat index " << i;
+}
+
+TEST(SortPoolEquivalence, RandomInputsMatchFullSortPath) {
+  util::Rng rng(29);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::int64_t n = 3 + static_cast<std::int64_t>(
+                                   rng.uniform_int(std::uint64_t{40}));
+    const std::int64_t c = 1 + static_cast<std::int64_t>(
+                                   rng.uniform_int(std::uint64_t{5}));
+    auto x = Tensor::randn({n, c}, rng);
+    for (std::int64_t k : {std::int64_t{1}, n / 2 + 1, n, n + 7})
+      expect_matches_reference(x, k);
+  }
+}
+
+TEST(SortPoolEquivalence, TieHeavyInputsMatchFullSortPath) {
+  // Values drawn from {0, 1}: most comparisons fall through to earlier
+  // columns or the index tie-break, the regime where a selection algorithm
+  // could diverge from the full sort if the comparator were not total.
+  util::Rng rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::int64_t n = 6 + static_cast<std::int64_t>(
+                                   rng.uniform_int(std::uint64_t{30}));
+    const std::int64_t c = 1 + static_cast<std::int64_t>(
+                                   rng.uniform_int(std::uint64_t{3}));
+    std::vector<double> data(static_cast<std::size_t>(n * c));
+    for (auto& v : data)
+      v = static_cast<double>(rng.uniform_int(std::uint64_t{2}));
+    auto x = Tensor::from_data({n, c}, std::move(data));
+    for (std::int64_t k : {std::int64_t{2}, n / 3 + 1, n - 1, n})
+      expect_matches_reference(x, k);
+  }
+}
+
+TEST(SortPoolEquivalence, AllRowsIdenticalFallsBackToIndexOrder) {
+  auto x = Tensor::from_data({5, 2}, std::vector<double>(10, 3.5));
+  expect_matches_reference(x, 3);
+  expect_matches_reference(x, 5);
+}
+
 TEST(Conv1d, KnownValues) {
   // 1 input channel, kernel 2, stride 1, weight [1 -1], bias 0.5.
   auto x = Tensor::from_data({1, 4}, {1, 3, 2, 5});
