@@ -132,7 +132,20 @@ std::vector<StageResult> time_stages(const graph::KnowledgeGraph& g,
       for (std::size_t i = 0; i < subs.size(); ++i)
         seal::build_sample(g, subs[i], links[i].label, options.features);
     const double s = watch.seconds();
-    stages.push_back({"features", s, n / s});
+    stages.push_back({"features_f64", s, n / s});
+  }
+  {
+    // Same stage with f32 storage (FeatureOptions::dtype) — records the
+    // tensor-construction side of the f32-vs-f64 bandwidth comparison that
+    // bench_training_throughput makes for the training hot path.
+    auto f32_features = options.features;
+    f32_features.dtype = ag::Dtype::f32;
+    util::Stopwatch watch;
+    for (int r = 0; r < reps; ++r)
+      for (std::size_t i = 0; i < subs.size(); ++i)
+        seal::build_sample(g, subs[i], links[i].label, f32_features);
+    const double s = watch.seconds();
+    stages.push_back({"features_f32", s, n / s});
   }
   return stages;
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Build the Release tree and run the throughput benchmarks, leaving
-# BENCH_training.json and BENCH_extraction.json at the repository root,
-# then re-run the parallel-build determinism/property tests under
-# ASan+UBSan (AMDGCNN_SANITIZE=ON) in a separate build tree.
+# BENCH_training.json and BENCH_extraction.json at the repository root
+# (the training bench covers both storage precisions: every dataset/model
+# pair gets f64 and f32 rows plus a per-dtype determinism check), then
+# re-run the parallel-build determinism/property tests AND the dtype suite
+# under ASan+UBSan (AMDGCNN_SANITIZE=ON) in a separate build tree.
 #
 # Usage: scripts/run_benches.sh [--smoke] [--skip-sanitize]
 #   --smoke           shrink datasets/iterations (seconds instead of minutes)
@@ -43,13 +45,16 @@ echo "wrote ${repo_root}/BENCH_training.json"
 echo "wrote ${repo_root}/BENCH_extraction.json"
 
 if [[ "${run_sanitize}" -eq 1 ]]; then
-  # The determinism / property / pool tests guard the parallel dataset build;
-  # running them under ASan+UBSan catches scratch-buffer misuse (aliasing,
-  # use-after-release) that the plain build cannot see.
+  # The determinism / property / pool tests guard the parallel dataset build,
+  # and the dtype suite exercises the f32 storage path (dual-width buffer
+  # pools, cast boundaries, v2 checkpoints); running them under ASan+UBSan
+  # catches scratch-buffer misuse (aliasing, use-after-release, short reads
+  # across the f32/f64 width change) that the plain build cannot see.
   cmake -B "${asan_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAMDGCNN_SANITIZE=ON
-  cmake --build "${asan_dir}" -j --target amdgcnn_tests
+  cmake --build "${asan_dir}" -j --target amdgcnn_tests amdgcnn_dtype_tests
   ctest --test-dir "${asan_dir}" --output-on-failure \
     -R 'ParallelDatasetBuild|DrnlProperty|ExtractionProperty|BufferPool|SortPoolEquivalence'
-  echo "sanitizer pass over the parallel-build test layer: OK"
+  ctest --test-dir "${asan_dir}" --output-on-failure -L dtype
+  echo "sanitizer pass over the parallel-build and dtype test layers: OK"
 fi

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "metrics/ranking.h"
 
@@ -30,6 +31,12 @@ std::vector<std::int32_t> argmax_rows(const std::vector<double>& probs,
   const std::size_t n = probs.size() / static_cast<std::size_t>(num_classes);
   std::vector<std::int32_t> out(n);
   for (std::size_t r = 0; r < n; ++r) {
+    // A NaN never wins a `>` comparison, so an all-NaN row would silently
+    // come out as class 0 — reject non-finite scores instead of guessing.
+    for (std::int64_t c = 0; c < num_classes; ++c)
+      if (!std::isfinite(probs[r * num_classes + c]))
+        throw std::invalid_argument("argmax_rows: non-finite score in row " +
+                                    std::to_string(r));
     std::int64_t best = 0;
     for (std::int64_t c = 1; c < num_classes; ++c)
       if (probs[r * num_classes + c] > probs[r * num_classes + best]) best = c;

@@ -1,8 +1,10 @@
 #include "metrics/ranking.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 namespace amdgcnn::metrics {
 
@@ -13,6 +15,12 @@ void check_inputs(const std::vector<double>& scores,
     throw std::invalid_argument("ranking metric: size mismatch");
   if (scores.empty())
     throw std::invalid_argument("ranking metric: empty input");
+  // NaN scores poison the rank ordering (every comparison is false), which
+  // would yield an arbitrary but plausible-looking AUC — reject instead.
+  for (std::size_t i = 0; i < scores.size(); ++i)
+    if (!std::isfinite(scores[i]))
+      throw std::invalid_argument("ranking metric: non-finite score at index " +
+                                  std::to_string(i));
   for (auto l : labels)
     if (l != 0 && l != 1)
       throw std::invalid_argument("ranking metric: labels must be 0/1");

@@ -28,23 +28,24 @@ DGCNN::DGCNN(const ModelConfig& config, util::Rng& rng) : config_(config) {
               "DGCNN: hidden_dim must be divisible by heads");
     for (std::int64_t l = 0; l < config_.num_layers; ++l) {
       gat_layers_.push_back(std::make_unique<nn::GATConv>(
-          in, config_.hidden_dim / config_.heads, config_.heads, edge_dim,
-          rng));
+          in, config_.hidden_dim / config_.heads, config_.heads, edge_dim, rng,
+          /*negative_slope=*/0.2, config_.dtype));
       register_module(gat_layers_.back().get());
       in = config_.hidden_dim;
     }
     // Sort-channel layer: single head, single feature.
-    gat_layers_.push_back(
-        std::make_unique<nn::GATConv>(in, 1, 1, edge_dim, rng));
+    gat_layers_.push_back(std::make_unique<nn::GATConv>(
+        in, 1, 1, edge_dim, rng, /*negative_slope=*/0.2, config_.dtype));
     register_module(gat_layers_.back().get());
   } else {
     for (std::int64_t l = 0; l < config_.num_layers; ++l) {
-      gcn_layers_.push_back(
-          std::make_unique<nn::GCNConv>(in, config_.hidden_dim, rng));
+      gcn_layers_.push_back(std::make_unique<nn::GCNConv>(
+          in, config_.hidden_dim, rng, config_.dtype));
       register_module(gcn_layers_.back().get());
       in = config_.hidden_dim;
     }
-    gcn_layers_.push_back(std::make_unique<nn::GCNConv>(in, 1, rng));
+    gcn_layers_.push_back(
+        std::make_unique<nn::GCNConv>(in, 1, rng, config_.dtype));
     register_module(gcn_layers_.back().get());
   }
 
@@ -53,13 +54,15 @@ DGCNN::DGCNN(const ModelConfig& config, util::Rng& rng) : config_(config) {
   register_module(sort_pool_.get());
 
   conv1_ = std::make_unique<nn::Conv1d>(1, config_.conv1_channels,
-                                        total_channels_, total_channels_, rng);
+                                        total_channels_, total_channels_, rng,
+                                        config_.dtype);
   register_module(conv1_.get());
   pool_ = std::make_unique<nn::MaxPool1d>(2, 2);
   register_module(pool_.get());
   conv2_ = std::make_unique<nn::Conv1d>(config_.conv1_channels,
                                         config_.conv2_channels,
-                                        config_.conv2_kernel, 1, rng);
+                                        config_.conv2_kernel, 1, rng,
+                                        config_.dtype);
   register_module(conv2_.get());
 
   const std::int64_t conv_out_len =
@@ -68,7 +71,7 @@ DGCNN::DGCNN(const ModelConfig& config, util::Rng& rng) : config_(config) {
   classifier_ = std::make_unique<nn::MLP>(
       std::vector<std::int64_t>{config_.conv2_channels * conv_out_len,
                                 config_.dense_dim, config_.num_classes},
-      config_.dropout, rng);
+      config_.dropout, rng, config_.dtype);
   register_module(classifier_.get());
 }
 
@@ -93,7 +96,9 @@ ag::Tensor DGCNN::forward(const seal::SubgraphSample& sample,
                                         : gcn_layers_.size();
   std::vector<ag::Tensor> layer_outputs;
   layer_outputs.reserve(num_mp);
-  ag::Tensor h = sample.node_feat;
+  // Bridge the dataset precision into the model precision (no-op when they
+  // already match; FeatureOptions::dtype builds them matched).
+  ag::Tensor h = ag::ops::cast(sample.node_feat, config_.dtype);
   for (std::size_t l = 0; l < num_mp; ++l) {
     h = ops::tanh_act(message_pass(l, h, sample));
     layer_outputs.push_back(h);

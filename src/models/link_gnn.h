@@ -14,6 +14,7 @@
 
 #include "nn/module.h"
 #include "seal/feature_builder.h"
+#include "tensor/tensor.h"
 #include "util/rng.h"
 
 namespace amdgcnn::models {
@@ -30,6 +31,11 @@ struct ModelConfig {
   std::int64_t node_feature_dim = 0;  // must match the dataset
   std::int64_t edge_attr_dim = 0;     // 0 = no edge attributes available
   std::int64_t num_classes = 2;
+
+  /// Storage precision of every parameter and activation.  f32 halves the
+  /// memory bandwidth of the matmul-bound hot path; f64 inputs (the default
+  /// dataset precision) are cast at the model boundary.
+  ag::Dtype dtype = ag::Dtype::f64;
 
   // Tunable hyperparameters (paper Table I).
   std::int64_t hidden_dim = 32;  // GNN layer width: {16, 32, 64, 128}

@@ -3,12 +3,16 @@
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
+#include <string>
 
 namespace amdgcnn::models {
 
 namespace {
 constexpr char kMagic[4] = {'A', 'M', 'D', 'G'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+// v1 files predate dtype-generic storage: no per-tensor dtype byte, data is
+// always f64.  They remain loadable into f64 parameters.
+constexpr std::uint32_t kVersionLegacyF64 = 1;
 
 template <typename T>
 void write_pod(std::ofstream& out, const T& value) {
@@ -22,6 +26,28 @@ T read_pod(std::ifstream& in) {
   if (!in) throw std::runtime_error("load_weights: truncated file");
   return value;
 }
+
+// On-disk dtype codes.  Deliberately decoupled from the ag::Dtype enum
+// values so the in-memory enum can be reordered without silently changing
+// the file format.
+constexpr std::uint8_t kDtypeF32 = 0;
+constexpr std::uint8_t kDtypeF64 = 1;
+
+std::uint8_t dtype_code(ag::Dtype d) {
+  return d == ag::Dtype::f32 ? kDtypeF32 : kDtypeF64;
+}
+
+ag::Dtype dtype_from_code(std::uint8_t code) {
+  switch (code) {
+    case kDtypeF32:
+      return ag::Dtype::f32;
+    case kDtypeF64:
+      return ag::Dtype::f64;
+    default:
+      throw std::runtime_error("load_weights: unknown dtype code " +
+                               std::to_string(static_cast<int>(code)));
+  }
+}
 }  // namespace
 
 void save_weights(const nn::Module& module, const std::string& path) {
@@ -32,10 +58,18 @@ void save_weights(const nn::Module& module, const std::string& path) {
   const auto params = module.parameters();
   write_pod(out, static_cast<std::uint64_t>(params.size()));
   for (const auto& p : params) {
+    write_pod(out, dtype_code(p.dtype()));
     write_pod(out, static_cast<std::uint32_t>(p.shape().size()));
     for (auto d : p.shape()) write_pod(out, d);
-    out.write(reinterpret_cast<const char*>(p.data().data()),
-              static_cast<std::streamsize>(p.data().size() * sizeof(double)));
+    if (p.dtype() == ag::Dtype::f32) {
+      const auto& data = p.data_as<float>();
+      out.write(reinterpret_cast<const char*>(data.data()),
+                static_cast<std::streamsize>(data.size() * sizeof(float)));
+    } else {
+      const auto& data = p.data_as<double>();
+      out.write(reinterpret_cast<const char*>(data.data()),
+                static_cast<std::streamsize>(data.size() * sizeof(double)));
+    }
   }
   if (!out) throw std::runtime_error("save_weights: write failed to " + path);
 }
@@ -48,14 +82,25 @@ void load_weights(nn::Module& module, const std::string& path) {
   if (!in || std::string(magic, 4) != std::string(kMagic, 4))
     throw std::runtime_error("load_weights: bad magic in " + path);
   const auto version = read_pod<std::uint32_t>(in);
-  if (version != kVersion)
-    throw std::runtime_error("load_weights: unsupported version");
+  if (version != kVersion && version != kVersionLegacyF64)
+    throw std::runtime_error("load_weights: unsupported version " +
+                             std::to_string(version));
   const auto count = read_pod<std::uint64_t>(in);
 
   auto params = module.parameters();
   if (count != params.size())
     throw std::runtime_error("load_weights: parameter count mismatch");
   for (auto& p : params) {
+    const ag::Dtype stored = version == kVersionLegacyF64
+                                 ? ag::Dtype::f64
+                                 : dtype_from_code(read_pod<std::uint8_t>(in));
+    if (stored != p.dtype())
+      throw std::runtime_error(
+          std::string("load_weights: dtype mismatch, file stores ") +
+          ag::dtype_name(stored) + " but model parameter is " +
+          ag::dtype_name(p.dtype()) +
+          " (re-save the checkpoint or rebuild the model with a matching "
+          "ModelConfig::dtype)");
     const auto rank = read_pod<std::uint32_t>(in);
     ag::Shape shape(rank);
     for (auto& d : shape) d = read_pod<std::int64_t>(in);
@@ -63,10 +108,22 @@ void load_weights(nn::Module& module, const std::string& path) {
       throw std::runtime_error("load_weights: shape mismatch, file " +
                                ag::shape_str(shape) + " vs model " +
                                ag::shape_str(p.shape()));
-    in.read(reinterpret_cast<char*>(p.data().data()),
-            static_cast<std::streamsize>(p.data().size() * sizeof(double)));
+    if (stored == ag::Dtype::f32) {
+      auto& data = p.data_as<float>();
+      in.read(reinterpret_cast<char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(float)));
+    } else {
+      auto& data = p.data_as<double>();
+      in.read(reinterpret_cast<char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(double)));
+    }
     if (!in) throw std::runtime_error("load_weights: truncated tensor data");
   }
+  // A well-formed checkpoint ends exactly after the last tensor; anything
+  // further means the file does not match the model it is being loaded into.
+  if (in.peek() != std::ifstream::traits_type::eof())
+    throw std::runtime_error(
+        "load_weights: trailing garbage after last tensor in " + path);
 }
 
 }  // namespace amdgcnn::models

@@ -1,12 +1,20 @@
 // Weight serialization for trained models.
 //
-// Format (little-endian, versioned):
+// Format v2 (little-endian, versioned):
 //   magic "AMDG" | u32 version | u64 tensor-count |
-//   per tensor: u32 rank | i64 dims... | f64 data...
+//   per tensor: u8 dtype (0 = f32, 1 = f64) | u32 rank | i64 dims... |
+//               raw data at the dtype's width.
+//
+// Version 1 files (written before dtype-generic storage existed) carry no
+// dtype byte and always store f64 data; they are still readable, into f64
+// parameters only.  Loading never reinterprets bytes across dtypes: a
+// checkpoint whose stored dtype differs from the model parameter's dtype is
+// rejected with a descriptive error.
 //
 // Weights are written in parameter-registration order, which is fully
 // determined by the ModelConfig — loading requires a model built with the
-// same configuration (shape mismatches are detected and rejected).
+// same configuration (count/shape/dtype mismatches are detected and
+// rejected, as is any trailing garbage after the last tensor).
 #pragma once
 
 #include <string>
@@ -15,13 +23,14 @@
 
 namespace amdgcnn::models {
 
-/// Write all parameters of `module` to `path`.  Throws std::runtime_error
-/// on I/O failure.
+/// Write all parameters of `module` to `path` in format v2.  Throws
+/// std::runtime_error on I/O failure.
 void save_weights(const nn::Module& module, const std::string& path);
 
-/// Load parameters saved by save_weights into `module` (in place).
-/// Throws std::runtime_error on I/O failure, format error, or any
-/// count/shape mismatch with the module's current parameters.
+/// Load parameters saved by save_weights into `module` (in place).  Accepts
+/// v1 (implicit f64) and v2 files.  Throws std::runtime_error on I/O
+/// failure, format error, trailing bytes after the last tensor, or any
+/// count/shape/dtype mismatch with the module's current parameters.
 void load_weights(nn::Module& module, const std::string& path);
 
 }  // namespace amdgcnn::models

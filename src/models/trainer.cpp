@@ -32,6 +32,13 @@ Trainer::Trainer(LinkGNN& model, const TrainConfig& config)
   if (config_.num_threads < 0)
     throw std::invalid_argument("Trainer: num_threads must be >= 0");
   params_ = model_.parameters();
+  for (const auto& p : params_)
+    if (p.dtype() != config_.dtype)
+      throw std::invalid_argument(
+          std::string("Trainer: model parameters are ") +
+          ag::dtype_name(p.dtype()) + " but TrainConfig::dtype is " +
+          ag::dtype_name(config_.dtype) +
+          " (set ModelConfig::dtype to match)");
   for (std::size_t p = 0; p < params_.size(); ++p)
     slot_of_[params_[p].unsafe_impl()] = p;
   optimizer_ = std::make_unique<ag::Adam>(params_, config_.learning_rate);
@@ -80,6 +87,14 @@ double Trainer::train_epoch_serial(
 
 double Trainer::train_epoch_parallel(
     const std::vector<seal::SubgraphSample>& samples) {
+  if (config_.dtype == ag::Dtype::f32)
+    return train_epoch_parallel_impl<float>(samples);
+  return train_epoch_parallel_impl<double>(samples);
+}
+
+template <typename T>
+double Trainer::train_epoch_parallel_impl(
+    const std::vector<seal::SubgraphSample>& samples) {
   model_.set_training(true);
 
   std::vector<std::size_t> order(samples.size());
@@ -97,14 +112,15 @@ double Trainer::train_epoch_parallel(
     const double inv_batch = 1.0 / static_cast<double>(bs);
     optimizer_->zero_grad();
 
-    // Per-sample private gradient buffers (one per parameter), acquired and
-    // released on this thread so the pool recycles them across batches.
-    std::vector<std::vector<std::vector<double>>> sinks(bs);
+    // Per-sample private gradient buffers (one per parameter) at the
+    // parameter width, acquired and released on this thread so the pool
+    // recycles them across batches.
+    std::vector<std::vector<std::vector<T>>> sinks(bs);
     for (auto& sink : sinks) {
       sink.reserve(params_.size());
       for (const auto& p : params_)
         sink.push_back(
-            ag::detail::new_zeroed(static_cast<std::size_t>(p.numel())));
+            ag::detail::new_zeroed_t<T>(static_cast<std::size_t>(p.numel())));
     }
     std::vector<double> losses(bs, 0.0);
     std::exception_ptr error;
@@ -144,10 +160,10 @@ double Trainer::train_epoch_parallel(
     // each sink's contents depend only on its sample.
     for (std::size_t b = 0; b < bs; ++b) {
       for (std::size_t p = 0; p < params_.size(); ++p) {
-        auto& g = params_[p].grad();
+        auto& g = params_[p].grad_as<T>();
         const auto& s = sinks[b][p];
         for (std::size_t j = 0; j < s.size(); ++j) g[j] += s[j];
-        ag::detail::buffer_pool().release(std::move(sinks[b][p]));
+        ag::detail::pool_of<T>().release(std::move(sinks[b][p]));
       }
       total_loss += losses[b];
     }

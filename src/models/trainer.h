@@ -24,6 +24,12 @@ struct TrainConfig {
   std::int64_t batch_size = 32;
   double grad_clip = 5.0;       // 0 disables clipping
   std::uint64_t seed = 17;
+  /// Storage precision the model must be built with (ModelConfig::dtype).
+  /// The Trainer validates the parameters against this at construction and
+  /// allocates its per-sample gradient sinks at the same width, so flipping
+  /// both switches to f32 selects single precision end-to-end.  Either
+  /// dtype keeps the bit-determinism contract across num_threads.
+  ag::Dtype dtype = ag::Dtype::f64;
   /// Batch-accumulation workers.  0 = the legacy serial path (bit-identical
   /// to pre-threading builds, used by the seeded regression tests).  >= 1 =
   /// the data-parallel path: samples of a batch run concurrently on up to
@@ -74,6 +80,11 @@ class Trainer {
  private:
   double train_epoch_serial(const std::vector<seal::SubgraphSample>& samples);
   double train_epoch_parallel(
+      const std::vector<seal::SubgraphSample>& samples);
+  /// Body of the parallel path over the parameter scalar type (f32 or f64);
+  /// the sinks, the reduction and the sink scope all run at width T.
+  template <typename T>
+  double train_epoch_parallel_impl(
       const std::vector<seal::SubgraphSample>& samples);
 
   LinkGNN& model_;

@@ -3,7 +3,8 @@
 namespace amdgcnn::nn {
 
 Conv1d::Conv1d(std::int64_t in_channels, std::int64_t out_channels,
-               std::int64_t kernel, std::int64_t stride, util::Rng& rng)
+               std::int64_t kernel, std::int64_t stride, util::Rng& rng,
+               ag::Dtype dtype)
     : in_channels_(in_channels),
       out_channels_(out_channels),
       kernel_(kernel),
@@ -11,8 +12,8 @@ Conv1d::Conv1d(std::int64_t in_channels, std::int64_t out_channels,
   ag::check(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
             "Conv1d: sizes must be positive");
   weight_ = register_parameter(
-      ag::Tensor::xavier(out_channels_, in_channels_ * kernel_, rng));
-  bias_ = register_parameter(ag::Tensor::zeros({out_channels_}));
+      ag::Tensor::xavier(out_channels_, in_channels_ * kernel_, rng, dtype));
+  bias_ = register_parameter(ag::Tensor::zeros({out_channels_}, dtype));
 }
 
 ag::Tensor Conv1d::forward(const ag::Tensor& x) const {

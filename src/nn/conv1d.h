@@ -10,7 +10,8 @@ namespace amdgcnn::nn {
 class Conv1d final : public Module {
  public:
   Conv1d(std::int64_t in_channels, std::int64_t out_channels,
-         std::int64_t kernel, std::int64_t stride, util::Rng& rng);
+         std::int64_t kernel, std::int64_t stride, util::Rng& rng,
+         ag::Dtype dtype = ag::Dtype::f64);
 
   /// x: [in_channels, L] -> [out_channels, (L-kernel)/stride + 1].
   ag::Tensor forward(const ag::Tensor& x) const;

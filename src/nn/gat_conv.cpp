@@ -4,24 +4,26 @@ namespace amdgcnn::nn {
 
 GATConv::GATConv(std::int64_t in_features, std::int64_t head_features,
                  std::int64_t heads, std::int64_t edge_attr_dim,
-                 util::Rng& rng, double negative_slope)
+                 util::Rng& rng, double negative_slope, ag::Dtype dtype)
     : in_(in_features),
       head_features_(head_features),
       heads_(heads),
       edge_dim_(edge_attr_dim),
-      negative_slope_(negative_slope) {
+      negative_slope_(negative_slope),
+      dtype_(dtype) {
   ag::check(in_features > 0 && head_features > 0 && heads > 0,
             "GATConv: sizes must be positive");
   ag::check(edge_attr_dim >= 0, "GATConv: negative edge_attr_dim");
   const std::int64_t hf = heads_ * head_features_;
-  weight_ = register_parameter(ag::Tensor::xavier(in_, hf, rng));
-  a_src_ = register_parameter(ag::Tensor::xavier(1, hf, rng));
-  a_dst_ = register_parameter(ag::Tensor::xavier(1, hf, rng));
+  weight_ = register_parameter(ag::Tensor::xavier(in_, hf, rng, dtype));
+  a_src_ = register_parameter(ag::Tensor::xavier(1, hf, rng, dtype));
+  a_dst_ = register_parameter(ag::Tensor::xavier(1, hf, rng, dtype));
   if (edge_dim_ > 0) {
-    edge_weight_ = register_parameter(ag::Tensor::xavier(edge_dim_, hf, rng));
-    a_edge_ = register_parameter(ag::Tensor::xavier(1, hf, rng));
+    edge_weight_ =
+        register_parameter(ag::Tensor::xavier(edge_dim_, hf, rng, dtype));
+    a_edge_ = register_parameter(ag::Tensor::xavier(1, hf, rng, dtype));
   }
-  bias_ = register_parameter(ag::Tensor::zeros({1, hf}));
+  bias_ = register_parameter(ag::Tensor::zeros({1, hf}, dtype));
 }
 
 ag::Tensor GATConv::forward(const ag::Tensor& x,
@@ -58,13 +60,16 @@ ag::Tensor GATConv::forward(const ag::Tensor& x,
   auto scores = ops::add(ops::heads_dot(hs, a_src_, heads_),
                          ops::heads_dot(hd, a_dst_, heads_));  // [E, H]
   if (edge_dim_ > 0) {
-    // Project real-edge attributes; self-loop rows are zero.
-    auto ea_real = ops::matmul(edge_attr, edge_weight_);  // [e_in, H*F]
+    // Project real-edge attributes (cast to the layer dtype if the dataset
+    // was built at the other precision); self-loop rows are zero.
+    auto ea_real =
+        ops::matmul(ops::cast(edge_attr, dtype_), edge_weight_);  // [e_in,H*F]
     auto ea = e_in == e_all
                   ? ea_real
                   : ops::concat_rows(
-                        {ea_real, ag::Tensor::zeros(
-                                      {e_all - e_in, heads_ * head_features_})});
+                        {ea_real,
+                         ag::Tensor::zeros(
+                             {e_all - e_in, heads_ * head_features_}, dtype_)});
     scores = ops::add(scores, ops::heads_dot(ea, a_edge_, heads_));
     payload = ops::add(payload, ea);
   }

@@ -29,7 +29,7 @@ class GATConv final : public Module {
   /// Output width is heads * head_features (heads concatenated).
   GATConv(std::int64_t in_features, std::int64_t head_features,
           std::int64_t heads, std::int64_t edge_attr_dim, util::Rng& rng,
-          double negative_slope = 0.2);
+          double negative_slope = 0.2, ag::Dtype dtype = ag::Dtype::f64);
 
   /// x: [n, in]; (src, dst) directed edges WITHOUT self-loops; edge_attr is
   /// [E, edge_attr_dim] aligned with (src, dst) (undefined when the layer
@@ -46,6 +46,7 @@ class GATConv final : public Module {
  private:
   std::int64_t in_, head_features_, heads_, edge_dim_;
   double negative_slope_;
+  ag::Dtype dtype_;  // storage precision of the parameters (and outputs)
   ag::Tensor weight_;   // [in, H*F]
   ag::Tensor a_src_;    // [1, H*F]
   ag::Tensor a_dst_;    // [1, H*F]

@@ -5,12 +5,12 @@
 namespace amdgcnn::nn {
 
 GCNConv::GCNConv(std::int64_t in_features, std::int64_t out_features,
-                 util::Rng& rng)
+                 util::Rng& rng, ag::Dtype dtype)
     : in_(in_features), out_(out_features) {
   ag::check(in_features > 0 && out_features > 0,
             "GCNConv: feature sizes must be positive");
-  weight_ = register_parameter(ag::Tensor::xavier(in_, out_, rng));
-  bias_ = register_parameter(ag::Tensor::zeros({1, out_}));
+  weight_ = register_parameter(ag::Tensor::xavier(in_, out_, rng, dtype));
+  bias_ = register_parameter(ag::Tensor::zeros({1, out_}, dtype));
 }
 
 ag::Tensor GCNConv::forward(const ag::Tensor& x,

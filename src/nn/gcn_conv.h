@@ -18,7 +18,8 @@ namespace amdgcnn::nn {
 
 class GCNConv final : public Module {
  public:
-  GCNConv(std::int64_t in_features, std::int64_t out_features, util::Rng& rng);
+  GCNConv(std::int64_t in_features, std::int64_t out_features, util::Rng& rng,
+          ag::Dtype dtype = ag::Dtype::f64);
 
   /// x: [n, in]; (src, dst) directed edges WITHOUT self-loops (the layer
   /// adds them).  Returns [n, out] (no activation; the model applies tanh).

@@ -3,12 +3,12 @@
 namespace amdgcnn::nn {
 
 Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
-               util::Rng& rng)
+               util::Rng& rng, ag::Dtype dtype)
     : in_(in_features), out_(out_features) {
   ag::check(in_features > 0 && out_features > 0,
             "Linear: feature sizes must be positive");
-  weight_ = register_parameter(ag::Tensor::xavier(in_, out_, rng));
-  if (bias) bias_ = register_parameter(ag::Tensor::zeros({1, out_}));
+  weight_ = register_parameter(ag::Tensor::xavier(in_, out_, rng, dtype));
+  if (bias) bias_ = register_parameter(ag::Tensor::zeros({1, out_}, dtype));
 }
 
 ag::Tensor Linear::forward(const ag::Tensor& x) const {

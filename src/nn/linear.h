@@ -9,7 +9,7 @@ namespace amdgcnn::nn {
 class Linear final : public Module {
  public:
   Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
-         util::Rng& rng);
+         util::Rng& rng, ag::Dtype dtype = ag::Dtype::f64);
 
   /// x: [n, in] -> [n, out].
   ag::Tensor forward(const ag::Tensor& x) const;

@@ -3,13 +3,13 @@
 namespace amdgcnn::nn {
 
 MLP::MLP(const std::vector<std::int64_t>& dims, double dropout,
-         util::Rng& rng)
+         util::Rng& rng, ag::Dtype dtype)
     : dropout_(dropout) {
   ag::check(dims.size() >= 2, "MLP: need at least input and output dims");
   ag::check(dropout >= 0.0 && dropout < 1.0, "MLP: dropout out of range");
   for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
-    layers_.push_back(
-        std::make_unique<Linear>(dims[i], dims[i + 1], /*bias=*/true, rng));
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1],
+                                               /*bias=*/true, rng, dtype));
     register_module(layers_.back().get());
   }
 }

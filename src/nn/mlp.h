@@ -13,7 +13,8 @@ namespace amdgcnn::nn {
 class MLP final : public Module {
  public:
   /// dims = {in, hidden..., out}; dropout applies after every hidden ReLU.
-  MLP(const std::vector<std::int64_t>& dims, double dropout, util::Rng& rng);
+  MLP(const std::vector<std::int64_t>& dims, double dropout, util::Rng& rng,
+      ag::Dtype dtype = ag::Dtype::f64);
 
   /// x: [n, in] -> [n, out].  `rng` drives dropout masks in training mode.
   ag::Tensor forward(const ag::Tensor& x, util::Rng& rng) const;

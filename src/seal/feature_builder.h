@@ -33,6 +33,10 @@ struct FeatureOptions {
   /// row-major (node2vec).  Empty = disabled.
   std::vector<double> embedding;
   std::int64_t embedding_dim = 0;
+  /// Storage precision of the produced node_feat / edge_attr tensors.  Build
+  /// it to match ModelConfig::dtype so the model's boundary cast is a no-op
+  /// (one-hot and copied feature values are exactly representable in f32).
+  ag::Dtype dtype = ag::Dtype::f64;
 };
 
 /// Total node-feature width produced by these options on this graph.

@@ -1,3 +1,7 @@
+// Dtype-generic SortPooling / 1-D convolution / max-pooling ops.  Each op is
+// implemented once over the scalar type T and dispatched on the input dtype;
+// the conv accumulator runs at native width (matmul-family, bandwidth-bound),
+// while comparisons (sort order, pooling argmax) are exact in either width.
 #include "tensor/conv_ops.h"
 
 #include <algorithm>
@@ -5,11 +9,14 @@
 
 namespace amdgcnn::ag::ops {
 
-Tensor sort_pool(const Tensor& x, std::int64_t k) {
-  check(x.rank() == 2, "sort_pool: input must be rank-2");
-  check(k > 0, "sort_pool: k must be positive");
+namespace {
+
+#define AG_DISPATCH(dt, fn, ...) \
+  ((dt) == Dtype::f32 ? fn<float>(__VA_ARGS__) : fn<double>(__VA_ARGS__))
+
+template <typename T>
+Tensor sort_pool_impl(const Tensor& x, std::int64_t k) {
   const std::int64_t n = x.dim(0), c = x.dim(1);
-  check(c > 0, "sort_pool: zero-width embeddings");
 
   // Order row indices by descending last column, then by descending earlier
   // columns, finally by ascending original index.  The index tie-break makes
@@ -19,10 +26,10 @@ Tensor sort_pool(const Tensor& x, std::int64_t k) {
   // O(n log n) — only the k surviving rows ever need mutual ordering.
   std::vector<std::int64_t> perm(static_cast<std::size_t>(n));
   std::iota(perm.begin(), perm.end(), std::int64_t{0});
-  const auto& d = x.data();
+  const auto& d = x.data_as<T>();
   const auto row_before = [&](std::int64_t a, std::int64_t b) {
     for (std::int64_t col = c - 1; col >= 0; --col) {
-      const double va = d[a * c + col], vb = d[b * c + col];
+      const T va = d[a * c + col], vb = d[b * c + col];
       if (va != vb) return va > vb;
     }
     return a < b;
@@ -32,8 +39,7 @@ Tensor sort_pool(const Tensor& x, std::int64_t k) {
     std::nth_element(perm.begin(), perm.begin() + keep, perm.end(),
                      row_before);
   std::sort(perm.begin(), perm.begin() + keep, row_before);
-  std::vector<double> out =
-      detail::new_zeroed(static_cast<std::size_t>(k * c));
+  std::vector<T> out = detail::new_zeroed_t<T>(static_cast<std::size_t>(k * c));
   for (std::int64_t r = 0; r < keep; ++r)
     std::copy_n(d.begin() + perm[r] * c, c, out.begin() + r * c);
 
@@ -42,44 +48,74 @@ Tensor sort_pool(const Tensor& x, std::int64_t k) {
       {k, c}, std::move(out), {x},
       [x, sel, c](detail::TensorImpl& self) {
         if (!x.requires_grad()) return;
-        auto& g = detail::grad_of(*x.impl());
+        const auto& sg = self.grad_as<T>();
+        auto& g = detail::grad_of<T>(*x.impl());
         for (std::size_t r = 0; r < sel.size(); ++r)
           for (std::int64_t col = 0; col < c; ++col)
-            g[sel[r] * c + col] += self.grad[r * c + col];
+            g[sel[r] * c + col] += sg[r * c + col];
       });
 }
 
-Tensor conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
-              std::int64_t kernel, std::int64_t stride) {
-  check(x.rank() == 2, "conv1d: input must be [C_in, L]");
-  check(weight.rank() == 2, "conv1d: weight must be [C_out, C_in*K]");
-  check(kernel > 0 && stride > 0, "conv1d: kernel and stride must be > 0");
+template <typename T>
+Tensor conv1d_impl(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                   std::int64_t kernel, std::int64_t stride) {
   const std::int64_t cin = x.dim(0), len = x.dim(1);
-  check(weight.dim(1) == cin * kernel,
-        "conv1d: weight inner dim must be C_in*K");
   const std::int64_t cout = weight.dim(0);
-  check(len >= kernel, "conv1d: input shorter than kernel");
   const std::int64_t lout = (len - kernel) / stride + 1;
   const bool has_bias = bias.defined();
-  if (has_bias)
-    check(bias.numel() == cout, "conv1d: bias length must equal C_out");
 
-  std::vector<double> out =
-      detail::new_buffer(static_cast<std::size_t>(cout * lout));
-  const auto& xd = x.data();
-  const auto& wd = weight.data();
-  const double* bv = has_bias ? bias.data().data() : nullptr;
-  for (std::int64_t oc = 0; oc < cout; ++oc) {
-    const double* wrow = wd.data() + oc * cin * kernel;
-    for (std::int64_t j = 0; j < lout; ++j) {
-      double acc = has_bias ? bv[oc] : 0.0;
-      const std::int64_t base = j * stride;
+  std::vector<T> out =
+      detail::new_buffer_t<T>(static_cast<std::size_t>(cout * lout));
+  const auto& xd = x.data_as<T>();
+  const auto& wd = weight.data_as<T>();
+  const T* bv = has_bias ? bias.data_as<T>().data() : nullptr;
+  // Two layouts, both fixed-order (bit-deterministic for a given dtype):
+  //  - stride == 1 (the second read-out conv, K=5): vectorise across output
+  //    positions — for each weight tap the update `orow[j] += wv * xs[j]` is
+  //    unit-stride in j, so the whole lout row runs as SIMD.  A dot-product
+  //    per output element would spend more time zeroing accumulators than
+  //    multiplying at K this small.
+  //  - strided (the first read-out conv, kernel = stride = total embedding
+  //    width): dot products are unavoidable, so split each into kLanes
+  //    independent accumulators — a single running sum is a serial FP chain
+  //    the compiler may not reassociate into SIMD.
+  if (stride == 1) {
+    T* __restrict__ op = out.data();
+    for (std::int64_t oc = 0; oc < cout; ++oc) {
+      T* __restrict__ orow = op + oc * lout;
+      const T b0 = has_bias ? bv[oc] : T(0);
+      for (std::int64_t j = 0; j < lout; ++j) orow[j] = b0;
+      const T* wrow = wd.data() + oc * cin * kernel;
       for (std::int64_t ic = 0; ic < cin; ++ic) {
-        const double* xrow = xd.data() + ic * len + base;
-        const double* wk = wrow + ic * kernel;
-        for (std::int64_t t = 0; t < kernel; ++t) acc += xrow[t] * wk[t];
+        const T* xrow = xd.data() + ic * len;
+        const T* wk = wrow + ic * kernel;
+        for (std::int64_t t = 0; t < kernel; ++t) {
+          const T wv = wk[t];
+          const T* __restrict__ xs = xrow + t;
+          for (std::int64_t j = 0; j < lout; ++j) orow[j] += wv * xs[j];
+        }
       }
-      out[oc * lout + j] = acc;
+    }
+  } else {
+    constexpr int kLanes = 64 / sizeof(T);
+    for (std::int64_t oc = 0; oc < cout; ++oc) {
+      const T* wrow = wd.data() + oc * cin * kernel;
+      for (std::int64_t j = 0; j < lout; ++j) {
+        T acc = has_bias ? bv[oc] : T(0);
+        const std::int64_t base = j * stride;
+        for (std::int64_t ic = 0; ic < cin; ++ic) {
+          const T* xrow = xd.data() + ic * len + base;
+          const T* wk = wrow + ic * kernel;
+          T lanes[kLanes] = {};
+          std::int64_t t = 0;
+          for (; t + kLanes <= kernel; t += kLanes)
+            for (int l = 0; l < kLanes; ++l)
+              lanes[l] += xrow[t + l] * wk[t + l];
+          for (int l = 0; l < kLanes; ++l) acc += lanes[l];
+          for (; t < kernel; ++t) acc += xrow[t] * wk[t];
+        }
+        out[oc * lout + j] = acc;
+      }
     }
   }
 
@@ -89,25 +125,28 @@ Tensor conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
       {cout, lout}, std::move(out), parents,
       [x, weight, bias, kernel, stride, cin, cout, len, lout,
        has_bias](detail::TensorImpl& self) {
-        const auto& xd = x.data();
-        const auto& wd = weight.data();
+        const T* __restrict__ xd = x.data_as<T>().data();
+        const T* __restrict__ wd = weight.data_as<T>().data();
+        const auto& sg = self.grad_as<T>();
         // Hoist the requires_grad branches and sink lookups out of the
-        // quadruple loop; null pointers mean "no gradient wanted".
-        double* gx = x.requires_grad()
-                         ? detail::grad_of(*x.impl()).data()
-                         : nullptr;
-        double* gw = weight.requires_grad()
-                         ? detail::grad_of(*weight.impl()).data()
-                         : nullptr;
-        double* gb = (has_bias && bias.requires_grad())
-                         ? detail::grad_of(*bias.impl()).data()
-                         : nullptr;
+        // quadruple loop; null pointers mean "no gradient wanted".  Grad
+        // buffers never alias data buffers, so __restrict__ lets the
+        // kernel-length inner loops vectorise.
+        T* __restrict__ gx = x.requires_grad()
+                                 ? detail::grad_of<T>(*x.impl()).data()
+                                 : nullptr;
+        T* __restrict__ gw = weight.requires_grad()
+                                 ? detail::grad_of<T>(*weight.impl()).data()
+                                 : nullptr;
+        T* gb = (has_bias && bias.requires_grad())
+                    ? detail::grad_of<T>(*bias.impl()).data()
+                    : nullptr;
         for (std::int64_t oc = 0; oc < cout; ++oc)
           for (std::int64_t j = 0; j < lout; ++j) {
-            const double go = self.grad[oc * lout + j];
+            const T go = sg[oc * lout + j];
             // Post-ReLU/pool upstream gradients are mostly zero here; this
             // skip is a measured win, unlike in dense matmul backward.
-            if (go == 0.0) continue;
+            if (go == T(0)) continue;
             const std::int64_t base = j * stride;
             if (gx != nullptr)
               for (std::int64_t ic = 0; ic < cin; ++ic)
@@ -124,18 +163,17 @@ Tensor conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
       });
 }
 
-Tensor max_pool1d(const Tensor& x, std::int64_t size, std::int64_t stride) {
-  check(x.rank() == 2, "max_pool1d: input must be [C, L]");
-  check(size > 0 && stride > 0, "max_pool1d: size and stride must be > 0");
+template <typename T>
+Tensor max_pool1d_impl(const Tensor& x, std::int64_t size,
+                       std::int64_t stride) {
   const std::int64_t c = x.dim(0), len = x.dim(1);
-  check(len >= size, "max_pool1d: input shorter than window");
   const std::int64_t lout = (len - size) / stride + 1;
 
-  std::vector<double> out =
-      detail::new_buffer(static_cast<std::size_t>(c * lout));
+  std::vector<T> out =
+      detail::new_buffer_t<T>(static_cast<std::size_t>(c * lout));
   auto argmax = std::make_shared<std::vector<std::int64_t>>(
       static_cast<std::size_t>(c * lout));
-  const auto& xd = x.data();
+  const auto& xd = x.data_as<T>();
   for (std::int64_t ch = 0; ch < c; ++ch)
     for (std::int64_t j = 0; j < lout; ++j) {
       std::int64_t best = j * stride;
@@ -149,12 +187,48 @@ Tensor max_pool1d(const Tensor& x, std::int64_t size, std::int64_t stride) {
       {c, lout}, std::move(out), {x},
       [x, argmax, c, len, lout](detail::TensorImpl& self) {
         if (!x.requires_grad()) return;
-        auto& g = detail::grad_of(*x.impl());
+        const auto& sg = self.grad_as<T>();
+        auto& g = detail::grad_of<T>(*x.impl());
         for (std::int64_t ch = 0; ch < c; ++ch)
           for (std::int64_t j = 0; j < lout; ++j)
-            g[ch * len + (*argmax)[ch * lout + j]] +=
-                self.grad[ch * lout + j];
+            g[ch * len + (*argmax)[ch * lout + j]] += sg[ch * lout + j];
       });
 }
+
+}  // namespace
+
+Tensor sort_pool(const Tensor& x, std::int64_t k) {
+  check(x.rank() == 2, "sort_pool: input must be rank-2");
+  check(k > 0, "sort_pool: k must be positive");
+  check(x.dim(1) > 0, "sort_pool: zero-width embeddings");
+  return AG_DISPATCH(x.dtype(), sort_pool_impl, x, k);
+}
+
+Tensor conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+              std::int64_t kernel, std::int64_t stride) {
+  check(x.rank() == 2, "conv1d: input must be [C_in, L]");
+  check(weight.rank() == 2, "conv1d: weight must be [C_out, C_in*K]");
+  check(kernel > 0 && stride > 0, "conv1d: kernel and stride must be > 0");
+  check(x.dtype() == weight.dtype(), "conv1d: input/weight dtype mismatch");
+  const std::int64_t cin = x.dim(0), len = x.dim(1);
+  check(weight.dim(1) == cin * kernel,
+        "conv1d: weight inner dim must be C_in*K");
+  check(len >= kernel, "conv1d: input shorter than kernel");
+  if (bias.defined()) {
+    check(bias.numel() == weight.dim(0),
+          "conv1d: bias length must equal C_out");
+    check(bias.dtype() == x.dtype(), "conv1d: bias dtype mismatch");
+  }
+  return AG_DISPATCH(x.dtype(), conv1d_impl, x, weight, bias, kernel, stride);
+}
+
+Tensor max_pool1d(const Tensor& x, std::int64_t size, std::int64_t stride) {
+  check(x.rank() == 2, "max_pool1d: input must be [C, L]");
+  check(size > 0 && stride > 0, "max_pool1d: size and stride must be > 0");
+  check(x.dim(1) >= size, "max_pool1d: input shorter than window");
+  return AG_DISPATCH(x.dtype(), max_pool1d_impl, x, size, stride);
+}
+
+#undef AG_DISPATCH
 
 }  // namespace amdgcnn::ag::ops

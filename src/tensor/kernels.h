@@ -11,32 +11,51 @@
 //
 // Blocking factors target the model's shapes (tens of rows, 16..128
 // columns): 4 rows of A/C share one streamed row of B (mm_add, mm_atb_add);
-// 2x2 output tiles share loaded dot-product operands (mm_abt_add).  The
+// mm_abt_add transposes B into an L1-resident scratch first so its
+// accumulation runs over unit-stride rows too, instead of horizontal dot
+// products (an FP reduction is a serial dependency chain the compiler may
+// not reassociate, so the dot-product form never vectorises).  The
 // unit-stride inner loops vectorise under -O3 -march=native.
+//
+// Kernels are templated on the scalar type (float or double) and accumulate
+// at native width: a matmul is bandwidth-bound at these shapes, so f32
+// keeps sgemm-style f32 accumulators — the dtype policy reserves f64
+// accumulation for the order-sensitive reductions (sum/softmax/loss), not
+// the register-blocked dot products.
+//
+// All pointer arguments are __restrict__: every caller hands distinct
+// buffers (outputs are freshly pooled or are gradient buffers, which never
+// alias data buffers), and without the qualifier the compiler must assume
+// the `C += v * B[j]` stores could feed back into B, which blocks
+// vectorisation of the inner loops entirely (~2x on f64, ~4x on f32 at the
+// model's shapes).
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace amdgcnn::ag::kern {
 
 /// C[n,m] += A[n,k] · B[k,m]   (row-major, unit-stride inner loop over m).
-inline void mm_add(const double* A, const double* B, double* C,
-                   std::int64_t n, std::int64_t k, std::int64_t m) {
+template <typename T>
+inline void mm_add(const T* __restrict__ A, const T* __restrict__ B,
+                   T* __restrict__ C, std::int64_t n, std::int64_t k,
+                   std::int64_t m) {
   std::int64_t i = 0;
   for (; i + 4 <= n; i += 4) {
-    const double* a0 = A + (i + 0) * k;
-    const double* a1 = A + (i + 1) * k;
-    const double* a2 = A + (i + 2) * k;
-    const double* a3 = A + (i + 3) * k;
-    double* c0 = C + (i + 0) * m;
-    double* c1 = C + (i + 1) * m;
-    double* c2 = C + (i + 2) * m;
-    double* c3 = C + (i + 3) * m;
+    const T* a0 = A + (i + 0) * k;
+    const T* a1 = A + (i + 1) * k;
+    const T* a2 = A + (i + 2) * k;
+    const T* a3 = A + (i + 3) * k;
+    T* c0 = C + (i + 0) * m;
+    T* c1 = C + (i + 1) * m;
+    T* c2 = C + (i + 2) * m;
+    T* c3 = C + (i + 3) * m;
     for (std::int64_t p = 0; p < k; ++p) {
-      const double* b = B + p * m;
-      const double v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+      const T* b = B + p * m;
+      const T v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
       for (std::int64_t j = 0; j < m; ++j) {
-        const double bj = b[j];
+        const T bj = b[j];
         c0[j] += v0 * bj;
         c1[j] += v1 * bj;
         c2[j] += v2 * bj;
@@ -45,103 +64,105 @@ inline void mm_add(const double* A, const double* B, double* C,
     }
   }
   for (; i < n; ++i) {
-    const double* a = A + i * k;
-    double* c = C + i * m;
+    const T* a = A + i * k;
+    T* c = C + i * m;
     for (std::int64_t p = 0; p < k; ++p) {
-      const double* b = B + p * m;
-      const double v = a[p];
+      const T* b = B + p * m;
+      const T v = a[p];
       for (std::int64_t j = 0; j < m; ++j) c[j] += v * b[j];
     }
   }
 }
 
-/// dA[n,k] += G[n,m] · Bᵀ  with B stored as [k,m]  (rows of dA are dot
-/// products along m; 2x2 tiles reuse each loaded G/B row twice).
-inline void mm_abt_add(const double* G, const double* B, double* dA,
-                       std::int64_t n, std::int64_t k, std::int64_t m) {
+/// dA[n,k] += G[n,m] · Bᵀ  with B stored as [k,m].  B is transposed into a
+/// thread-local scratch ([m,k], L1-resident at model shapes — a few KB) so
+/// the accumulation becomes the same unit-stride outer-product loop as
+/// mm_add: dA[i,:] += G[i,j] · Bt[j,:].  The dot-product formulation this
+/// replaces could not vectorise (serial FP reduction chains) and dominated
+/// the backward pass.  thread_local keeps the scratch safe under the OpenMP
+/// trainer without touching the tensor buffer pool from a header.
+template <typename T>
+inline void mm_abt_add(const T* __restrict__ G, const T* __restrict__ B,
+                       T* __restrict__ dA, std::int64_t n, std::int64_t k,
+                       std::int64_t m) {
+  thread_local std::vector<T> bt_buf;
+  bt_buf.resize(static_cast<std::size_t>(k * m));
+  T* __restrict__ Bt = bt_buf.data();
+  for (std::int64_t p = 0; p < k; ++p)
+    for (std::int64_t j = 0; j < m; ++j) Bt[j * k + p] = B[p * m + j];
   std::int64_t i = 0;
-  for (; i + 2 <= n; i += 2) {
-    const double* g0 = G + (i + 0) * m;
-    const double* g1 = G + (i + 1) * m;
-    double* d0 = dA + (i + 0) * k;
-    double* d1 = dA + (i + 1) * k;
-    std::int64_t p = 0;
-    for (; p + 2 <= k; p += 2) {
-      const double* b0 = B + (p + 0) * m;
-      const double* b1 = B + (p + 1) * m;
-      double s00 = 0.0, s01 = 0.0, s10 = 0.0, s11 = 0.0;
-      for (std::int64_t j = 0; j < m; ++j) {
-        const double x0 = g0[j], x1 = g1[j], y0 = b0[j], y1 = b1[j];
-        s00 += x0 * y0;
-        s01 += x0 * y1;
-        s10 += x1 * y0;
-        s11 += x1 * y1;
+  for (; i + 4 <= n; i += 4) {
+    const T* g0 = G + (i + 0) * m;
+    const T* g1 = G + (i + 1) * m;
+    const T* g2 = G + (i + 2) * m;
+    const T* g3 = G + (i + 3) * m;
+    T* d0 = dA + (i + 0) * k;
+    T* d1 = dA + (i + 1) * k;
+    T* d2 = dA + (i + 2) * k;
+    T* d3 = dA + (i + 3) * k;
+    for (std::int64_t j = 0; j < m; ++j) {
+      const T* bt = Bt + j * k;
+      const T v0 = g0[j], v1 = g1[j], v2 = g2[j], v3 = g3[j];
+      for (std::int64_t p = 0; p < k; ++p) {
+        const T btp = bt[p];
+        d0[p] += v0 * btp;
+        d1[p] += v1 * btp;
+        d2[p] += v2 * btp;
+        d3[p] += v3 * btp;
       }
-      d0[p] += s00;
-      d0[p + 1] += s01;
-      d1[p] += s10;
-      d1[p + 1] += s11;
-    }
-    for (; p < k; ++p) {
-      const double* b = B + p * m;
-      double s0 = 0.0, s1 = 0.0;
-      for (std::int64_t j = 0; j < m; ++j) {
-        s0 += g0[j] * b[j];
-        s1 += g1[j] * b[j];
-      }
-      d0[p] += s0;
-      d1[p] += s1;
     }
   }
   for (; i < n; ++i) {
-    const double* g = G + i * m;
-    double* d = dA + i * k;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const double* b = B + p * m;
-      double s = 0.0;
-      for (std::int64_t j = 0; j < m; ++j) s += g[j] * b[j];
-      d[p] += s;
+    const T* g = G + i * m;
+    T* d = dA + i * k;
+    for (std::int64_t j = 0; j < m; ++j) {
+      const T* bt = Bt + j * k;
+      const T v = g[j];
+      for (std::int64_t p = 0; p < k; ++p) d[p] += v * bt[p];
     }
   }
 }
 
 /// dB[k,m] += Aᵀ · G  with A stored as [n,k], G as [n,m]  (4 samples of A/G
 /// combine per pass over the dB rows).
-inline void mm_atb_add(const double* A, const double* G, double* dB,
-                       std::int64_t n, std::int64_t k, std::int64_t m) {
+template <typename T>
+inline void mm_atb_add(const T* __restrict__ A, const T* __restrict__ G,
+                       T* __restrict__ dB, std::int64_t n, std::int64_t k,
+                       std::int64_t m) {
   std::int64_t i = 0;
   for (; i + 4 <= n; i += 4) {
-    const double* a0 = A + (i + 0) * k;
-    const double* a1 = A + (i + 1) * k;
-    const double* a2 = A + (i + 2) * k;
-    const double* a3 = A + (i + 3) * k;
-    const double* g0 = G + (i + 0) * m;
-    const double* g1 = G + (i + 1) * m;
-    const double* g2 = G + (i + 2) * m;
-    const double* g3 = G + (i + 3) * m;
+    const T* a0 = A + (i + 0) * k;
+    const T* a1 = A + (i + 1) * k;
+    const T* a2 = A + (i + 2) * k;
+    const T* a3 = A + (i + 3) * k;
+    const T* g0 = G + (i + 0) * m;
+    const T* g1 = G + (i + 1) * m;
+    const T* g2 = G + (i + 2) * m;
+    const T* g3 = G + (i + 3) * m;
     for (std::int64_t p = 0; p < k; ++p) {
-      double* b = dB + p * m;
-      const double v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+      T* b = dB + p * m;
+      const T v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
       for (std::int64_t j = 0; j < m; ++j)
         b[j] += v0 * g0[j] + v1 * g1[j] + v2 * g2[j] + v3 * g3[j];
     }
   }
   for (; i < n; ++i) {
-    const double* a = A + i * k;
-    const double* g = G + i * m;
+    const T* a = A + i * k;
+    const T* g = G + i * m;
     for (std::int64_t p = 0; p < k; ++p) {
-      double* b = dB + p * m;
-      const double v = a[p];
+      T* b = dB + p * m;
+      const T v = a[p];
       for (std::int64_t j = 0; j < m; ++j) b[j] += v * g[j];
     }
   }
 }
 
 /// out[m] += column sums of G[n,m]  (bias gradient).
-inline void col_sum_add(const double* G, double* out, std::int64_t n,
-                        std::int64_t m) {
+template <typename T>
+inline void col_sum_add(const T* __restrict__ G, T* __restrict__ out,
+                        std::int64_t n, std::int64_t m) {
   for (std::int64_t i = 0; i < n; ++i) {
-    const double* g = G + i * m;
+    const T* g = G + i * m;
     for (std::int64_t j = 0; j < m; ++j) out[j] += g[j];
   }
 }

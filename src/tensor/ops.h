@@ -97,4 +97,12 @@ Tensor heads_dot(const Tensor& x, const Tensor& a, std::int64_t heads);
 /// -> out[e, h*F+f] = x[e, h*F+f] * alpha[e, h].
 Tensor heads_scale(const Tensor& x, const Tensor& alpha, std::int64_t heads);
 
+// ---- Dtype conversion ---------------------------------------------------------
+
+/// Differentiable precision change.  Returns `a` unchanged (same tape node)
+/// when the dtype already matches; otherwise the forward narrows/widens the
+/// values and the backward casts the gradient back.  Bridges f64 dataset
+/// tensors into f32 models and vice versa.
+Tensor cast(const Tensor& a, Dtype dtype);
+
 }  // namespace amdgcnn::ag::ops

@@ -4,6 +4,84 @@
 
 namespace amdgcnn::ag {
 
+namespace {
+
+// Optimiser state (momentum / Adam moments) is always f64 regardless of the
+// parameter dtype (DESIGN.md §2.3): the moving averages are long-horizon
+// accumulations, exactly the kind of sum the dtype policy keeps in double.
+// Each update widens the parameter/gradient to f64, advances the f64 state,
+// and narrows only the final write-back.
+
+template <typename T>
+double grad_sq_sum(Tensor& p) {
+  // Lane-split f64 reduction (fixed order, bit-deterministic): a single
+  // running sum is a serial FP chain that cannot vectorise.
+  constexpr int kLanes = 8;
+  double lanes[kLanes] = {};
+  const auto& g = p.grad_as<T>();
+  const T* __restrict__ gp = g.data();
+  const std::size_t n = g.size();
+  std::size_t j = 0;
+  for (; j + kLanes <= n; j += kLanes)
+    for (int l = 0; l < kLanes; ++l) {
+      const double gd = static_cast<double>(gp[j + l]);
+      lanes[l] += gd * gd;
+    }
+  double sq = 0.0;
+  for (int l = 0; l < kLanes; ++l) sq += lanes[l];
+  for (; j < n; ++j) {
+    const double gd = static_cast<double>(gp[j]);
+    sq += gd * gd;
+  }
+  return sq;
+}
+
+template <typename T>
+void grad_scale(Tensor& p, double scale) {
+  for (T& g : p.grad_as<T>()) g = static_cast<T>(static_cast<double>(g) * scale);
+}
+
+template <typename T>
+void sgd_step_param(Tensor& p, std::vector<double>& vel, double lr,
+                    double momentum, double weight_decay) {
+  T* __restrict__ data = p.data_as<T>().data();
+  const T* __restrict__ grad = p.grad_as<T>().data();
+  double* __restrict__ vp = vel.data();
+  const std::size_t n = static_cast<std::size_t>(p.numel());
+  for (std::size_t j = 0; j < n; ++j) {
+    const double g = static_cast<double>(grad[j]) +
+                     weight_decay * static_cast<double>(data[j]);
+    vp[j] = momentum * vp[j] + g;
+    data[j] = static_cast<T>(static_cast<double>(data[j]) - lr * vp[j]);
+  }
+}
+
+template <typename T>
+void adam_step_param(Tensor& p, std::vector<double>& m, std::vector<double>& v,
+                     double lr, double beta1, double beta2, double eps,
+                     double weight_decay, double bc1, double bc2) {
+  // __restrict__ lets the per-element update vectorise (the sqrt/div chain
+  // is the cost; packed sqrt and div are IEEE-exact, so results are
+  // bit-identical to the scalar loop).
+  T* __restrict__ data = p.data_as<T>().data();
+  const T* __restrict__ grad = p.grad_as<T>().data();
+  double* __restrict__ mp = m.data();
+  double* __restrict__ vp = v.data();
+  const std::size_t n = static_cast<std::size_t>(p.numel());
+  for (std::size_t j = 0; j < n; ++j) {
+    const double g = static_cast<double>(grad[j]) +
+                     weight_decay * static_cast<double>(data[j]);
+    mp[j] = beta1 * mp[j] + (1.0 - beta1) * g;
+    vp[j] = beta2 * vp[j] + (1.0 - beta2) * g * g;
+    const double mhat = mp[j] / bc1;
+    const double vhat = vp[j] / bc2;
+    data[j] = static_cast<T>(static_cast<double>(data[j]) -
+                             lr * mhat / (std::sqrt(vhat) + eps));
+  }
+}
+
+}  // namespace
+
 Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
   for (auto& p : params_) {
     check(p.defined(), "Optimizer: undefined parameter");
@@ -19,12 +97,17 @@ double Optimizer::clip_grad_norm(double max_norm) {
   check(max_norm > 0.0, "clip_grad_norm: max_norm must be positive");
   double sq = 0.0;
   for (auto& p : params_)
-    for (double g : p.grad()) sq += g * g;
+    sq += p.dtype() == Dtype::f32 ? grad_sq_sum<float>(p)
+                                  : grad_sq_sum<double>(p);
   const double norm = std::sqrt(sq);
   if (norm > max_norm) {
     const double scale = max_norm / norm;
-    for (auto& p : params_)
-      for (double& g : p.grad()) g *= scale;
+    for (auto& p : params_) {
+      if (p.dtype() == Dtype::f32)
+        grad_scale<float>(p, scale);
+      else
+        grad_scale<double>(p, scale);
+    }
   }
   return norm;
 }
@@ -37,19 +120,17 @@ SGD::SGD(std::vector<Tensor> params, double lr_in, double momentum,
       weight_decay_(weight_decay) {
   velocity_.resize(params_.size());
   for (std::size_t i = 0; i < params_.size(); ++i)
-    velocity_[i].assign(params_[i].data().size(), 0.0);
+    velocity_[i].assign(static_cast<std::size_t>(params_[i].numel()), 0.0);
 }
 
 void SGD::step() {
   for (std::size_t i = 0; i < params_.size(); ++i) {
-    auto& data = params_[i].data();
-    auto& grad = params_[i].grad();
-    auto& vel = velocity_[i];
-    for (std::size_t j = 0; j < data.size(); ++j) {
-      double g = grad[j] + weight_decay_ * data[j];
-      vel[j] = momentum_ * vel[j] + g;
-      data[j] -= lr * vel[j];
-    }
+    if (params_[i].dtype() == Dtype::f32)
+      sgd_step_param<float>(params_[i], velocity_[i], lr, momentum_,
+                            weight_decay_);
+    else
+      sgd_step_param<double>(params_[i], velocity_[i], lr, momentum_,
+                             weight_decay_);
   }
 }
 
@@ -64,8 +145,8 @@ Adam::Adam(std::vector<Tensor> params, double lr_in, double beta1,
   m_.resize(params_.size());
   v_.resize(params_.size());
   for (std::size_t i = 0; i < params_.size(); ++i) {
-    m_[i].assign(params_[i].data().size(), 0.0);
-    v_[i].assign(params_[i].data().size(), 0.0);
+    m_[i].assign(static_cast<std::size_t>(params_[i].numel()), 0.0);
+    v_[i].assign(static_cast<std::size_t>(params_[i].numel()), 0.0);
   }
 }
 
@@ -74,16 +155,12 @@ void Adam::step() {
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
   for (std::size_t i = 0; i < params_.size(); ++i) {
-    auto& data = params_[i].data();
-    auto& grad = params_[i].grad();
-    for (std::size_t j = 0; j < data.size(); ++j) {
-      double g = grad[j] + weight_decay_ * data[j];
-      m_[i][j] = beta1_ * m_[i][j] + (1.0 - beta1_) * g;
-      v_[i][j] = beta2_ * v_[i][j] + (1.0 - beta2_) * g * g;
-      const double mhat = m_[i][j] / bc1;
-      const double vhat = v_[i][j] / bc2;
-      data[j] -= lr * mhat / (std::sqrt(vhat) + eps_);
-    }
+    if (params_[i].dtype() == Dtype::f32)
+      adam_step_param<float>(params_[i], m_[i], v_[i], lr, beta1_, beta2_,
+                             eps_, weight_decay_, bc1, bc2);
+    else
+      adam_step_param<double>(params_[i], m_[i], v_[i], lr, beta1_, beta2_,
+                              eps_, weight_decay_, bc1, bc2);
   }
 }
 

@@ -1,3 +1,7 @@
+// Dtype-generic segment/scatter ops used by the GNN message passing.  The
+// scatter adds run at native width in fixed row order (deterministic for
+// either dtype); the segment-softmax normalisers accumulate in f64 per the
+// dtype policy (DESIGN.md §2.3).
 #include "tensor/segment_ops.h"
 
 #include <algorithm>
@@ -8,18 +12,19 @@
 
 namespace amdgcnn::ag::ops {
 
-Tensor scatter_add_rows(const Tensor& src,
-                        const std::vector<std::int64_t>& index,
-                        std::int64_t num_rows) {
-  check(src.rank() == 2, "scatter_add_rows: src must be rank-2");
-  check(static_cast<std::int64_t>(index.size()) == src.dim(0),
-        "scatter_add_rows: index length must equal src rows");
+namespace {
+
+#define AG_DISPATCH(dt, fn, ...) \
+  ((dt) == Dtype::f32 ? fn<float>(__VA_ARGS__) : fn<double>(__VA_ARGS__))
+
+template <typename T>
+Tensor scatter_add_rows_impl(const Tensor& src,
+                             const std::vector<std::int64_t>& index,
+                             std::int64_t num_rows) {
   const std::int64_t m = src.dim(1);
-  for (auto i : index)
-    check(i >= 0 && i < num_rows, "scatter_add_rows: index out of range");
-  const auto& sv = src.data();
-  std::vector<double> out =
-      detail::new_zeroed(static_cast<std::size_t>(num_rows * m));
+  const auto& sv = src.data_as<T>();
+  std::vector<T> out =
+      detail::new_zeroed_t<T>(static_cast<std::size_t>(num_rows * m));
   for (std::size_t r = 0; r < index.size(); ++r)
     for (std::int64_t c = 0; c < m; ++c)
       out[index[r] * m + c] += sv[r * m + c];
@@ -27,27 +32,23 @@ Tensor scatter_add_rows(const Tensor& src,
       {num_rows, m}, std::move(out), {src},
       [src, index, m](detail::TensorImpl& self) {
         if (!src.requires_grad()) return;
-        auto& g = detail::grad_of(*src.impl());
+        const auto& sg = self.grad_as<T>();
+        auto& g = detail::grad_of<T>(*src.impl());
         for (std::size_t r = 0; r < index.size(); ++r)
           for (std::int64_t c = 0; c < m; ++c)
-            g[r * m + c] += self.grad[index[r] * m + c];
+            g[r * m + c] += sg[index[r] * m + c];
       });
 }
 
-Tensor scatter_add_bias(const Tensor& src,
-                        const std::vector<std::int64_t>& index,
-                        std::int64_t num_rows, const Tensor& bias) {
-  check(src.rank() == 2, "scatter_add_bias: src must be rank-2");
-  check(static_cast<std::int64_t>(index.size()) == src.dim(0),
-        "scatter_add_bias: index length must equal src rows");
+template <typename T>
+Tensor scatter_add_bias_impl(const Tensor& src,
+                             const std::vector<std::int64_t>& index,
+                             std::int64_t num_rows, const Tensor& bias) {
   const std::int64_t m = src.dim(1);
-  check(bias.numel() == m, "scatter_add_bias: bias length must equal columns");
-  for (auto i : index)
-    check(i >= 0 && i < num_rows, "scatter_add_bias: index out of range");
-  const auto& sv = src.data();
-  const double* bv = bias.data().data();
-  std::vector<double> out =
-      detail::new_buffer(static_cast<std::size_t>(num_rows * m));
+  const auto& sv = src.data_as<T>();
+  const T* bv = bias.data_as<T>().data();
+  std::vector<T> out =
+      detail::new_buffer_t<T>(static_cast<std::size_t>(num_rows * m));
   for (std::int64_t r = 0; r < num_rows; ++r)
     std::copy_n(bv, m, out.data() + r * m);
   for (std::size_t r = 0; r < index.size(); ++r)
@@ -56,16 +57,108 @@ Tensor scatter_add_bias(const Tensor& src,
   return Tensor::make_op_result(
       {num_rows, m}, std::move(out), {src, bias},
       [src, bias, index, num_rows, m](detail::TensorImpl& self) {
+        const auto& sg = self.grad_as<T>();
         if (src.requires_grad()) {
-          auto& g = detail::grad_of(*src.impl());
+          auto& g = detail::grad_of<T>(*src.impl());
           for (std::size_t r = 0; r < index.size(); ++r)
             for (std::int64_t c = 0; c < m; ++c)
-              g[r * m + c] += self.grad[index[r] * m + c];
+              g[r * m + c] += sg[index[r] * m + c];
         }
         if (bias.requires_grad())
-          kern::col_sum_add(self.grad.data(),
-                            detail::grad_of(*bias.impl()).data(), num_rows, m);
+          kern::col_sum_add(sg.data(), detail::grad_of<T>(*bias.impl()).data(),
+                            num_rows, m);
       });
+}
+
+template <typename T>
+Tensor segment_softmax_impl(const Tensor& scores,
+                            const std::vector<std::int64_t>& segment,
+                            std::int64_t num_segments) {
+  const std::int64_t e = scores.dim(0), h = scores.dim(1);
+  const auto& sv = scores.data_as<T>();
+
+  // Per-(segment, column) max for numerical stability, then normalise.  The
+  // max pass and exp run at the storage width T (max is exact in either
+  // width, and exp of an f32 score only moves the result within storage
+  // rounding — std::exp(float) is ~2x cheaper); the normaliser seg_sum is
+  // pooled f64 regardless of dtype (policy: softmax normalisers accumulate
+  // in double).  Only `out` escapes into the tape at the tensor's width.
+  std::vector<T> seg_max =
+      detail::new_buffer_t<T>(static_cast<std::size_t>(num_segments * h));
+  std::fill(seg_max.begin(), seg_max.end(),
+            -std::numeric_limits<T>::infinity());
+  for (std::int64_t r = 0; r < e; ++r)
+    for (std::int64_t c = 0; c < h; ++c)
+      seg_max[segment[r] * h + c] =
+          std::max(seg_max[segment[r] * h + c], sv[r * h + c]);
+
+  std::vector<T> out = detail::new_buffer_t<T>(sv.size());
+  std::vector<double> seg_sum =
+      detail::new_zeroed(static_cast<std::size_t>(num_segments * h));
+  for (std::int64_t r = 0; r < e; ++r)
+    for (std::int64_t c = 0; c < h; ++c) {
+      const T ex = std::exp(sv[r * h + c] - seg_max[segment[r] * h + c]);
+      out[r * h + c] = ex;
+      seg_sum[segment[r] * h + c] += static_cast<double>(ex);
+    }
+  for (std::int64_t r = 0; r < e; ++r)
+    for (std::int64_t c = 0; c < h; ++c)
+      out[r * h + c] = static_cast<T>(static_cast<double>(out[r * h + c]) /
+                                      seg_sum[segment[r] * h + c]);
+  detail::pool_of<T>().release(std::move(seg_max));
+  detail::buffer_pool().release(std::move(seg_sum));
+
+  return Tensor::make_op_result(
+      {e, h}, std::move(out), {scores},
+      [scores, segment, e, h, num_segments](detail::TensorImpl& self) {
+        if (!scores.requires_grad()) return;
+        // d score = alpha * (d alpha - sum_seg(alpha * d alpha)).
+        const auto& sg = self.grad_as<T>();
+        const auto& sd = self.data_as<T>();
+        std::vector<double> seg_dot =
+            detail::new_zeroed(static_cast<std::size_t>(num_segments * h));
+        for (std::int64_t r = 0; r < e; ++r)
+          for (std::int64_t c = 0; c < h; ++c)
+            seg_dot[segment[r] * h + c] +=
+                static_cast<double>(sd[r * h + c]) *
+                static_cast<double>(sg[r * h + c]);
+        auto& g = detail::grad_of<T>(*scores.impl());
+        for (std::int64_t r = 0; r < e; ++r)
+          for (std::int64_t c = 0; c < h; ++c)
+            g[r * h + c] += static_cast<T>(
+                static_cast<double>(sd[r * h + c]) *
+                (static_cast<double>(sg[r * h + c]) -
+                 seg_dot[segment[r] * h + c]));
+        detail::buffer_pool().release(std::move(seg_dot));
+      });
+}
+
+}  // namespace
+
+Tensor scatter_add_rows(const Tensor& src,
+                        const std::vector<std::int64_t>& index,
+                        std::int64_t num_rows) {
+  check(src.rank() == 2, "scatter_add_rows: src must be rank-2");
+  check(static_cast<std::int64_t>(index.size()) == src.dim(0),
+        "scatter_add_rows: index length must equal src rows");
+  for (auto i : index)
+    check(i >= 0 && i < num_rows, "scatter_add_rows: index out of range");
+  return AG_DISPATCH(src.dtype(), scatter_add_rows_impl, src, index, num_rows);
+}
+
+Tensor scatter_add_bias(const Tensor& src,
+                        const std::vector<std::int64_t>& index,
+                        std::int64_t num_rows, const Tensor& bias) {
+  check(src.rank() == 2, "scatter_add_bias: src must be rank-2");
+  check(static_cast<std::int64_t>(index.size()) == src.dim(0),
+        "scatter_add_bias: index length must equal src rows");
+  check(bias.numel() == src.dim(1),
+        "scatter_add_bias: bias length must equal columns");
+  check(src.dtype() == bias.dtype(), "scatter_add_bias: dtype mismatch");
+  for (auto i : index)
+    check(i >= 0 && i < num_rows, "scatter_add_bias: index out of range");
+  return AG_DISPATCH(src.dtype(), scatter_add_bias_impl, src, index, num_rows,
+                     bias);
 }
 
 Tensor segment_softmax(const Tensor& scores,
@@ -74,60 +167,17 @@ Tensor segment_softmax(const Tensor& scores,
   check(scores.rank() == 2, "segment_softmax: scores must be rank-2");
   check(static_cast<std::int64_t>(segment.size()) == scores.dim(0),
         "segment_softmax: segment length must equal score rows");
-  const std::int64_t e = scores.dim(0), h = scores.dim(1);
   for (auto s : segment)
     check(s >= 0 && s < num_segments, "segment_softmax: segment out of range");
-  const auto& sv = scores.data();
-
-  // Per-(segment, column) max for numerical stability, then normalise.  The
-  // scratch vectors are pooled; only `out` escapes into the tape.
-  std::vector<double> seg_max =
-      detail::new_buffer(static_cast<std::size_t>(num_segments * h));
-  std::fill(seg_max.begin(), seg_max.end(),
-            -std::numeric_limits<double>::infinity());
-  for (std::int64_t r = 0; r < e; ++r)
-    for (std::int64_t c = 0; c < h; ++c)
-      seg_max[segment[r] * h + c] =
-          std::max(seg_max[segment[r] * h + c], sv[r * h + c]);
-
-  std::vector<double> out = detail::new_buffer(sv.size());
-  std::vector<double> seg_sum =
-      detail::new_zeroed(static_cast<std::size_t>(num_segments * h));
-  for (std::int64_t r = 0; r < e; ++r)
-    for (std::int64_t c = 0; c < h; ++c) {
-      out[r * h + c] = std::exp(sv[r * h + c] - seg_max[segment[r] * h + c]);
-      seg_sum[segment[r] * h + c] += out[r * h + c];
-    }
-  for (std::int64_t r = 0; r < e; ++r)
-    for (std::int64_t c = 0; c < h; ++c)
-      out[r * h + c] /= seg_sum[segment[r] * h + c];
-  detail::buffer_pool().release(std::move(seg_max));
-  detail::buffer_pool().release(std::move(seg_sum));
-
-  return Tensor::make_op_result(
-      {e, h}, std::move(out), {scores},
-      [scores, segment, e, h, num_segments](detail::TensorImpl& self) {
-        if (!scores.requires_grad()) return;
-        // d score = alpha * (d alpha - sum_seg(alpha * d alpha)).
-        std::vector<double> seg_dot =
-            detail::new_zeroed(static_cast<std::size_t>(num_segments * h));
-        for (std::int64_t r = 0; r < e; ++r)
-          for (std::int64_t c = 0; c < h; ++c)
-            seg_dot[segment[r] * h + c] +=
-                self.data[r * h + c] * self.grad[r * h + c];
-        auto& g = detail::grad_of(*scores.impl());
-        for (std::int64_t r = 0; r < e; ++r)
-          for (std::int64_t c = 0; c < h; ++c)
-            g[r * h + c] += self.data[r * h + c] *
-                            (self.grad[r * h + c] -
-                             seg_dot[segment[r] * h + c]);
-        detail::buffer_pool().release(std::move(seg_dot));
-      });
+  return AG_DISPATCH(scores.dtype(), segment_softmax_impl, scores, segment,
+                     num_segments);
 }
 
 Tensor segment_sum(const Tensor& src, const std::vector<std::int64_t>& segment,
                    std::int64_t num_segments) {
   return scatter_add_rows(src, segment, num_segments);
 }
+
+#undef AG_DISPATCH
 
 }  // namespace amdgcnn::ag::ops

@@ -53,15 +53,24 @@ BasicBufferPool<std::int32_t>& i32_buffer_pool() {
   return *pool;
 }
 
+BasicBufferPool<float>& f32_buffer_pool() {
+  thread_local BasicBufferPool<float>* pool = new BasicBufferPool<float>();
+  return *pool;
+}
+
 thread_local GradSink* tls_grad_sink = nullptr;
 
 }  // namespace detail
 
 PoolStats pool_stats() { return detail::buffer_pool().stats(); }
-void reset_pool_stats() { detail::buffer_pool().reset_stats(); }
+void reset_pool_stats() {
+  detail::buffer_pool().reset_stats();
+  detail::f32_buffer_pool().reset_stats();
+}
 void clear_buffer_pool() {
   detail::buffer_pool().clear();
   detail::i32_buffer_pool().clear();
+  detail::f32_buffer_pool().clear();
 }
 
 GradSinkScope::GradSinkScope(
@@ -73,25 +82,47 @@ GradSinkScope::GradSinkScope(
   detail::tls_grad_sink = &sink_;
 }
 
+GradSinkScope::GradSinkScope(
+    const std::unordered_map<const detail::TensorImpl*, std::size_t>& slot_of,
+    std::vector<std::vector<float>>& buffers)
+    : prev_(detail::tls_grad_sink) {
+  sink_.slot_of = &slot_of;
+  sink_.buffers_f32 = &buffers;
+  detail::tls_grad_sink = &sink_;
+}
+
 GradSinkScope::~GradSinkScope() { detail::tls_grad_sink = prev_; }
 
 // ---- Constructors ----------------------------------------------------------
 
-Tensor Tensor::zeros(Shape shape) {
+Tensor Tensor::zeros(Shape shape, Dtype dtype) {
   auto impl = std::make_shared<detail::TensorImpl>();
-  impl->data =
-      detail::new_zeroed(static_cast<std::size_t>(ag::numel(shape)));
+  const auto n = static_cast<std::size_t>(ag::numel(shape));
+  impl->dtype = dtype;
+  if (dtype == Dtype::f32)
+    impl->data_f = detail::new_zeroed_t<float>(n);
+  else
+    impl->data = detail::new_zeroed(n);
   impl->shape = std::move(shape);
   return Tensor(std::move(impl));
 }
 
-Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0); }
+Tensor Tensor::ones(Shape shape, Dtype dtype) {
+  return full(std::move(shape), 1.0, dtype);
+}
 
-Tensor Tensor::full(Shape shape, double value) {
+Tensor Tensor::full(Shape shape, double value, Dtype dtype) {
   auto impl = std::make_shared<detail::TensorImpl>();
-  impl->data =
-      detail::new_buffer(static_cast<std::size_t>(ag::numel(shape)));
-  std::fill(impl->data.begin(), impl->data.end(), value);
+  const auto n = static_cast<std::size_t>(ag::numel(shape));
+  impl->dtype = dtype;
+  if (dtype == Dtype::f32) {
+    impl->data_f = detail::new_buffer_t<float>(n);
+    std::fill(impl->data_f.begin(), impl->data_f.end(),
+              static_cast<float>(value));
+  } else {
+    impl->data = detail::new_buffer(n);
+    std::fill(impl->data.begin(), impl->data.end(), value);
+  }
   impl->shape = std::move(shape);
   return Tensor(std::move(impl));
 }
@@ -102,28 +133,55 @@ Tensor Tensor::from_data(Shape shape, std::vector<double> data) {
          shape_str(shape));
   auto impl = std::make_shared<detail::TensorImpl>();
   impl->shape = std::move(shape);
+  impl->dtype = Dtype::f64;
   impl->data = std::move(data);
   return Tensor(std::move(impl));
 }
 
-Tensor Tensor::randn(Shape shape, util::Rng& rng) {
-  Tensor t = zeros(std::move(shape));
-  for (auto& v : t.data()) v = rng.normal();
+Tensor Tensor::from_data(Shape shape, std::vector<float> data) {
+  if (static_cast<std::int64_t>(data.size()) != ag::numel(shape))
+    fail("from_data: " + std::to_string(data.size()) + " values for shape " +
+         shape_str(shape));
+  auto impl = std::make_shared<detail::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->dtype = Dtype::f32;
+  impl->data_f = std::move(data);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::randn(Shape shape, util::Rng& rng, Dtype dtype) {
+  Tensor t = zeros(std::move(shape), dtype);
+  // Draw in f64 for both dtypes so an f32 model consumes the identical RNG
+  // stream as its f64 twin (same seed -> same underlying weights).
+  if (dtype == Dtype::f32)
+    for (auto& v : t.data_f32()) v = static_cast<float>(rng.normal());
+  else
+    for (auto& v : t.data()) v = rng.normal();
   return t;
 }
 
-Tensor Tensor::rand_uniform(Shape shape, double lo, double hi,
-                            util::Rng& rng) {
-  Tensor t = zeros(std::move(shape));
-  for (auto& v : t.data()) v = rng.uniform(lo, hi);
+Tensor Tensor::rand_uniform(Shape shape, double lo, double hi, util::Rng& rng,
+                            Dtype dtype) {
+  Tensor t = zeros(std::move(shape), dtype);
+  if (dtype == Dtype::f32)
+    for (auto& v : t.data_f32()) v = static_cast<float>(rng.uniform(lo, hi));
+  else
+    for (auto& v : t.data()) v = rng.uniform(lo, hi);
   return t;
 }
 
 Tensor Tensor::xavier(std::int64_t fan_in, std::int64_t fan_out,
-                      util::Rng& rng) {
+                      util::Rng& rng, Dtype dtype) {
   check(fan_in > 0 && fan_out > 0, "xavier: fans must be positive");
   double bound = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
-  return rand_uniform({fan_in, fan_out}, -bound, bound, rng);
+  return rand_uniform({fan_in, fan_out}, -bound, bound, rng, dtype);
+}
+
+std::vector<double> Tensor::to_vec64() const {
+  check(defined(), "to_vec64() on undefined tensor");
+  if (impl_->dtype == Dtype::f32)
+    return std::vector<double>(impl_->data_f.begin(), impl_->data_f.end());
+  return impl_->data;
 }
 
 // ---- Autograd --------------------------------------------------------------
@@ -138,7 +196,10 @@ Tensor& Tensor::requires_grad(bool value) {
 void Tensor::zero_grad() {
   check(defined(), "zero_grad() on undefined tensor");
   impl_->ensure_grad();
-  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0);
+  if (impl_->dtype == Dtype::f32)
+    std::fill(impl_->grad_f.begin(), impl_->grad_f.end(), 0.0f);
+  else
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0);
 }
 
 void Tensor::backward() {
@@ -177,7 +238,10 @@ void Tensor::backward() {
   }
 
   impl_->ensure_grad();
-  impl_->grad[0] += 1.0;
+  if (impl_->dtype == Dtype::f32)
+    impl_->grad_f[0] += 1.0f;
+  else
+    impl_->grad[0] += 1.0;
 
   // `order` is post-order (parents before children), so iterate in reverse to
   // propagate from the loss toward the leaves.
@@ -192,25 +256,47 @@ void Tensor::backward() {
 
 Tensor Tensor::detach() const {
   check(defined(), "detach() on undefined tensor");
+  if (impl_->dtype == Dtype::f32) {
+    std::vector<float> copy = detail::new_buffer_t<float>(impl_->data_f.size());
+    std::copy(impl_->data_f.begin(), impl_->data_f.end(), copy.begin());
+    return from_data(impl_->shape, std::move(copy));
+  }
   std::vector<double> copy = detail::new_buffer(impl_->data.size());
   std::copy(impl_->data.begin(), impl_->data.end(), copy.begin());
   return from_data(impl_->shape, std::move(copy));
 }
 
-Tensor Tensor::make_op_result(Shape shape, std::vector<double> data,
-                              std::vector<Tensor> parents,
-                              std::function<void(detail::TensorImpl&)> bwd) {
-  Tensor out = from_data(std::move(shape), std::move(data));
+namespace {
+
+Tensor wire_op_result(Tensor out, std::vector<Tensor>& parents,
+                      std::function<void(detail::TensorImpl&)>& bwd) {
   bool needs_grad = false;
   for (const auto& p : parents) needs_grad = needs_grad || p.requires_grad();
   if (needs_grad) {
-    out.impl_->requires_grad = true;
-    out.impl_->ensure_grad();
-    out.impl_->parents.reserve(parents.size());
-    for (auto& p : parents) out.impl_->parents.push_back(p.impl());
-    out.impl_->backward_fn = std::move(bwd);
+    detail::TensorImpl& impl = *out.impl();
+    impl.requires_grad = true;
+    impl.ensure_grad();
+    impl.parents.reserve(parents.size());
+    for (auto& p : parents) impl.parents.push_back(p.impl());
+    impl.backward_fn = std::move(bwd);
   }
   return out;
+}
+
+}  // namespace
+
+Tensor Tensor::make_op_result(Shape shape, std::vector<double> data,
+                              std::vector<Tensor> parents,
+                              std::function<void(detail::TensorImpl&)> bwd) {
+  return wire_op_result(from_data(std::move(shape), std::move(data)), parents,
+                        bwd);
+}
+
+Tensor Tensor::make_op_result(Shape shape, std::vector<float> data,
+                              std::vector<Tensor> parents,
+                              std::function<void(detail::TensorImpl&)> bwd) {
+  return wire_op_result(from_data(std::move(shape), std::move(data)), parents,
+                        bwd);
 }
 
 void release_graph(const Tensor& root) {

@@ -2,8 +2,9 @@
 //
 // This is the from-scratch replacement for the PyTorch tensors the paper's
 // reference implementation relies on (see DESIGN.md §2).  It is deliberately
-// small: dense row-major `double` storage, shapes up to rank 3 (the models
-// only need matrices plus [channels, length] sequences), and a dynamic tape.
+// small: dense row-major storage in a selectable scalar width (f32 or f64,
+// see Dtype), shapes up to rank 3 (the models only need matrices plus
+// [channels, length] sequences), and a dynamic tape.
 //
 // Usage pattern:
 //   Tensor w = Tensor::randn({4, 8}, rng).requires_grad(true);
@@ -31,6 +32,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +41,27 @@
 namespace amdgcnn::ag {
 
 using Shape = std::vector<std::int64_t>;
+
+/// Storage precision of a tensor (DESIGN.md §2.3).  Data and gradients are
+/// stored at this width; reductions, softmax normalisers and optimizer
+/// moments always accumulate in f64 regardless, so switching to f32 halves
+/// memory bandwidth on the matmul-bound hot path without giving up the
+/// bit-determinism contract (any fixed dtype is deterministic for any
+/// worker count — the contract is per-dtype, not across dtypes).
+enum class Dtype : std::uint8_t { f32 = 0, f64 = 1 };
+
+inline constexpr std::size_t dtype_size(Dtype d) {
+  return d == Dtype::f32 ? sizeof(float) : sizeof(double);
+}
+
+inline constexpr const char* dtype_name(Dtype d) {
+  return d == Dtype::f32 ? "f32" : "f64";
+}
+
+/// Dtype tag of a C++ scalar type (only float and double participate).
+template <typename T>
+inline constexpr Dtype dtype_of_v =
+    std::is_same_v<T, float> ? Dtype::f32 : Dtype::f64;
 
 /// Number of elements of a shape (product of dims; empty shape -> 1 scalar).
 std::int64_t numel(const Shape& shape);
@@ -194,18 +217,50 @@ BufferPool& buffer_pool();
 /// so per-link extraction is allocation-free in steady state.
 BasicBufferPool<std::int32_t>& i32_buffer_pool();
 
+/// The calling thread's float pool — storage of f32 tensors.  Kept separate
+/// from the double pool so the two dtypes never alias each other's buckets.
+BasicBufferPool<float>& f32_buffer_pool();
+
+/// The pool that owns buffers of scalar type T on the calling thread.
+template <typename T>
+inline BasicBufferPool<T>& pool_of() {
+  static_assert(std::is_same_v<T, float> || std::is_same_v<T, double>,
+                "pool_of: only f32/f64 tensor storage is pooled here");
+  if constexpr (std::is_same_v<T, float>)
+    return f32_buffer_pool();
+  else
+    return buffer_pool();
+}
+
 inline std::vector<double> new_buffer(std::size_t n) {
   return buffer_pool().acquire(n);
 }
 inline std::vector<double> new_zeroed(std::size_t n) {
   return buffer_pool().acquire_zeroed(n);
 }
+template <typename T>
+inline std::vector<T> new_buffer_t(std::size_t n) {
+  return pool_of<T>().acquire(n);
+}
+template <typename T>
+inline std::vector<T> new_zeroed_t(std::size_t n) {
+  return pool_of<T>().acquire_zeroed(n);
+}
 
 /// One tape node: storage plus (optionally) the recipe for back-propagation.
+///
+/// Storage is dtype-tagged: exactly one of (data, grad) / (data_f, grad_f)
+/// is active, selected by `dtype`.  The inactive pair stays empty, so the
+/// per-node overhead of carrying both is two empty vectors.  Kernels and
+/// backward lambdas access storage through data_as<T>() / grad_as<T>() with
+/// T matching the tag — the ops layer dispatches once per op.
 struct TensorImpl {
   Shape shape;
-  std::vector<double> data;
-  std::vector<double> grad;  // allocated lazily, same size as data
+  Dtype dtype = Dtype::f64;
+  std::vector<double> data;    // active when dtype == f64
+  std::vector<double> grad;    // allocated lazily, same size as data
+  std::vector<float> data_f;   // active when dtype == f32
+  std::vector<float> grad_f;   // allocated lazily, same size as data_f
   bool requires_grad = false;
 
   // Autograd graph: parents this value was computed from, and a backward
@@ -219,37 +274,92 @@ struct TensorImpl {
   ~TensorImpl() {
     buffer_pool().release(std::move(data));
     buffer_pool().release(std::move(grad));
+    f32_buffer_pool().release(std::move(data_f));
+    f32_buffer_pool().release(std::move(grad_f));
+  }
+
+  template <typename T>
+  std::vector<T>& data_as() {
+    if constexpr (std::is_same_v<T, float>)
+      return data_f;
+    else
+      return data;
+  }
+  template <typename T>
+  const std::vector<T>& data_as() const {
+    if constexpr (std::is_same_v<T, float>)
+      return data_f;
+    else
+      return data;
+  }
+  template <typename T>
+  std::vector<T>& grad_as() {
+    if constexpr (std::is_same_v<T, float>)
+      return grad_f;
+    else
+      return grad;
+  }
+
+  /// Element count of the active storage.
+  std::size_t size() const {
+    return dtype == Dtype::f32 ? data_f.size() : data.size();
   }
 
   void ensure_grad() {
-    if (grad.size() != data.size()) {
-      buffer_pool().release(std::move(grad));
-      grad = new_zeroed(data.size());
+    if (dtype == Dtype::f32) {
+      if (grad_f.size() != data_f.size()) {
+        f32_buffer_pool().release(std::move(grad_f));
+        grad_f = new_zeroed_t<float>(data_f.size());
+      }
+    } else {
+      if (grad.size() != data.size()) {
+        buffer_pool().release(std::move(grad));
+        grad = new_zeroed(data.size());
+      }
     }
   }
 };
 
 /// Active gradient redirection for this thread (see GradSinkScope); null
 /// outside a scope.  `slot_of` maps leaf nodes (parameters) to an index into
-/// `buffers`; leaves not in the map, and all interior nodes, accumulate into
-/// their own impl as usual.
+/// the buffer list matching the parameters' dtype (exactly one of `buffers`
+/// and `buffers_f32` is set); leaves not in the map, and all interior nodes,
+/// accumulate into their own impl as usual.
 struct GradSink {
   const std::unordered_map<const TensorImpl*, std::size_t>* slot_of = nullptr;
   std::vector<std::vector<double>>* buffers = nullptr;
+  std::vector<std::vector<float>>* buffers_f32 = nullptr;
 };
 
 extern thread_local GradSink* tls_grad_sink;
 
 /// The buffer a backward function must accumulate `impl`'s gradient into:
-/// the thread's sink slot when one is active, impl.grad otherwise.  All
-/// backward lambdas route leaf writes through this.
-inline std::vector<double>& grad_of(TensorImpl& impl) {
+/// the thread's sink slot when one is active, the impl's own grad storage
+/// otherwise.  All backward lambdas route leaf writes through this; T must
+/// match the impl's dtype (the ops layer guarantees it by dispatching).
+template <typename T>
+inline std::vector<T>& grad_of(TensorImpl& impl) {
   if (tls_grad_sink != nullptr) [[unlikely]] {
     const auto& slots = *tls_grad_sink->slot_of;
     auto it = slots.find(&impl);
-    if (it != slots.end()) return (*tls_grad_sink->buffers)[it->second];
+    if (it != slots.end()) {
+      if constexpr (std::is_same_v<T, float>) {
+        check(tls_grad_sink->buffers_f32 != nullptr,
+              "grad sink holds no f32 buffers for an f32 parameter");
+        return (*tls_grad_sink->buffers_f32)[it->second];
+      } else {
+        check(tls_grad_sink->buffers != nullptr,
+              "grad sink holds no f64 buffers for an f64 parameter");
+        return (*tls_grad_sink->buffers)[it->second];
+      }
+    }
   }
-  return impl.grad;
+  return impl.grad_as<T>();
+}
+
+/// Legacy spelling for f64-only call sites.
+inline std::vector<double>& grad_of(TensorImpl& impl) {
+  return grad_of<double>(impl);
 }
 
 }  // namespace detail
@@ -272,6 +382,10 @@ class GradSinkScope {
   GradSinkScope(
       const std::unordered_map<const detail::TensorImpl*, std::size_t>& slot_of,
       std::vector<std::vector<double>>& buffers);
+  /// f32 variant for models whose parameters are stored in single precision.
+  GradSinkScope(
+      const std::unordered_map<const detail::TensorImpl*, std::size_t>& slot_of,
+      std::vector<std::vector<float>>& buffers);
   ~GradSinkScope();
   GradSinkScope(const GradSinkScope&) = delete;
   GradSinkScope& operator=(const GradSinkScope&) = delete;
@@ -288,23 +402,37 @@ class Tensor {
 
   // ---- Constructors -------------------------------------------------------
 
-  static Tensor zeros(Shape shape);
-  static Tensor ones(Shape shape);
-  static Tensor full(Shape shape, double value);
+  static Tensor zeros(Shape shape, Dtype dtype = Dtype::f64);
+  static Tensor ones(Shape shape, Dtype dtype = Dtype::f64);
+  static Tensor full(Shape shape, double value, Dtype dtype = Dtype::f64);
   /// From explicit row-major values; data.size() must equal numel(shape).
+  /// The vector's scalar type selects the dtype (double -> f64, float -> f32).
   static Tensor from_data(Shape shape, std::vector<double> data);
-  /// I.i.d. N(0, 1) entries.
-  static Tensor randn(Shape shape, util::Rng& rng);
+  static Tensor from_data(Shape shape, std::vector<float> data);
+  /// Brace-literal convenience (`from_data({2}, {1.0, 2.0})` stays f64); an
+  /// initializer_list parameter outranks both vector conversions, keeping the
+  /// call unambiguous now that a float overload exists.
+  static Tensor from_data(Shape shape, std::initializer_list<double> data) {
+    return from_data(std::move(shape),
+                     std::vector<double>(data.begin(), data.end()));
+  }
+  /// I.i.d. N(0, 1) entries (drawn in f64, then stored at `dtype`).
+  static Tensor randn(Shape shape, util::Rng& rng, Dtype dtype = Dtype::f64);
   /// I.i.d. U(lo, hi) entries.
-  static Tensor rand_uniform(Shape shape, double lo, double hi,
-                             util::Rng& rng);
+  static Tensor rand_uniform(Shape shape, double lo, double hi, util::Rng& rng,
+                             Dtype dtype = Dtype::f64);
   /// Xavier/Glorot uniform init for a [fan_in, fan_out] weight matrix.
   static Tensor xavier(std::int64_t fan_in, std::int64_t fan_out,
-                       util::Rng& rng);
+                       util::Rng& rng, Dtype dtype = Dtype::f64);
 
   // ---- Introspection ------------------------------------------------------
 
   bool defined() const { return impl_ != nullptr; }
+
+  Dtype dtype() const {
+    check(defined(), "dtype() on undefined tensor");
+    return impl_->dtype;
+  }
 
   const Shape& shape() const {
     check(defined(), "shape() on undefined tensor");
@@ -323,33 +451,76 @@ class Tensor {
 
   std::int64_t numel() const {
     check(defined(), "numel() on undefined tensor");
-    return static_cast<std::int64_t>(impl_->data.size());
+    return static_cast<std::int64_t>(impl_->size());
   }
 
+  /// f64 storage accessors.  These are the historical API; they reject f32
+  /// tensors loudly instead of silently reinterpreting — generic code should
+  /// use data_as<T>() or the read-only to_vec64().
   const std::vector<double>& data() const {
     check(defined(), "data() on undefined tensor");
+    check(impl_->dtype == Dtype::f64, "data(): tensor stores f32, not f64");
     return impl_->data;
   }
 
   std::vector<double>& data() {
     check(defined(), "data() on undefined tensor");
+    check(impl_->dtype == Dtype::f64, "data(): tensor stores f32, not f64");
     return impl_->data;
   }
 
-  /// 2-D element accessors (bounds-checked).
+  const std::vector<float>& data_f32() const {
+    check(defined(), "data_f32() on undefined tensor");
+    check(impl_->dtype == Dtype::f32, "data_f32(): tensor stores f64");
+    return impl_->data_f;
+  }
+
+  std::vector<float>& data_f32() {
+    check(defined(), "data_f32() on undefined tensor");
+    check(impl_->dtype == Dtype::f32, "data_f32(): tensor stores f64");
+    return impl_->data_f;
+  }
+
+  /// Dtype-generic storage accessor; T must match dtype().
+  template <typename T>
+  const std::vector<T>& data_as() const {
+    check(defined(), "data_as() on undefined tensor");
+    check(impl_->dtype == dtype_of_v<T>, "data_as(): scalar type mismatch");
+    return impl_->template data_as<T>();
+  }
+  template <typename T>
+  std::vector<T>& data_as() {
+    check(defined(), "data_as() on undefined tensor");
+    check(impl_->dtype == dtype_of_v<T>, "data_as(): scalar type mismatch");
+    return impl_->template data_as<T>();
+  }
+
+  /// Copy of the values widened to f64, regardless of storage dtype (for
+  /// metrics, serialization and tests — not a hot path).
+  std::vector<double> to_vec64() const;
+
+  /// 2-D element accessors (bounds-checked).  Reads work for either dtype
+  /// (f32 values are widened); the mutable reference is f64-only.
   double at(std::int64_t r, std::int64_t c) const {
     check_at(r, c);
-    return impl_->data[static_cast<std::size_t>(r * impl_->shape[1] + c)];
+    const auto i = static_cast<std::size_t>(r * impl_->shape[1] + c);
+    return impl_->dtype == Dtype::f32
+               ? static_cast<double>(impl_->data_f[i])
+               : impl_->data[i];
   }
   double& at(std::int64_t r, std::int64_t c) {
     check_at(r, c);
+    check(impl_->dtype == Dtype::f64, "mutable at() requires an f64 tensor");
     return impl_->data[static_cast<std::size_t>(r * impl_->shape[1] + c)];
   }
 
-  /// Flat accessor.
+  /// Flat accessor (reads either dtype; f32 values are widened to double).
   double item(std::int64_t i = 0) const {
     check(defined() && i >= 0 && i < numel(), "item(): index out of bounds");
-    return impl_->data[static_cast<std::size_t>(i)];
+    const auto idx = static_cast<std::size_t>(i);
+    return impl_->dtype == Dtype::f32
+               ? static_cast<double>(impl_->data_f[idx])
+               : impl_->data[idx];
   }
 
   // ---- Autograd -----------------------------------------------------------
@@ -360,16 +531,40 @@ class Tensor {
   Tensor& requires_grad(bool value);
 
   /// Gradient buffer; only meaningful after backward(). Throws if grads were
-  /// never enabled for this tensor.
+  /// never enabled for this tensor, or (like data()) if the tensor is f32.
   const std::vector<double>& grad() const {
     check(requires_grad(), "grad() on tensor without requires_grad");
+    check(impl_->dtype == Dtype::f64, "grad(): tensor stores f32, not f64");
     impl_->ensure_grad();
     return impl_->grad;
   }
   std::vector<double>& grad() {
     check(requires_grad(), "grad() on tensor without requires_grad");
+    check(impl_->dtype == Dtype::f64, "grad(): tensor stores f32, not f64");
     impl_->ensure_grad();
     return impl_->grad;
+  }
+
+  const std::vector<float>& grad_f32() const {
+    check(requires_grad(), "grad_f32() on tensor without requires_grad");
+    check(impl_->dtype == Dtype::f32, "grad_f32(): tensor stores f64");
+    impl_->ensure_grad();
+    return impl_->grad_f;
+  }
+  std::vector<float>& grad_f32() {
+    check(requires_grad(), "grad_f32() on tensor without requires_grad");
+    check(impl_->dtype == Dtype::f32, "grad_f32(): tensor stores f64");
+    impl_->ensure_grad();
+    return impl_->grad_f;
+  }
+
+  /// Dtype-generic gradient accessor; T must match dtype().
+  template <typename T>
+  std::vector<T>& grad_as() {
+    check(requires_grad(), "grad_as() on tensor without requires_grad");
+    check(impl_->dtype == dtype_of_v<T>, "grad_as(): scalar type mismatch");
+    impl_->ensure_grad();
+    return impl_->template grad_as<T>();
   }
 
   void zero_grad();
@@ -387,8 +582,12 @@ class Tensor {
   // ---- Op-construction helpers (used by ops, not by end users) ------------
 
   /// Create a result tensor wired into the tape. `parents` are recorded only
-  /// if at least one of them requires grad.
+  /// if at least one of them requires grad.  The storage vector's scalar
+  /// type selects the result dtype.
   static Tensor make_op_result(Shape shape, std::vector<double> data,
+                               std::vector<Tensor> parents,
+                               std::function<void(detail::TensorImpl&)> bwd);
+  static Tensor make_op_result(Shape shape, std::vector<float> data,
                                std::vector<Tensor> parents,
                                std::function<void(detail::TensorImpl&)> bwd);
 

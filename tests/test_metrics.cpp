@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "metrics/classification.h"
 #include "metrics/ranking.h"
@@ -100,6 +101,27 @@ TEST(ArgmaxRows, PicksLargestPerRow) {
   auto pred = argmax_rows({0.1, 0.7, 0.2, 0.5, 0.3, 0.2}, 3);
   EXPECT_EQ(pred, (std::vector<std::int32_t>{1, 0}));
   EXPECT_THROW(argmax_rows({0.1, 0.2, 0.3}, 2), std::invalid_argument);
+}
+
+TEST(ArgmaxRows, RejectsNonFiniteScores) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // An all-NaN row used to silently come out as class 0 (NaN loses every
+  // `>` comparison) — a diverged model looked like a confident one.
+  EXPECT_THROW(argmax_rows({nan, nan}, 2), std::invalid_argument);
+  EXPECT_THROW(argmax_rows({0.2, 0.8, nan, 0.1}, 2), std::invalid_argument);
+  EXPECT_THROW(argmax_rows({inf, 0.0}, 2), std::invalid_argument);
+  EXPECT_THROW(argmax_rows({-inf, 0.0}, 2), std::invalid_argument);
+}
+
+TEST(BinaryAuc, RejectsNonFiniteScores) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(binary_auc({nan, 0.5}, {1, 0}), std::invalid_argument);
+  EXPECT_THROW(binary_auc({0.5, std::numeric_limits<double>::infinity()},
+                          {1, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(binary_average_precision({nan, 0.5}, {1, 0}),
+               std::invalid_argument);
 }
 
 TEST(Multiclass, PerfectClassifierScoresPerfect) {

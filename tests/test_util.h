@@ -15,31 +15,60 @@ namespace amdgcnn::testing {
 
 /// Central-difference numerical gradient of `loss_fn` (a scalar function of
 /// the data currently stored in `param`) compared against the analytic
-/// gradient accumulated in param.grad() after loss_fn().backward().
+/// gradient accumulated in the tensor's grad buffer after
+/// loss_fn().backward().  Works for either storage dtype; `param` must store
+/// scalar type T.
 ///
-/// loss_fn must rebuild the tape from scratch at every call (it reads
-/// param.data() afresh).
-inline void expect_gradient_matches(
-    ag::Tensor& param, const std::function<ag::Tensor()>& loss_fn,
-    double eps = 1e-5, double tol = 1e-6) {
+/// loss_fn must rebuild the tape from scratch at every call (it reads the
+/// param data afresh).  The perturbed abscissae are re-read after rounding
+/// to T so the divided difference uses the step that was actually applied.
+template <typename T>
+inline void expect_gradient_matches_t(
+    ag::Tensor& param, const std::function<ag::Tensor()>& loss_fn, double eps,
+    double tol, double rel) {
   param.requires_grad(true);
   param.zero_grad();
   auto loss = loss_fn();
   loss.backward();
-  const std::vector<double> analytic = param.grad();
+  const auto& grad = param.grad_as<T>();
+  const std::vector<double> analytic(grad.begin(), grad.end());
 
-  for (std::size_t i = 0; i < param.data().size(); ++i) {
-    const double saved = param.data()[i];
-    param.data()[i] = saved + eps;
+  auto& data = param.data_as<T>();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const T saved = data[i];
+    data[i] = static_cast<T>(static_cast<double>(saved) + eps);
+    const double x_up = static_cast<double>(data[i]);
     const double up = loss_fn().item();
-    param.data()[i] = saved - eps;
+    data[i] = static_cast<T>(static_cast<double>(saved) - eps);
+    const double x_down = static_cast<double>(data[i]);
     const double down = loss_fn().item();
-    param.data()[i] = saved;
-    const double numeric = (up - down) / (2.0 * eps);
+    data[i] = saved;
+    const double numeric = (up - down) / (x_up - x_down);
     EXPECT_NEAR(analytic[i], numeric,
-                tol + 1e-4 * std::max(std::abs(analytic[i]), std::abs(numeric)))
+                tol + rel * std::max(std::abs(analytic[i]), std::abs(numeric)))
         << "gradient mismatch at flat index " << i;
   }
+}
+
+/// f64 gradcheck with the historical defaults: eps near the cube root of
+/// f64 machine epsilon, tolerance just above central-difference truncation.
+inline void expect_gradient_matches(
+    ag::Tensor& param, const std::function<ag::Tensor()>& loss_fn,
+    double eps = 1e-5, double tol = 1e-6) {
+  expect_gradient_matches_t<double>(param, loss_fn, eps, tol, /*rel=*/1e-4);
+}
+
+/// f32 gradcheck.  Tolerances re-derived for single precision: with f32
+/// machine epsilon ~1.2e-7, the divided difference's rounding error is
+/// ~ulp(loss)/(2*eps) ≈ 1e-5 at eps = 5e-3 (truncation ~eps^2 ≈ 2.5e-5),
+/// and the analytic gradient itself carries a few f32 ulps of rounding per
+/// tape op.  tol = 2e-3 absolute with a 2e-2 relative term sits an order of
+/// magnitude above that noise floor while still failing hard on any genuine
+/// backward-pass bug (those are O(1) relative errors).
+inline void expect_gradient_matches_f32(
+    ag::Tensor& param, const std::function<ag::Tensor()>& loss_fn,
+    double eps = 5e-3, double tol = 2e-3) {
+  expect_gradient_matches_t<float>(param, loss_fn, eps, tol, /*rel=*/2e-2);
 }
 
 /// A 5-node path graph 0-1-2-3-4 with one node type and one edge type.
