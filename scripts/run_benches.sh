@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Build the Release tree and run the throughput benchmarks, leaving
-# BENCH_training.json and BENCH_extraction.json at the repository root
-# (the training bench covers both storage precisions: every dataset/model
-# pair gets f64 and f32 rows plus a per-dtype determinism check), then
-# re-run the parallel-build determinism/property tests AND the dtype suite
-# under ASan+UBSan (AMDGCNN_SANITIZE=ON) in a separate build tree.
+# BENCH_training.json, BENCH_extraction.json and BENCH_inference.json at
+# the repository root (the training and inference benches cover both
+# storage precisions: every dataset/model pair gets f64 and f32 rows plus
+# per-dtype determinism / bit-identity checks), then re-run the
+# parallel-build determinism/property tests, the dtype suite AND the
+# forward-only inference suite under ASan+UBSan (AMDGCNN_SANITIZE=ON) in a
+# separate build tree.
 #
 # Usage: scripts/run_benches.sh [--smoke] [--skip-sanitize]
 #   --smoke           shrink datasets/iterations (seconds instead of minutes)
@@ -34,7 +36,8 @@ done
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j \
-  --target bench_training_throughput bench_extraction_throughput
+  --target bench_training_throughput bench_extraction_throughput \
+           bench_inference_throughput
 
 "${build_dir}/bench/bench_training_throughput" \
   --out "${repo_root}/BENCH_training.json" ${bench_args[@]+"${bench_args[@]}"}
@@ -44,17 +47,27 @@ echo "wrote ${repo_root}/BENCH_training.json"
   --out "${repo_root}/BENCH_extraction.json" ${bench_args[@]+"${bench_args[@]}"}
 echo "wrote ${repo_root}/BENCH_extraction.json"
 
+"${build_dir}/bench/bench_inference_throughput" \
+  --out "${repo_root}/BENCH_inference.json" ${bench_args[@]+"${bench_args[@]}"}
+echo "wrote ${repo_root}/BENCH_inference.json"
+
 if [[ "${run_sanitize}" -eq 1 ]]; then
   # The determinism / property / pool tests guard the parallel dataset build,
-  # and the dtype suite exercises the f32 storage path (dual-width buffer
-  # pools, cast boundaries, v2 checkpoints); running them under ASan+UBSan
-  # catches scratch-buffer misuse (aliasing, use-after-release, short reads
-  # across the f32/f64 width change) that the plain build cannot see.
+  # the dtype suite exercises the f32 storage path (dual-width buffer
+  # pools, cast boundaries, v2 checkpoints), and the infer suite exercises
+  # the bump-pointer arena forward (raw pointer arithmetic over one block);
+  # running them under ASan+UBSan catches scratch-buffer misuse (aliasing,
+  # use-after-release, short reads across the f32/f64 width change,
+  # out-of-arena writes) that the plain build cannot see.
   cmake -B "${asan_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAMDGCNN_SANITIZE=ON
-  cmake --build "${asan_dir}" -j --target amdgcnn_tests amdgcnn_dtype_tests
+  cmake --build "${asan_dir}" -j \
+    --target amdgcnn_tests amdgcnn_dtype_tests amdgcnn_infer_tests
   ctest --test-dir "${asan_dir}" --output-on-failure \
     -R 'ParallelDatasetBuild|DrnlProperty|ExtractionProperty|BufferPool|SortPoolEquivalence'
   ctest --test-dir "${asan_dir}" --output-on-failure -L dtype
-  echo "sanitizer pass over the parallel-build and dtype test layers: OK"
+  # -E: the bench smoke also carries the `infer` label, but its speedup
+  # floor is calibrated for an uninstrumented Release build.
+  ctest --test-dir "${asan_dir}" --output-on-failure -L infer -E bench_
+  echo "sanitizer pass over the parallel-build, dtype and infer test layers: OK"
 fi

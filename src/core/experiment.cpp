@@ -29,12 +29,14 @@ std::int64_t scaled_links(std::int64_t full_count, BenchScale scale) {
 seal::SealDataset prepare_seal_dataset(const datasets::LinkDataset& data,
                                        std::int64_t max_subgraph_nodes,
                                        std::int64_t max_drnl_label,
-                                       std::int64_t build_threads) {
+                                       std::int64_t build_threads,
+                                       ag::Dtype dtype) {
   seal::SealDatasetOptions options;
   options.extract.num_hops = 2;  // paper §III-A
   options.extract.mode = data.neighborhood_mode;
   options.extract.max_nodes = max_subgraph_nodes;
   options.features.max_drnl_label = max_drnl_label;
+  options.features.dtype = dtype;
   options.num_threads = build_threads;
   return seal::build_seal_dataset(data.graph, data.train_links,
                                   data.test_links, data.num_classes, options);
@@ -61,12 +63,21 @@ RunResult run_model(const seal::SealDataset& dataset, models::GnnKind kind,
   mc.num_classes = dataset.num_classes;
   mc.hidden_dim = params.hidden_dim;
   mc.sort_k = params.sort_k;
+  // Model precision follows the dataset build (FeatureOptions::dtype): a
+  // dataset prepared at f32 trains and evaluates at f32 with no boundary
+  // casts, while the long-standing f64 pipelines are untouched.  This also
+  // puts HPO sweeps (tune_model routes through here) on the dataset's dtype.
+  if (!dataset.train.empty() && dataset.train.front().node_feat.defined())
+    mc.dtype = dataset.train.front().node_feat.dtype();
+  else if (!dataset.test.empty() && dataset.test.front().node_feat.defined())
+    mc.dtype = dataset.test.front().node_feat.dtype();
 
   models::TrainConfig tc;
   tc.learning_rate = params.learning_rate;
   tc.epochs = epochs;
   tc.seed = seed;
   tc.batch_size = batch_size;
+  tc.dtype = mc.dtype;
 
   util::Rng init_rng(seed ^ 0xA5A5A5A5ULL);
   auto model = models::make_link_gnn(mc, init_rng);

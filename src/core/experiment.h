@@ -30,10 +30,14 @@ std::int64_t scaled_links(std::int64_t full_count, BenchScale scale);
 /// intersection for PrimeKG, union otherwise).  `build_threads` follows the
 /// SealDatasetOptions contract: 0 = serial, >= 1 = deterministic parallel
 /// build with that many workers (bit-identical output either way).
+/// `dtype` is the storage precision of the produced feature tensors;
+/// run_model derives the model precision from it, so building at f32 trains
+/// and evaluates the whole pipeline at f32.
 seal::SealDataset prepare_seal_dataset(const datasets::LinkDataset& data,
                                        std::int64_t max_subgraph_nodes = 48,
                                        std::int64_t max_drnl_label = 24,
-                                       std::int64_t build_threads = 0);
+                                       std::int64_t build_threads = 0,
+                                       ag::Dtype dtype = ag::Dtype::f64);
 
 /// The "default hyperparameters" of the paper's experiment design: the
 /// configuration auto-tuned on Cora (no edge attributes) and reused

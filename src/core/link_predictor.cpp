@@ -1,0 +1,86 @@
+#include "core/link_predictor.h"
+
+#include <exception>
+#include <stdexcept>
+
+#include "metrics/classification.h"
+
+namespace amdgcnn::core {
+
+namespace {
+/// One arena per worker thread, shared across LinkPredictor instances (the
+/// arena is shape-agnostic and grows to the largest pass it ever serves).
+infer::Arena& tls_arena() {
+  thread_local infer::Arena arena;
+  return arena;
+}
+}  // namespace
+
+LinkPredictor::LinkPredictor(const models::LinkGNN& model, Options options)
+    : frozen_(model), options_(std::move(options)) {
+  if (options_.dataset.num_threads < 0)
+    throw std::invalid_argument("LinkPredictor: num_threads must be >= 0");
+  if (options_.warm_nodes > 0)
+    frozen_.warm_up(arena_, options_.warm_nodes, options_.warm_edges);
+}
+
+LinkPredictions LinkPredictor::predict_links(
+    const graph::KnowledgeGraph& g,
+    const std::vector<seal::LinkExample>& links) const {
+  const std::int64_t c = frozen_.config().num_classes;
+  LinkPredictions result;
+  result.num_classes = c;
+  result.proba.resize(links.size() * static_cast<std::size_t>(c));
+  const auto n = static_cast<std::int64_t>(links.size());
+
+  if (options_.dataset.num_threads == 0) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto sample = seal::make_sample(g, links[i], options_.dataset);
+      frozen_.predict_proba(sample, arena_, result.proba.data() + i * c);
+    }
+  } else {
+    // Deterministic parallel path (same pattern as seal::build_samples):
+    // links are distributed dynamically, but each probability row lands in
+    // its pre-sized slot and depends only on its link — extraction scratch
+    // comes from thread-local pools, activations from the worker's own
+    // thread-local arena — so the batch is bit-identical for any worker
+    // count.  Exceptions cannot cross the OpenMP region; the first one is
+    // captured and rethrown after the join.
+    [[maybe_unused]] const int nt =
+        static_cast<int>(options_.dataset.num_threads);
+    std::exception_ptr error;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) num_threads(nt)
+#endif
+    for (std::int64_t i = 0; i < n; ++i) {
+      try {
+        const auto sample = seal::make_sample(g, links[i], options_.dataset);
+        frozen_.predict_proba(sample, tls_arena(),
+                              result.proba.data() + i * c);
+      } catch (...) {
+#ifdef _OPENMP
+#pragma omp critical
+#endif
+        {
+          if (!error) error = std::current_exception();
+        }
+      }
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+  result.labels = metrics::argmax_rows(result.proba, c);
+  return result;
+}
+
+void LinkPredictor::forward_logits(const seal::SubgraphSample& sample,
+                                   double* out) const {
+  frozen_.forward_logits(sample, arena_, out);
+}
+
+void LinkPredictor::predict_proba_sample(const seal::SubgraphSample& sample,
+                                         double* out) const {
+  frozen_.predict_proba(sample, arena_, out);
+}
+
+}  // namespace amdgcnn::core

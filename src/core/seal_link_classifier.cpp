@@ -44,6 +44,15 @@ std::vector<std::int32_t> SealLinkClassifier::predict(
   return metrics::argmax_rows(probs, config_.model.num_classes);
 }
 
+LinkPredictions SealLinkClassifier::predict_links(
+    const graph::KnowledgeGraph& g,
+    const std::vector<seal::LinkExample>& links) const {
+  require_fitted();
+  LinkPredictor::Options options;
+  options.dataset = config_.dataset;
+  return LinkPredictor(*model_, std::move(options)).predict_links(g, links);
+}
+
 models::EvalResult SealLinkClassifier::evaluate(
     const graph::KnowledgeGraph& g,
     const std::vector<seal::LinkExample>& links) const {

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/link_predictor.h"
 #include "models/trainer.h"
 #include "seal/dataset.h"
 
@@ -51,6 +52,15 @@ class SealLinkClassifier {
 
   /// Argmax class predictions.
   std::vector<std::int32_t> predict(
+      const graph::KnowledgeGraph& g,
+      const std::vector<seal::LinkExample>& links) const;
+
+  /// Batch inference through the frozen engine (src/infer): freezes the
+  /// trained model and runs the extract -> DRNL -> featurize -> arena
+  /// forward pipeline.  Probabilities are bit-identical to predict_proba()
+  /// for any dataset.num_threads; for repeated batches construct a
+  /// core::LinkPredictor once instead.
+  LinkPredictions predict_links(
       const graph::KnowledgeGraph& g,
       const std::vector<seal::LinkExample>& links) const;
 

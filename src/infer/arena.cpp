@@ -1,0 +1,84 @@
+#include "infer/arena.h"
+
+#include <algorithm>
+
+namespace amdgcnn::infer {
+
+namespace {
+constexpr std::size_t kMinBlockBytes = 1 << 14;  // 16 KiB floor
+
+std::size_t align_up(std::size_t n, std::size_t a) {
+  return (n + a - 1) & ~(a - 1);
+}
+}  // namespace
+
+Arena::Arena(std::size_t initial_bytes) {
+  if (initial_bytes > 0) add_block(initial_bytes);
+}
+
+void Arena::add_block(std::size_t min_bytes) {
+  // Geometric growth bounds the number of mid-pass chainings to O(log size);
+  // reset() collapses the chain again, so capacity stays within 2x of the
+  // largest pass ever seen plus one growth step.
+  const std::size_t want =
+      std::max({min_bytes, capacity_bytes(), kMinBlockBytes});
+  Block b;
+  b.size = align_up(want, kAlign);
+  b.storage = std::make_unique<std::byte[]>(b.size + kAlign - 1);
+  b.base = reinterpret_cast<std::byte*>(
+      align_up(reinterpret_cast<std::uintptr_t>(b.storage.get()), kAlign));
+  blocks_.push_back(std::move(b));
+  active_ = blocks_.size() - 1;
+}
+
+void* Arena::alloc_raw(std::size_t bytes) {
+  const std::size_t need = align_up(std::max<std::size_t>(bytes, 1), kAlign);
+  if (blocks_.empty()) add_block(need);
+  // Later blocks of a chained pass may have been rewound empty; advance
+  // through them before chaining a fresh one.
+  while (blocks_[active_].used + need > blocks_[active_].size) {
+    if (active_ + 1 < blocks_.size())
+      ++active_;
+    else {
+      add_block(need);
+      break;
+    }
+  }
+  Block& b = blocks_[active_];
+  std::byte* p = b.base + b.used;
+  b.used += need;
+  peak_ = std::max(peak_, used_bytes());
+  return p;
+}
+
+void Arena::rewind(Mark m) {
+  if (m.block >= blocks_.size()) return;
+  for (std::size_t i = m.block + 1; i < blocks_.size(); ++i)
+    blocks_[i].used = 0;
+  blocks_[m.block].used = m.used;
+  active_ = m.block;
+}
+
+void Arena::reset() {
+  if (blocks_.size() > 1) {
+    const std::size_t total = capacity_bytes();
+    blocks_.clear();
+    add_block(total);
+  }
+  for (auto& b : blocks_) b.used = 0;
+  active_ = 0;
+}
+
+std::size_t Arena::used_bytes() const {
+  std::size_t total = 0;
+  for (const auto& b : blocks_) total += b.used;
+  return total;
+}
+
+std::size_t Arena::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const auto& b : blocks_) total += b.size;
+  return total;
+}
+
+}  // namespace amdgcnn::infer

@@ -1,0 +1,93 @@
+// Bump-pointer activation arena for the forward-only inference engine
+// (DESIGN.md §2.4).
+//
+// A frozen forward pass allocates a fully predictable sequence of activation
+// buffers whose lifetimes all end when the query's logits are read out.
+// That access pattern needs none of the machinery the training path pays
+// for — no tape nodes, no per-buffer shared_ptr, no size-class pool lookups.
+// The arena hands out 64-byte-aligned slices of one large block by bumping
+// an offset; `reset()` at the start of the next query makes every byte
+// reusable in O(1).
+//
+// Growth contract: the arena never invalidates outstanding pointers
+// mid-pass.  When a request does not fit the current block, a new block is
+// chained (the old one keeps its live allocations); the next `reset()`
+// coalesces all blocks into a single one of their combined capacity, so a
+// steady-state workload reaches one right-sized block after its first query
+// and never allocates again — the arena-reuse tests assert exactly this.
+// `mark()`/`rewind()` give scoped reclamation within a pass (per-layer
+// intermediates die young; only the layer outputs survive to the concat).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace amdgcnn::infer {
+
+class Arena {
+ public:
+  /// Alignment of every allocation and block base (one cache line).
+  static constexpr std::size_t kAlign = 64;
+
+  /// `initial_bytes` pre-sizes the first block (0 = defer until first use).
+  explicit Arena(std::size_t initial_bytes = 0);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Position snapshot for scoped reclamation; only valid until the next
+  /// reset() of the same arena.
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t used = 0;
+  };
+
+  /// Bump-allocate `count` elements of trivially-destructible T, 64-byte
+  /// aligned.  Grows (new chained block) when out of space; never moves or
+  /// invalidates prior allocations.
+  template <typename T>
+  T* alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::alloc: arena memory is never destructed");
+    return static_cast<T*>(alloc_raw(count * sizeof(T)));
+  }
+
+  Mark mark() const { return {active_, blocks_.empty() ? 0 : blocks_[active_].used}; }
+
+  /// Roll the bump pointer back to `m`, freeing everything allocated after
+  /// it (blocks stay owned; only their offsets move).
+  void rewind(Mark m);
+
+  /// Drop all allocations.  If the pass overflowed into extra blocks, they
+  /// are coalesced into one block of the combined capacity, so repeated
+  /// same-shaped queries stabilise at a single block.
+  void reset();
+
+  /// Bytes currently allocated (including per-allocation alignment padding).
+  std::size_t used_bytes() const;
+  /// Total bytes owned across all blocks.
+  std::size_t capacity_bytes() const;
+  /// High-water mark of used_bytes() over the arena's lifetime.
+  std::size_t peak_bytes() const { return peak_; }
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> storage;  // over-allocated by kAlign - 1
+    std::byte* base = nullptr;             // aligned start within storage
+    std::size_t size = 0;                  // usable bytes from base
+    std::size_t used = 0;
+  };
+
+  void* alloc_raw(std::size_t bytes);
+  void add_block(std::size_t min_bytes);
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  // index of the block currently bumping
+  std::size_t peak_ = 0;
+};
+
+}  // namespace amdgcnn::infer

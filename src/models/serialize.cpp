@@ -74,30 +74,43 @@ void save_weights(const nn::Module& module, const std::string& path) {
   if (!out) throw std::runtime_error("save_weights: write failed to " + path);
 }
 
-void load_weights(nn::Module& module, const std::string& path) {
+void load_weights(nn::Module& module, const std::string& path,
+                  const std::string& context) {
+  // Every error leads with "load_weights[context]" so a caller juggling
+  // several checkpoints (HPO sweeps, the serve driver) can tell which
+  // model/config pair was at fault.
+  const std::string who =
+      context.empty() ? std::string("load_weights")
+                      : "load_weights[" + context + "]";
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_weights: cannot open " + path);
+  if (!in) throw std::runtime_error(who + ": cannot open " + path);
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::string(magic, 4) != std::string(kMagic, 4))
-    throw std::runtime_error("load_weights: bad magic in " + path);
+    throw std::runtime_error(who + ": bad magic in " + path);
   const auto version = read_pod<std::uint32_t>(in);
   if (version != kVersion && version != kVersionLegacyF64)
-    throw std::runtime_error("load_weights: unsupported version " +
+    throw std::runtime_error(who + ": unsupported version " +
                              std::to_string(version));
   const auto count = read_pod<std::uint64_t>(in);
 
   auto params = module.parameters();
   if (count != params.size())
-    throw std::runtime_error("load_weights: parameter count mismatch");
-  for (auto& p : params) {
+    throw std::runtime_error(
+        who + ": parameter count mismatch, file has " + std::to_string(count) +
+        " tensors but the model expects " + std::to_string(params.size()) +
+        " (was the checkpoint written with a different ModelConfig?)");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto& p = params[i];
+    const std::string where = " at parameter " + std::to_string(i) + " of " +
+                              std::to_string(params.size());
     const ag::Dtype stored = version == kVersionLegacyF64
                                  ? ag::Dtype::f64
                                  : dtype_from_code(read_pod<std::uint8_t>(in));
     if (stored != p.dtype())
       throw std::runtime_error(
-          std::string("load_weights: dtype mismatch, file stores ") +
-          ag::dtype_name(stored) + " but model parameter is " +
+          who + ": dtype mismatch" + where + ", file stores " +
+          ag::dtype_name(stored) + " but the model parameter is " +
           ag::dtype_name(p.dtype()) +
           " (re-save the checkpoint or rebuild the model with a matching "
           "ModelConfig::dtype)");
@@ -105,9 +118,11 @@ void load_weights(nn::Module& module, const std::string& path) {
     ag::Shape shape(rank);
     for (auto& d : shape) d = read_pod<std::int64_t>(in);
     if (shape != p.shape())
-      throw std::runtime_error("load_weights: shape mismatch, file " +
+      throw std::runtime_error(who + ": shape mismatch" + where + ", file " +
                                ag::shape_str(shape) + " vs model " +
-                               ag::shape_str(p.shape()));
+                               ag::shape_str(p.shape()) +
+                               " (checkpoint written with different "
+                               "architecture hyperparameters?)");
     if (stored == ag::Dtype::f32) {
       auto& data = p.data_as<float>();
       in.read(reinterpret_cast<char*>(data.data()),
@@ -117,13 +132,18 @@ void load_weights(nn::Module& module, const std::string& path) {
       in.read(reinterpret_cast<char*>(data.data()),
               static_cast<std::streamsize>(data.size() * sizeof(double)));
     }
-    if (!in) throw std::runtime_error("load_weights: truncated tensor data");
+    if (!in)
+      throw std::runtime_error(who + ": truncated tensor data" + where);
   }
   // A well-formed checkpoint ends exactly after the last tensor; anything
   // further means the file does not match the model it is being loaded into.
   if (in.peek() != std::ifstream::traits_type::eof())
-    throw std::runtime_error(
-        "load_weights: trailing garbage after last tensor in " + path);
+    throw std::runtime_error(who + ": trailing garbage after last tensor in " +
+                             path);
+}
+
+void load_weights(nn::Module& module, const std::string& path) {
+  load_weights(module, path, std::string());
 }
 
 }  // namespace amdgcnn::models

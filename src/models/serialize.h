@@ -31,6 +31,11 @@ void save_weights(const nn::Module& module, const std::string& path);
 /// v1 (implicit f64) and v2 files.  Throws std::runtime_error on I/O
 /// failure, format error, trailing bytes after the last tensor, or any
 /// count/shape/dtype mismatch with the module's current parameters.
+/// Mismatch errors name the offending parameter index and state expected vs
+/// found; `context` (e.g. the model name) prefixes every error so callers
+/// loading several checkpoints can tell them apart.
+void load_weights(nn::Module& module, const std::string& path,
+                  const std::string& context);
 void load_weights(nn::Module& module, const std::string& path);
 
 }  // namespace amdgcnn::models

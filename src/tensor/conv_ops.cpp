@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "tensor/fwd_kernels.h"
+
 namespace amdgcnn::ag::ops {
 
 namespace {
@@ -18,27 +20,15 @@ template <typename T>
 Tensor sort_pool_impl(const Tensor& x, std::int64_t k) {
   const std::int64_t n = x.dim(0), c = x.dim(1);
 
-  // Order row indices by descending last column, then by descending earlier
-  // columns, finally by ascending original index.  The index tie-break makes
-  // the comparator a strict total order, so the top-k row SET is unique:
-  // nth_element + partial sort of the kept prefix selects exactly the rows a
-  // full sort would, in the same order, at O(n + k log k) instead of
-  // O(n log n) — only the k surviving rows ever need mutual ordering.
+  // Row selection lives in fwd::sort_perm_topk (fwd_kernels.h, shared with
+  // the frozen inference path): descending last column, then descending
+  // earlier columns, finally ascending original index — a strict total
+  // order, so the top-k row SET is unique and nth_element + partial sort of
+  // the kept prefix selects exactly the rows a full sort would, in the same
+  // order, at O(n + k log k) instead of O(n log n).
   std::vector<std::int64_t> perm(static_cast<std::size_t>(n));
-  std::iota(perm.begin(), perm.end(), std::int64_t{0});
   const auto& d = x.data_as<T>();
-  const auto row_before = [&](std::int64_t a, std::int64_t b) {
-    for (std::int64_t col = c - 1; col >= 0; --col) {
-      const T va = d[a * c + col], vb = d[b * c + col];
-      if (va != vb) return va > vb;
-    }
-    return a < b;
-  };
-  const std::int64_t keep = std::min(n, k);
-  if (keep < n)
-    std::nth_element(perm.begin(), perm.begin() + keep, perm.end(),
-                     row_before);
-  std::sort(perm.begin(), perm.begin() + keep, row_before);
+  const std::int64_t keep = fwd::sort_perm_topk(d.data(), n, c, k, perm.data());
   std::vector<T> out = detail::new_zeroed_t<T>(static_cast<std::size_t>(k * c));
   for (std::int64_t r = 0; r < keep; ++r)
     std::copy_n(d.begin() + perm[r] * c, c, out.begin() + r * c);
@@ -69,55 +59,15 @@ Tensor conv1d_impl(const Tensor& x, const Tensor& weight, const Tensor& bias,
   const auto& xd = x.data_as<T>();
   const auto& wd = weight.data_as<T>();
   const T* bv = has_bias ? bias.data_as<T>().data() : nullptr;
-  // Two layouts, both fixed-order (bit-deterministic for a given dtype):
-  //  - stride == 1 (the second read-out conv, K=5): vectorise across output
-  //    positions — for each weight tap the update `orow[j] += wv * xs[j]` is
-  //    unit-stride in j, so the whole lout row runs as SIMD.  A dot-product
-  //    per output element would spend more time zeroing accumulators than
-  //    multiplying at K this small.
-  //  - strided (the first read-out conv, kernel = stride = total embedding
-  //    width): dot products are unavoidable, so split each into kLanes
-  //    independent accumulators — a single running sum is a serial FP chain
-  //    the compiler may not reassociate into SIMD.
-  if (stride == 1) {
-    T* __restrict__ op = out.data();
-    for (std::int64_t oc = 0; oc < cout; ++oc) {
-      T* __restrict__ orow = op + oc * lout;
-      const T b0 = has_bias ? bv[oc] : T(0);
-      for (std::int64_t j = 0; j < lout; ++j) orow[j] = b0;
-      const T* wrow = wd.data() + oc * cin * kernel;
-      for (std::int64_t ic = 0; ic < cin; ++ic) {
-        const T* xrow = xd.data() + ic * len;
-        const T* wk = wrow + ic * kernel;
-        for (std::int64_t t = 0; t < kernel; ++t) {
-          const T wv = wk[t];
-          const T* __restrict__ xs = xrow + t;
-          for (std::int64_t j = 0; j < lout; ++j) orow[j] += wv * xs[j];
-        }
-      }
-    }
-  } else {
-    constexpr int kLanes = 64 / sizeof(T);
-    for (std::int64_t oc = 0; oc < cout; ++oc) {
-      const T* wrow = wd.data() + oc * cin * kernel;
-      for (std::int64_t j = 0; j < lout; ++j) {
-        T acc = has_bias ? bv[oc] : T(0);
-        const std::int64_t base = j * stride;
-        for (std::int64_t ic = 0; ic < cin; ++ic) {
-          const T* xrow = xd.data() + ic * len + base;
-          const T* wk = wrow + ic * kernel;
-          T lanes[kLanes] = {};
-          std::int64_t t = 0;
-          for (; t + kLanes <= kernel; t += kLanes)
-            for (int l = 0; l < kLanes; ++l)
-              lanes[l] += xrow[t + l] * wk[t + l];
-          for (int l = 0; l < kLanes; ++l) acc += lanes[l];
-          for (; t < kernel; ++t) acc += xrow[t] * wk[t];
-        }
-        out[oc * lout + j] = acc;
-      }
-    }
-  }
+  // Shared forward (fwd_kernels.h — the frozen inference path runs the same
+  // instantiation).  Two layouts, both fixed-order (bit-deterministic for a
+  // given dtype): stride == 1 (the second read-out conv, K=5) vectorises
+  // across output positions; strided (the first read-out conv, kernel =
+  // stride = total embedding width) splits each unavoidable dot product
+  // into kLanes independent accumulators — a single running sum is a serial
+  // FP chain the compiler may not reassociate into SIMD.
+  fwd::conv1d_fwd(xd.data(), wd.data(), bv, out.data(), cin, len, cout,
+                  kernel, stride);
 
   std::vector<Tensor> parents = {x, weight};
   if (has_bias) parents.push_back(bias);
@@ -174,15 +124,8 @@ Tensor max_pool1d_impl(const Tensor& x, std::int64_t size,
   auto argmax = std::make_shared<std::vector<std::int64_t>>(
       static_cast<std::size_t>(c * lout));
   const auto& xd = x.data_as<T>();
-  for (std::int64_t ch = 0; ch < c; ++ch)
-    for (std::int64_t j = 0; j < lout; ++j) {
-      std::int64_t best = j * stride;
-      for (std::int64_t t = 1; t < size; ++t)
-        if (xd[ch * len + j * stride + t] > xd[ch * len + best])
-          best = j * stride + t;
-      out[ch * lout + j] = xd[ch * len + best];
-      (*argmax)[ch * lout + j] = best;
-    }
+  fwd::max_pool1d_fwd(xd.data(), out.data(), argmax->data(), c, len, size,
+                      stride);
   return Tensor::make_op_result(
       {c, lout}, std::move(out), {x},
       [x, argmax, c, len, lout](detail::TensorImpl& self) {

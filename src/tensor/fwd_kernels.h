@@ -1,0 +1,300 @@
+// Forward-only kernels shared by the autograd ops (ops.cpp, conv_ops.cpp,
+// segment_ops.cpp) and the frozen inference engine (src/infer).
+//
+// The inference engine's contract is BIT-IDENTICAL logits to the training
+// forward pass.  That only holds if both paths execute the same floating-
+// point operations in the same order AND the compiler emits the same code
+// for them — a re-implementation that merely mirrors the loop structure can
+// still diverge when the optimizer contracts a mul+add into an FMA in one
+// translation unit but not the other.  Factoring the forward loop bodies
+// into one set of inline templates removes that risk: every caller
+// instantiates the same function from the same source under the same flags.
+//
+// Only the order- or contraction-sensitive forwards live here (dot-product
+// reductions, softmax normalisers, conv taps, the SortPooling comparator).
+// Single-FP-op-per-element forwards (add, relu, tanh, scaling) are exact by
+// construction in any code shape and stay inline at their call sites.
+//
+// All kernels are raw-pointer, caller-allocated: autograd callers hand
+// pooled vectors, the inference engine hands arena blocks.  None of them
+// touch the tape, the buffer pool, or any global state.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+
+#include "tensor/kernels.h"
+
+namespace amdgcnn::ag::fwd {
+
+/// out[n,m] = bias (row broadcast) + a[n,k] · w[k,m].  The fused-linear
+/// forward (addmm / linear_relu / linear_tanh before their activations).
+template <typename T>
+inline void linear_fwd(const T* __restrict__ a, const T* __restrict__ w,
+                       const T* __restrict__ bias, T* __restrict__ out,
+                       std::int64_t n, std::int64_t k, std::int64_t m) {
+  for (std::int64_t i = 0; i < n; ++i) std::copy_n(bias, m, out + i * m);
+  kern::mm_add(a, w, out, n, k, m);
+}
+
+/// out[e,heads] = per-head dot of x[e,hf] rows against the parameter row
+/// a[hf].  Lane-split f64 accumulation (dtype policy: attention logits that
+/// feed a softmax accumulate in double for either storage width; the fixed
+/// lane order keeps results bit-deterministic).
+template <typename T>
+inline void heads_dot_fwd(const T* __restrict__ x, const T* __restrict__ a,
+                          T* __restrict__ out, std::int64_t e,
+                          std::int64_t hf, std::int64_t heads) {
+  const std::int64_t f = hf / heads;
+  for (std::int64_t r = 0; r < e; ++r) {
+    const T* xrow = x + r * hf;
+    for (std::int64_t h = 0; h < heads; ++h) {
+      constexpr int kLanes = 8;
+      double lanes[kLanes] = {};
+      const T* arow = a + h * f;
+      const T* hx = xrow + h * f;
+      std::int64_t c = 0;
+      for (; c + kLanes <= f; c += kLanes)
+        for (int l = 0; l < kLanes; ++l)
+          lanes[l] += static_cast<double>(hx[c + l]) *
+                      static_cast<double>(arow[c + l]);
+      double acc = 0.0;
+      for (int l = 0; l < kLanes; ++l) acc += lanes[l];
+      for (; c < f; ++c)
+        acc += static_cast<double>(hx[c]) * static_cast<double>(arow[c]);
+      out[r * heads + h] = static_cast<T>(acc);
+    }
+  }
+}
+
+/// out[e,hf] = x[e,hf] with each head block scaled by alpha[e,heads].
+template <typename T>
+inline void heads_scale_fwd(const T* __restrict__ x,
+                            const T* __restrict__ alpha, T* __restrict__ out,
+                            std::int64_t e, std::int64_t hf,
+                            std::int64_t heads) {
+  const std::int64_t f = hf / heads;
+  for (std::int64_t r = 0; r < e; ++r)
+    for (std::int64_t h = 0; h < heads; ++h) {
+      const T s = alpha[r * heads + h];
+      const std::int64_t base = r * hf + h * f;
+      for (std::int64_t c = 0; c < f; ++c) out[base + c] = x[base + c] * s;
+    }
+}
+
+/// Segment-softmax forward: out[e,h] = softmax of scores[e,h] within each
+/// destination segment.  `seg_max` is caller scratch of num_segments*h T
+/// (overwritten), `seg_sum` caller scratch of num_segments*h doubles (must
+/// be zeroed).  Max pass and exp run at storage width; the normaliser
+/// accumulates in f64 (dtype policy, DESIGN.md §2.3).
+template <typename T>
+inline void segment_softmax_fwd(const T* __restrict__ sv,
+                                const std::int64_t* __restrict__ segment,
+                                T* __restrict__ out, T* __restrict__ seg_max,
+                                double* __restrict__ seg_sum, std::int64_t e,
+                                std::int64_t h, std::int64_t num_segments) {
+  std::fill(seg_max, seg_max + num_segments * h,
+            -std::numeric_limits<T>::infinity());
+  for (std::int64_t r = 0; r < e; ++r)
+    for (std::int64_t c = 0; c < h; ++c)
+      seg_max[segment[r] * h + c] =
+          std::max(seg_max[segment[r] * h + c], sv[r * h + c]);
+  for (std::int64_t r = 0; r < e; ++r)
+    for (std::int64_t c = 0; c < h; ++c) {
+      const T ex = std::exp(sv[r * h + c] - seg_max[segment[r] * h + c]);
+      out[r * h + c] = ex;
+      seg_sum[segment[r] * h + c] += static_cast<double>(ex);
+    }
+  for (std::int64_t r = 0; r < e; ++r)
+    for (std::int64_t c = 0; c < h; ++c)
+      out[r * h + c] = static_cast<T>(static_cast<double>(out[r * h + c]) /
+                                      seg_sum[segment[r] * h + c]);
+}
+
+/// out[num_rows,m] = bias (row broadcast) + scatter-add of src[e,m] rows by
+/// `index`.  Fixed edge order — deterministic for either dtype.
+template <typename T>
+inline void scatter_add_bias_fwd(const T* __restrict__ src,
+                                 const std::int64_t* __restrict__ index,
+                                 std::int64_t e, std::int64_t num_rows,
+                                 std::int64_t m, const T* __restrict__ bias,
+                                 T* __restrict__ out) {
+  for (std::int64_t r = 0; r < num_rows; ++r)
+    std::copy_n(bias, m, out + r * m);
+  for (std::int64_t r = 0; r < e; ++r)
+    for (std::int64_t c = 0; c < m; ++c)
+      out[index[r] * m + c] += src[r * m + c];
+}
+
+/// SortPooling row selection: fill perm[0..n) with the indices of d[n,c]
+/// ordered by the DGCNN comparator (descending last column, then descending
+/// earlier columns, finally ascending index — a strict total order, so the
+/// kept set and its order are unique).  Only the first min(n,k) entries are
+/// mutually ordered (nth_element + sort of the kept prefix); returns that
+/// count.  The caller copies the surviving rows.
+template <typename T>
+inline std::int64_t sort_perm_topk(const T* d, std::int64_t n, std::int64_t c,
+                                   std::int64_t k, std::int64_t* perm) {
+  std::iota(perm, perm + n, std::int64_t{0});
+  const auto row_before = [&](std::int64_t a, std::int64_t b) {
+    for (std::int64_t col = c - 1; col >= 0; --col) {
+      const T va = d[a * c + col], vb = d[b * c + col];
+      if (va != vb) return va > vb;
+    }
+    return a < b;
+  };
+  const std::int64_t keep = std::min(n, k);
+  if (keep < n) std::nth_element(perm, perm + keep, perm + n, row_before);
+  std::sort(perm, perm + keep, row_before);
+  return keep;
+}
+
+/// 1-D convolution forward over a [cin, len] signal with weight
+/// [cout, cin*kernel] and optional bias [cout] (nullptr = no bias).  Two
+/// fixed-order layouts (see conv_ops.cpp for the rationale): stride == 1
+/// vectorises across output positions, strided splits each dot product into
+/// kLanes independent accumulators.
+template <typename T>
+inline void conv1d_fwd(const T* __restrict__ xd, const T* __restrict__ wd,
+                       const T* __restrict__ bv, T* __restrict__ out,
+                       std::int64_t cin, std::int64_t len, std::int64_t cout,
+                       std::int64_t kernel, std::int64_t stride) {
+  const std::int64_t lout = (len - kernel) / stride + 1;
+  if (stride == 1) {
+    // Short output rows (every model shape: lout = conv_out_len) are held
+    // in registers across the whole (ic, t) accumulation instead of being
+    // re-loaded/re-stored per tap; each orow[j] sees the same
+    // bias-then-`+= wv·x` sequence in the same order either way.
+    constexpr std::int64_t kMaxTile = 32;
+    if (lout <= kMaxTile) {
+      for (std::int64_t oc = 0; oc < cout; ++oc) {
+        T acc[kMaxTile];
+        const T b0 = bv != nullptr ? bv[oc] : T(0);
+        for (std::int64_t j = 0; j < lout; ++j) acc[j] = b0;
+        const T* wrow = wd + oc * cin * kernel;
+        for (std::int64_t ic = 0; ic < cin; ++ic) {
+          const T* xrow = xd + ic * len;
+          const T* wk = wrow + ic * kernel;
+          for (std::int64_t t = 0; t < kernel; ++t) {
+            const T wv = wk[t];
+            const T* __restrict__ xs = xrow + t;
+            for (std::int64_t j = 0; j < lout; ++j) acc[j] += wv * xs[j];
+          }
+        }
+        T* orow = out + oc * lout;
+        for (std::int64_t j = 0; j < lout; ++j) orow[j] = acc[j];
+      }
+    } else {
+      for (std::int64_t oc = 0; oc < cout; ++oc) {
+        T* __restrict__ orow = out + oc * lout;
+        const T b0 = bv != nullptr ? bv[oc] : T(0);
+        for (std::int64_t j = 0; j < lout; ++j) orow[j] = b0;
+        const T* wrow = wd + oc * cin * kernel;
+        for (std::int64_t ic = 0; ic < cin; ++ic) {
+          const T* xrow = xd + ic * len;
+          const T* wk = wrow + ic * kernel;
+          for (std::int64_t t = 0; t < kernel; ++t) {
+            const T wv = wk[t];
+            const T* __restrict__ xs = xrow + t;
+            for (std::int64_t j = 0; j < lout; ++j) orow[j] += wv * xs[j];
+          }
+        }
+      }
+    }
+  } else {
+    constexpr int kLanes = 64 / sizeof(T);
+    // Blocks of 4 output positions share each streamed weight row: one
+    // independent lane array per position (a lane array is a single
+    // 64-byte vector), so the four dot products interleave without
+    // touching any one product's fixed lane/accumulation order, and the
+    // four dependency chains cover the FMA latency a single chain leaves
+    // idle.
+    constexpr std::int64_t JB = 4;
+    for (std::int64_t oc = 0; oc < cout; ++oc) {
+      const T* wrow = wd + oc * cin * kernel;
+      const T b0 = bv != nullptr ? bv[oc] : T(0);
+      std::int64_t j = 0;
+      for (; j + JB <= lout; j += JB) {
+        T acc[JB];
+        for (std::int64_t q = 0; q < JB; ++q) acc[q] = b0;
+        for (std::int64_t ic = 0; ic < cin; ++ic) {
+          const T* xrow = xd + ic * len + j * stride;
+          const T* wk = wrow + ic * kernel;
+          T lanes[JB][kLanes] = {};
+          std::int64_t t = 0;
+          for (; t + kLanes <= kernel; t += kLanes)
+            for (std::int64_t q = 0; q < JB; ++q)
+              for (int l = 0; l < kLanes; ++l)
+                lanes[q][l] += xrow[q * stride + t + l] * wk[t + l];
+          for (std::int64_t q = 0; q < JB; ++q)
+            for (int l = 0; l < kLanes; ++l) acc[q] += lanes[q][l];
+          for (; t < kernel; ++t)
+            for (std::int64_t q = 0; q < JB; ++q)
+              acc[q] += xrow[q * stride + t] * wk[t];
+        }
+        for (std::int64_t q = 0; q < JB; ++q) out[oc * lout + j + q] = acc[q];
+      }
+      for (; j < lout; ++j) {
+        T acc = b0;
+        const std::int64_t base = j * stride;
+        for (std::int64_t ic = 0; ic < cin; ++ic) {
+          const T* xrow = xd + ic * len + base;
+          const T* wk = wrow + ic * kernel;
+          T lanes[kLanes] = {};
+          std::int64_t t = 0;
+          for (; t + kLanes <= kernel; t += kLanes)
+            for (int l = 0; l < kLanes; ++l)
+              lanes[l] += xrow[t + l] * wk[t + l];
+          for (int l = 0; l < kLanes; ++l) acc += lanes[l];
+          for (; t < kernel; ++t) acc += xrow[t] * wk[t];
+        }
+        out[oc * lout + j] = acc;
+      }
+    }
+  }
+}
+
+/// Max-pool forward over a [c, len] signal; writes the pooled values and the
+/// winning input offsets (`argmax`, length c*lout — the training backward
+/// routes gradients through them; inference hands scratch).  Comparisons are
+/// exact in either width.
+template <typename T>
+inline void max_pool1d_fwd(const T* __restrict__ xd, T* __restrict__ out,
+                           std::int64_t* __restrict__ argmax, std::int64_t c,
+                           std::int64_t len, std::int64_t size,
+                           std::int64_t stride) {
+  const std::int64_t lout = (len - size) / stride + 1;
+  for (std::int64_t ch = 0; ch < c; ++ch)
+    for (std::int64_t j = 0; j < lout; ++j) {
+      std::int64_t best = j * stride;
+      for (std::int64_t t = 1; t < size; ++t)
+        if (xd[ch * len + j * stride + t] > xd[ch * len + best])
+          best = j * stride + t;
+      out[ch * lout + j] = xd[ch * len + best];
+      argmax[ch * lout + j] = best;
+    }
+}
+
+/// Row-wise softmax forward (f64 max/normaliser per the dtype policy).
+template <typename T>
+inline void softmax_rows_fwd(const T* __restrict__ av, T* __restrict__ out,
+                             std::int64_t n, std::int64_t m) {
+  for (std::int64_t r = 0; r < n; ++r) {
+    double mx = -std::numeric_limits<double>::infinity();
+    for (std::int64_t c = 0; c < m; ++c)
+      mx = std::max(mx, static_cast<double>(av[r * m + c]));
+    double z = 0.0;
+    for (std::int64_t c = 0; c < m; ++c) {
+      const double e = std::exp(static_cast<double>(av[r * m + c]) - mx);
+      out[r * m + c] = static_cast<T>(e);
+      z += e;
+    }
+    for (std::int64_t c = 0; c < m; ++c)
+      out[r * m + c] = static_cast<T>(static_cast<double>(out[r * m + c]) / z);
+  }
+}
+
+}  // namespace amdgcnn::ag::fwd

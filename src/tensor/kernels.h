@@ -37,10 +37,20 @@
 namespace amdgcnn::ag::kern {
 
 /// C[n,m] += A[n,k] · B[k,m]   (row-major, unit-stride inner loop over m).
+///
+/// Register-tiled: full-width column tiles keep a 4×JT block of C in
+/// registers across the whole k loop, so C is loaded/stored once per tile
+/// instead of once per k step (the dominant traffic of the streaming form).
+/// Each C[i,j] is still a single accumulator updated by the same
+/// `acc += a·b` expression for k ascending, so every element's rounding
+/// sequence — FMA-contracted or not, the expression shape is unchanged — is
+/// bitwise identical to the streaming form; tile width and loop nesting only
+/// regroup independent accumulator chains.
 template <typename T>
 inline void mm_add(const T* __restrict__ A, const T* __restrict__ B,
                    T* __restrict__ C, std::int64_t n, std::int64_t k,
                    std::int64_t m) {
+  constexpr std::int64_t JT = 128 / static_cast<std::int64_t>(sizeof(T));
   std::int64_t i = 0;
   for (; i + 4 <= n; i += 4) {
     const T* a0 = A + (i + 0) * k;
@@ -51,25 +61,71 @@ inline void mm_add(const T* __restrict__ A, const T* __restrict__ B,
     T* c1 = C + (i + 1) * m;
     T* c2 = C + (i + 2) * m;
     T* c3 = C + (i + 3) * m;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const T* b = B + p * m;
-      const T v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
-      for (std::int64_t j = 0; j < m; ++j) {
-        const T bj = b[j];
-        c0[j] += v0 * bj;
-        c1[j] += v1 * bj;
-        c2[j] += v2 * bj;
-        c3[j] += v3 * bj;
+    std::int64_t j = 0;
+    for (; j + JT <= m; j += JT) {
+      T t0[JT], t1[JT], t2[JT], t3[JT];
+      for (std::int64_t x = 0; x < JT; ++x) {
+        t0[x] = c0[j + x];
+        t1[x] = c1[j + x];
+        t2[x] = c2[j + x];
+        t3[x] = c3[j + x];
+      }
+      for (std::int64_t p = 0; p < k; ++p) {
+        const T* b = B + p * m + j;
+        const T v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+        for (std::int64_t x = 0; x < JT; ++x) {
+          const T bx = b[x];
+          t0[x] += v0 * bx;
+          t1[x] += v1 * bx;
+          t2[x] += v2 * bx;
+          t3[x] += v3 * bx;
+        }
+      }
+      for (std::int64_t x = 0; x < JT; ++x) {
+        c0[j + x] = t0[x];
+        c1[j + x] = t1[x];
+        c2[j + x] = t2[x];
+        c3[j + x] = t3[x];
+      }
+    }
+    // Column tail: the streaming form — per (i,j) the same ascending-k
+    // accumulator chain, so mixing the forms stays bit-exact.
+    if (j < m) {
+      for (std::int64_t p = 0; p < k; ++p) {
+        const T* b = B + p * m;
+        const T v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+        for (std::int64_t jj = j; jj < m; ++jj) {
+          const T bj = b[jj];
+          c0[jj] += v0 * bj;
+          c1[jj] += v1 * bj;
+          c2[jj] += v2 * bj;
+          c3[jj] += v3 * bj;
+        }
       }
     }
   }
+  // Row tail (also the whole of a [1,k]·[k,m] product, e.g. the dense
+  // head): same register tiling, one row at a time.
   for (; i < n; ++i) {
     const T* a = A + i * k;
     T* c = C + i * m;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const T* b = B + p * m;
-      const T v = a[p];
-      for (std::int64_t j = 0; j < m; ++j) c[j] += v * b[j];
+    std::int64_t j = 0;
+    for (; j + JT <= m; j += JT) {
+      T t0[JT];
+      for (std::int64_t x = 0; x < JT; ++x) t0[x] = c[j + x];
+      for (std::int64_t p = 0; p < k; ++p) {
+        const T* b = B + p * m + j;
+        const T v = a[p];
+        for (std::int64_t x = 0; x < JT; ++x) t0[x] += v * b[x];
+      }
+      for (std::int64_t x = 0; x < JT; ++x) c[j + x] = t0[x];
+    }
+    if (j < m) {
+      for (std::int64_t p = 0; p < k; ++p) {
+        const T* b = B + p * m;
+        const T v = a[p];
+        for (std::int64_t jj = j; jj < m; ++jj) c[jj] += v * b[jj];
+      }
     }
   }
 }

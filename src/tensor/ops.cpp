@@ -13,6 +13,7 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/fwd_kernels.h"
 #include "tensor/kernels.h"
 
 namespace amdgcnn::ag::ops {
@@ -60,16 +61,15 @@ void check_linear_shapes(const Tensor& a, const Tensor& w, const Tensor& bias,
 }
 
 /// Forward of the fused linear family: out = a·w + bias (row broadcast).
+/// The math lives in fwd::linear_fwd so the frozen inference path runs the
+/// exact same instantiation (fwd_kernels.h).
 template <typename T>
 std::vector<T> linear_forward(const Tensor& a, const Tensor& w,
                               const Tensor& bias) {
   const std::int64_t n = a.dim(0), k = a.dim(1), m = w.dim(1);
   std::vector<T> out = detail::new_buffer_t<T>(static_cast<std::size_t>(n * m));
-  const T* bv = bias.data_as<T>().data();
-  for (std::int64_t i = 0; i < n; ++i)
-    std::copy_n(bv, m, out.data() + i * m);
-  kern::mm_add(a.data_as<T>().data(), w.data_as<T>().data(), out.data(), n, k,
-               m);
+  fwd::linear_fwd(a.data_as<T>().data(), w.data_as<T>().data(),
+                  bias.data_as<T>().data(), out.data(), n, k, m);
   return out;
 }
 
@@ -549,20 +549,8 @@ Tensor softmax_rows_impl(const Tensor& a) {
   const std::int64_t n = a.dim(0), m = a.dim(1);
   const auto& av = a.data_as<T>();
   std::vector<T> out = detail::new_buffer_t<T>(av.size());
-  for (std::int64_t r = 0; r < n; ++r) {
-    // Normaliser accumulates in f64 for either storage dtype.
-    double mx = -std::numeric_limits<double>::infinity();
-    for (std::int64_t c = 0; c < m; ++c)
-      mx = std::max(mx, static_cast<double>(av[r * m + c]));
-    double z = 0.0;
-    for (std::int64_t c = 0; c < m; ++c) {
-      const double e = std::exp(static_cast<double>(av[r * m + c]) - mx);
-      out[r * m + c] = static_cast<T>(e);
-      z += e;
-    }
-    for (std::int64_t c = 0; c < m; ++c)
-      out[r * m + c] = static_cast<T>(static_cast<double>(out[r * m + c]) / z);
-  }
+  // Shared forward (f64 normaliser per the dtype policy) — fwd_kernels.h.
+  fwd::softmax_rows_fwd(av.data(), out.data(), n, m);
   return Tensor::make_op_result(
       a.shape(), std::move(out), {a}, [a, n, m](detail::TensorImpl& self) {
         if (!wants_grad(a)) return;
@@ -671,31 +659,10 @@ Tensor heads_dot_impl(const Tensor& x, const Tensor& a, std::int64_t heads) {
   const auto& ad = a.data_as<T>();
   std::vector<T> out =
       detail::new_buffer_t<T>(static_cast<std::size_t>(e * heads));
-  for (std::int64_t r = 0; r < e; ++r) {
-    const T* xrow = xd.data() + r * hf;
-    for (std::int64_t h = 0; h < heads; ++h) {
-      // Attention logits accumulate in f64 (dtype policy: dot products that
-      // feed a softmax are order- and width-sensitive).  Eight f64 lanes
-      // instead of one running sum: the fixed-width inner loop unrolls and
-      // vectorises (a single-accumulator FP reduction is a serial dependency
-      // chain the compiler may not reassociate), and the lane order is
-      // fixed, so results stay bit-deterministic.
-      constexpr int kLanes = 8;
-      double lanes[kLanes] = {};
-      const T* arow = ad.data() + h * f;
-      const T* hx = xrow + h * f;
-      std::int64_t c = 0;
-      for (; c + kLanes <= f; c += kLanes)
-        for (int l = 0; l < kLanes; ++l)
-          lanes[l] += static_cast<double>(hx[c + l]) *
-                      static_cast<double>(arow[c + l]);
-      double acc = 0.0;
-      for (int l = 0; l < kLanes; ++l) acc += lanes[l];
-      for (; c < f; ++c)
-        acc += static_cast<double>(hx[c]) * static_cast<double>(arow[c]);
-      out[r * heads + h] = static_cast<T>(acc);
-    }
-  }
+  // Shared lane-split f64 forward (fwd_kernels.h) — the frozen inference
+  // path runs the same instantiation, which is what makes its logits
+  // bit-identical to training.
+  fwd::heads_dot_fwd(xd.data(), ad.data(), out.data(), e, hf, heads);
   return Tensor::make_op_result(
       {e, heads}, std::move(out), {x, a},
       [x, a, e, heads, f, hf](detail::TensorImpl& self) {
@@ -743,14 +710,7 @@ Tensor heads_scale_impl(const Tensor& x, const Tensor& alpha,
   const auto& xd = x.data_as<T>();
   const auto& al = alpha.data_as<T>();
   std::vector<T> out = detail::new_buffer_t<T>(xd.size());
-  T* __restrict__ op = out.data();
-  const T* __restrict__ xp = xd.data();
-  for (std::int64_t r = 0; r < e; ++r)
-    for (std::int64_t h = 0; h < heads; ++h) {
-      const T s = al[r * heads + h];
-      const std::int64_t base = r * hf + h * f;
-      for (std::int64_t c = 0; c < f; ++c) op[base + c] = xp[base + c] * s;
-    }
+  fwd::heads_scale_fwd(xd.data(), al.data(), out.data(), e, hf, heads);
   return Tensor::make_op_result(
       x.shape(), std::move(out), {x, alpha},
       [x, alpha, e, heads, f, hf](detail::TensorImpl& self) {

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/fwd_kernels.h"
 #include "tensor/kernels.h"
 
 namespace amdgcnn::ag::ops {
@@ -49,11 +50,9 @@ Tensor scatter_add_bias_impl(const Tensor& src,
   const T* bv = bias.data_as<T>().data();
   std::vector<T> out =
       detail::new_buffer_t<T>(static_cast<std::size_t>(num_rows * m));
-  for (std::int64_t r = 0; r < num_rows; ++r)
-    std::copy_n(bv, m, out.data() + r * m);
-  for (std::size_t r = 0; r < index.size(); ++r)
-    for (std::int64_t c = 0; c < m; ++c)
-      out[index[r] * m + c] += sv[r * m + c];
+  fwd::scatter_add_bias_fwd(sv.data(), index.data(),
+                            static_cast<std::int64_t>(index.size()), num_rows,
+                            m, bv, out.data());
   return Tensor::make_op_result(
       {num_rows, m}, std::move(out), {src, bias},
       [src, bias, index, num_rows, m](detail::TensorImpl& self) {
@@ -77,7 +76,7 @@ Tensor segment_softmax_impl(const Tensor& scores,
   const std::int64_t e = scores.dim(0), h = scores.dim(1);
   const auto& sv = scores.data_as<T>();
 
-  // Per-(segment, column) max for numerical stability, then normalise.  The
+  // Shared forward (fwd_kernels.h — also the frozen inference path).  The
   // max pass and exp run at the storage width T (max is exact in either
   // width, and exp of an f32 score only moves the result within storage
   // rounding — std::exp(float) is ~2x cheaper); the normaliser seg_sum is
@@ -85,26 +84,12 @@ Tensor segment_softmax_impl(const Tensor& scores,
   // in double).  Only `out` escapes into the tape at the tensor's width.
   std::vector<T> seg_max =
       detail::new_buffer_t<T>(static_cast<std::size_t>(num_segments * h));
-  std::fill(seg_max.begin(), seg_max.end(),
-            -std::numeric_limits<T>::infinity());
-  for (std::int64_t r = 0; r < e; ++r)
-    for (std::int64_t c = 0; c < h; ++c)
-      seg_max[segment[r] * h + c] =
-          std::max(seg_max[segment[r] * h + c], sv[r * h + c]);
-
   std::vector<T> out = detail::new_buffer_t<T>(sv.size());
   std::vector<double> seg_sum =
       detail::new_zeroed(static_cast<std::size_t>(num_segments * h));
-  for (std::int64_t r = 0; r < e; ++r)
-    for (std::int64_t c = 0; c < h; ++c) {
-      const T ex = std::exp(sv[r * h + c] - seg_max[segment[r] * h + c]);
-      out[r * h + c] = ex;
-      seg_sum[segment[r] * h + c] += static_cast<double>(ex);
-    }
-  for (std::int64_t r = 0; r < e; ++r)
-    for (std::int64_t c = 0; c < h; ++c)
-      out[r * h + c] = static_cast<T>(static_cast<double>(out[r * h + c]) /
-                                      seg_sum[segment[r] * h + c]);
+  fwd::segment_softmax_fwd(sv.data(), segment.data(), out.data(),
+                           seg_max.data(), seg_sum.data(), e, h,
+                           num_segments);
   detail::pool_of<T>().release(std::move(seg_max));
   detail::buffer_pool().release(std::move(seg_sum));
 

@@ -6,6 +6,7 @@
 //               [--lr X] [--hidden N] [--sort-k N]
 //               [--train N] [--test N]      (link budgets)
 //               [--seed S] [--save FILE] [--load FILE]
+//               [--dtype f32|f64]           (default f32)
 //               [--tune]                    (Bayesian-optimize HPs first)
 //
 // Prints dataset statistics, the training curve and final AUC / AP /
@@ -39,14 +40,24 @@ struct CliOptions {
   std::uint64_t seed = 17;
   std::string save_path;
   std::string load_path;
+  // f32 is the CLI default: halves activation/parameter bandwidth on the
+  // matmul-bound hot path at equal AUC (see EXPERIMENTS.md); --dtype f64
+  // restores the double-precision pipeline.
+  std::string dtype = "f32";
   bool tune = false;
 };
+
+ag::Dtype parse_dtype(const std::string& name) {
+  if (name == "f32") return ag::Dtype::f32;
+  if (name == "f64") return ag::Dtype::f64;
+  throw std::runtime_error("--dtype must be f32 or f64, got: " + name);
+}
 
 void usage() {
   std::cerr << "usage: amdgcnn_cli --dataset primekg|biokg|wordnet|cora\n"
                "  [--model am|vanilla] [--epochs N] [--lr X] [--hidden N]\n"
                "  [--sort-k N] [--train N] [--test N] [--seed S]\n"
-               "  [--save FILE] [--load FILE] [--tune]\n";
+               "  [--save FILE] [--load FILE] [--dtype f32|f64] [--tune]\n";
 }
 
 bool parse(int argc, char** argv, CliOptions& opts) {
@@ -67,6 +78,7 @@ bool parse(int argc, char** argv, CliOptions& opts) {
     else if (arg == "--seed") opts.seed = std::strtoull(next(), nullptr, 10);
     else if (arg == "--save") opts.save_path = next();
     else if (arg == "--load") opts.load_path = next();
+    else if (arg == "--dtype") opts.dtype = next();
     else if (arg == "--tune") opts.tune = true;
     else if (arg == "--help" || arg == "-h") return false;
     else throw std::runtime_error("unknown flag: " + arg);
@@ -139,7 +151,10 @@ int main(int argc, char** argv) {
               << " classes, " << data.train_links.size() << " train / "
               << data.test_links.size() << " test links\n";
 
-    auto seal_ds = core::prepare_seal_dataset(data);
+    const ag::Dtype dtype = parse_dtype(opts.dtype);
+    auto seal_ds = core::prepare_seal_dataset(data, /*max_subgraph_nodes=*/48,
+                                              /*max_drnl_label=*/24,
+                                              /*build_threads=*/0, dtype);
     const auto kind = opts.model == "vanilla"
                           ? models::GnnKind::kVanillaDGCNN
                           : models::GnnKind::kAMDGCNN;
@@ -170,10 +185,13 @@ int main(int argc, char** argv) {
     mc.num_classes = seal_ds.num_classes;
     mc.hidden_dim = hp.hidden_dim;
     mc.sort_k = hp.sort_k;
+    mc.dtype = dtype;
     util::Rng rng(opts.seed);
     auto model = models::make_link_gnn(mc, rng);
     if (!opts.load_path.empty()) {
-      models::load_weights(*model, opts.load_path);
+      models::load_weights(*model, opts.load_path,
+                           std::string(models::gnn_kind_name(kind)) + " " +
+                               opts.dataset + " " + opts.dtype);
       std::cout << "loaded weights from " << opts.load_path << "\n";
     }
 
@@ -181,6 +199,7 @@ int main(int argc, char** argv) {
     tc.learning_rate = hp.learning_rate;
     tc.epochs = opts.epochs;
     tc.seed = opts.seed;
+    tc.dtype = dtype;
     models::Trainer trainer(*model, tc);
     const auto curve = trainer.fit(seal_ds.train, seal_ds.test, 2);
     for (const auto& rec : curve)

@@ -1,0 +1,246 @@
+// amdgcnn_serve — answer link-classification queries with a trained model.
+//
+//   amdgcnn_serve --dataset primekg|biokg|wordnet|cora --weights FILE
+//                 [--model am|vanilla]   (default am; must match the save)
+//                 [--hidden N] [--sort-k N] [--dtype f32|f64]
+//                 [--queries FILE]       (default: read stdin)
+//                 [--threads N]          (0 = serial batch, default)
+//                 [--proba]              (print per-class probabilities)
+//
+// Loads the checkpoint ONCE into a frozen inference engine
+// (core::LinkPredictor — arena-allocated forward pass, no autograd), then
+// classifies one "<node-a> <node-b>" query per input line.  Blank lines and
+// '#' comments are skipped.  Output, one line per query:
+//
+//   <node-a> <node-b> <predicted-class> [p0 p1 ...]
+//
+// The model flags must reproduce the configuration the checkpoint was saved
+// with (amdgcnn_cli --save); mismatches are rejected at load time with the
+// offending parameter spelled out.  Summary statistics go to stderr so the
+// classification stream stays pipeable.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/link_predictor.h"
+#include "datasets/biokg_sim.h"
+#include "datasets/cora_sim.h"
+#include "datasets/primekg_sim.h"
+#include "datasets/wordnet_sim.h"
+#include "models/serialize.h"
+#include "util/stopwatch.h"
+
+using namespace amdgcnn;
+
+namespace {
+
+struct ServeOptions {
+  std::string dataset = "primekg";
+  std::string model = "am";
+  std::string weights;
+  std::string queries_path;  // empty = stdin
+  std::int64_t hidden = 0;   // 0 = dataset default (matches amdgcnn_cli)
+  std::int64_t sort_k = 0;
+  std::int64_t threads = 0;
+  std::string dtype = "f32";
+  bool proba = false;
+};
+
+void usage() {
+  std::cerr << "usage: amdgcnn_serve --dataset primekg|biokg|wordnet|cora "
+               "--weights FILE\n"
+               "  [--model am|vanilla] [--hidden N] [--sort-k N]\n"
+               "  [--dtype f32|f64] [--queries FILE] [--threads N] [--proba]\n";
+}
+
+bool parse(int argc, char** argv, ServeOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--dataset") opts.dataset = next();
+    else if (arg == "--model") opts.model = next();
+    else if (arg == "--weights") opts.weights = next();
+    else if (arg == "--queries") opts.queries_path = next();
+    else if (arg == "--hidden") opts.hidden = std::atoll(next());
+    else if (arg == "--sort-k") opts.sort_k = std::atoll(next());
+    else if (arg == "--threads") opts.threads = std::atoll(next());
+    else if (arg == "--dtype") opts.dtype = next();
+    else if (arg == "--proba") opts.proba = true;
+    else if (arg == "--help" || arg == "-h") return false;
+    else throw std::runtime_error("unknown flag: " + arg);
+  }
+  if (opts.weights.empty()) throw std::runtime_error("--weights is required");
+  return true;
+}
+
+ag::Dtype parse_dtype(const std::string& name) {
+  if (name == "f32") return ag::Dtype::f32;
+  if (name == "f64") return ag::Dtype::f64;
+  throw std::runtime_error("--dtype must be f32 or f64, got: " + name);
+}
+
+// The simulated datasets are deterministic generators, so rebuilding with the
+// amdgcnn_cli defaults reproduces the exact graph the model was trained on.
+datasets::LinkDataset build_dataset(const std::string& name) {
+  if (name == "primekg") {
+    datasets::PrimeKGSimOptions o;
+    o.scale = 0.5;
+    o.num_train = 800;
+    o.num_test = 200;
+    return datasets::make_primekg_sim(o);
+  }
+  if (name == "biokg") {
+    datasets::BioKGSimOptions o;
+    o.scale = 0.5;
+    o.num_train = 650;
+    o.num_test = 200;
+    return datasets::make_biokg_sim(o);
+  }
+  if (name == "wordnet") {
+    datasets::WordNetSimOptions o;
+    o.num_nodes = 2000;
+    o.num_train = 1300;
+    o.num_test = 300;
+    return datasets::make_wordnet_sim(o);
+  }
+  if (name == "cora") {
+    datasets::CoraSimOptions o;
+    o.num_pos_links = 500;
+    return datasets::make_cora_sim(o);
+  }
+  throw std::runtime_error("unknown dataset: " + name);
+}
+
+std::int64_t default_hidden(const std::string& dataset) {
+  if (dataset == "primekg") return 32;
+  if (dataset == "biokg" || dataset == "wordnet") return 64;
+  return core::cora_tuned_defaults().hidden_dim;
+}
+
+std::int64_t default_sort_k(const std::string& dataset) {
+  if (dataset == "primekg") return 24;
+  if (dataset == "wordnet") return 20;
+  return core::cora_tuned_defaults().sort_k;
+}
+
+std::vector<seal::LinkExample> read_queries(std::istream& in,
+                                            std::int64_t num_nodes) {
+  std::vector<seal::LinkExample> links;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::istringstream row(line);
+    seal::LinkExample link;
+    if (!(row >> link.a >> link.b))
+      throw std::runtime_error("query line " + std::to_string(lineno) +
+                               ": expected '<node-a> <node-b>', got: " + line);
+    if (link.a < 0 || link.a >= num_nodes || link.b < 0 || link.b >= num_nodes)
+      throw std::runtime_error("query line " + std::to_string(lineno) +
+                               ": node id out of range [0, " +
+                               std::to_string(num_nodes) + ")");
+    if (link.a == link.b)
+      throw std::runtime_error("query line " + std::to_string(lineno) +
+                               ": self-links are not classifiable");
+    links.push_back(link);
+  }
+  return links;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeOptions opts;
+  try {
+    if (!parse(argc, argv, opts)) {
+      usage();
+      return 0;
+    }
+    const ag::Dtype dtype = parse_dtype(opts.dtype);
+
+    util::Stopwatch watch;
+    const auto data = build_dataset(opts.dataset);
+
+    // Same extraction / feature recipe as core::prepare_seal_dataset, minus
+    // the sample builds — serve only needs the graph and the feature widths.
+    core::LinkPredictor::Options predictor_options;
+    auto& ds = predictor_options.dataset;
+    ds.extract.num_hops = 2;
+    ds.extract.mode = data.neighborhood_mode;
+    ds.extract.max_nodes = 48;
+    ds.features.max_drnl_label = 24;
+    ds.features.dtype = dtype;
+    ds.num_threads = opts.threads;
+    predictor_options.warm_nodes = ds.extract.max_nodes;
+    predictor_options.warm_edges = ds.extract.max_nodes * 8;
+
+    models::ModelConfig mc;
+    mc.kind = opts.model == "vanilla" ? models::GnnKind::kVanillaDGCNN
+                                      : models::GnnKind::kAMDGCNN;
+    mc.node_feature_dim = seal::node_feature_dim(data.graph, ds.features);
+    mc.edge_attr_dim = data.graph.edge_attr_dim();
+    mc.num_classes = data.num_classes;
+    mc.hidden_dim = opts.hidden > 0 ? opts.hidden : default_hidden(opts.dataset);
+    mc.sort_k = opts.sort_k > 0 ? opts.sort_k : default_sort_k(opts.dataset);
+    mc.dtype = dtype;
+
+    util::Rng rng(1);  // overwritten by the checkpoint
+    auto model = models::make_link_gnn(mc, rng);
+    models::load_weights(*model, opts.weights,
+                         std::string(models::gnn_kind_name(mc.kind)) + " " +
+                             opts.dataset + " " + opts.dtype);
+    core::LinkPredictor predictor(*model, predictor_options);
+    model.reset();  // the frozen engine shares the parameter storage
+    std::cerr << "amdgcnn_serve: " << opts.dataset << " graph ("
+              << data.graph.num_nodes() << " nodes), "
+              << models::gnn_kind_name(mc.kind) << " " << opts.dtype
+              << " checkpoint loaded in " << watch.seconds() << " s\n";
+
+    std::vector<seal::LinkExample> links;
+    if (opts.queries_path.empty()) {
+      links = read_queries(std::cin, data.graph.num_nodes());
+    } else {
+      std::ifstream in(opts.queries_path);
+      if (!in)
+        throw std::runtime_error("cannot open queries file: " +
+                                 opts.queries_path);
+      links = read_queries(in, data.graph.num_nodes());
+    }
+    if (links.empty()) {
+      std::cerr << "amdgcnn_serve: no queries\n";
+      return 0;
+    }
+
+    watch = util::Stopwatch();
+    const auto predictions = predictor.predict_links(data.graph, links);
+    const double seconds = watch.seconds();
+
+    const std::int64_t c = predictions.num_classes;
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      std::cout << links[i].a << " " << links[i].b << " "
+                << predictions.labels[i];
+      if (opts.proba)
+        for (std::int64_t j = 0; j < c; ++j)
+          std::cout << " " << predictions.proba[i * c + j];
+      std::cout << "\n";
+    }
+    std::cerr << "amdgcnn_serve: " << links.size() << " links in " << seconds
+              << " s (" << static_cast<double>(links.size()) / seconds
+              << " links/s, arena peak " << predictor.arena_peak_bytes()
+              << " B)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    usage();
+    return 1;
+  }
+}
