@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Build the Release tree and run the throughput benchmarks, leaving
-# BENCH_training.json, BENCH_extraction.json and BENCH_inference.json at
-# the repository root (the training and inference benches cover both
-# storage precisions: every dataset/model pair gets f64 and f32 rows plus
-# per-dtype determinism / bit-identity checks), then re-run the
-# parallel-build determinism/property tests, the dtype suite AND the
-# forward-only inference suite under ASan+UBSan (AMDGCNN_SANITIZE=ON) in a
-# separate build tree.
+# BENCH_training.json, BENCH_extraction.json, BENCH_inference.json and
+# BENCH_dynamic.json at the repository root (the training and inference
+# benches cover both storage precisions: every dataset/model pair gets f64
+# and f32 rows plus per-dtype determinism / bit-identity checks; the dynamic
+# bench gates the overlay-vs-rebuild speedup and score-cache coherence),
+# then re-run the parallel-build determinism/property tests, the dtype
+# suite, the forward-only inference suite AND the dynamic-graph suite under
+# ASan+UBSan (AMDGCNN_SANITIZE=ON) in a separate build tree.
 #
 # Usage: scripts/run_benches.sh [--smoke] [--skip-sanitize]
 #   --smoke           shrink datasets/iterations (seconds instead of minutes)
@@ -37,7 +38,7 @@ done
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j \
   --target bench_training_throughput bench_extraction_throughput \
-           bench_inference_throughput
+           bench_inference_throughput bench_dynamic_graph
 
 "${build_dir}/bench/bench_training_throughput" \
   --out "${repo_root}/BENCH_training.json" ${bench_args[@]+"${bench_args[@]}"}
@@ -51,6 +52,23 @@ echo "wrote ${repo_root}/BENCH_extraction.json"
   --out "${repo_root}/BENCH_inference.json" ${bench_args[@]+"${bench_args[@]}"}
 echo "wrote ${repo_root}/BENCH_inference.json"
 
+"${build_dir}/bench/bench_dynamic_graph" \
+  --out "${repo_root}/BENCH_dynamic.json" ${bench_args[@]+"${bench_args[@]}"}
+echo "wrote ${repo_root}/BENCH_dynamic.json"
+
+# A labeled ctest invocation that matches nothing "passes" vacuously (ctest
+# exits 0 on zero tests), which would let a renamed suite or a broken label
+# silently drop a whole layer from the sanitizer pass.  Fail loudly instead.
+require_tests() {
+  local dir="$1"; shift
+  local count
+  count="$(ctest --test-dir "${dir}" -N "$@" | sed -n 's/^Total Tests: //p')"
+  if [[ -z "${count}" || "${count}" -eq 0 ]]; then
+    echo "FATAL: ctest $* matches no tests in ${dir}" >&2
+    exit 1
+  fi
+}
+
 if [[ "${run_sanitize}" -eq 1 ]]; then
   # The determinism / property / pool tests guard the parallel dataset build,
   # the dtype suite exercises the f32 storage path (dual-width buffer
@@ -62,12 +80,19 @@ if [[ "${run_sanitize}" -eq 1 ]]; then
   cmake -B "${asan_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAMDGCNN_SANITIZE=ON
   cmake --build "${asan_dir}" -j \
-    --target amdgcnn_tests amdgcnn_dtype_tests amdgcnn_infer_tests
+    --target amdgcnn_tests amdgcnn_dtype_tests amdgcnn_infer_tests \
+             amdgcnn_dynamic_tests
+  require_tests "${asan_dir}" \
+    -R 'ParallelDatasetBuild|DrnlProperty|ExtractionProperty|DynamicGraphProperty|BufferPool|SortPoolEquivalence'
   ctest --test-dir "${asan_dir}" --output-on-failure \
-    -R 'ParallelDatasetBuild|DrnlProperty|ExtractionProperty|BufferPool|SortPoolEquivalence'
+    -R 'ParallelDatasetBuild|DrnlProperty|ExtractionProperty|DynamicGraphProperty|BufferPool|SortPoolEquivalence'
+  require_tests "${asan_dir}" -L dtype
   ctest --test-dir "${asan_dir}" --output-on-failure -L dtype
-  # -E: the bench smoke also carries the `infer` label, but its speedup
-  # floor is calibrated for an uninstrumented Release build.
+  # -E: the bench smokes also carry the `infer` / `dynamic` labels, but
+  # their speedup floors are calibrated for an uninstrumented Release build.
+  require_tests "${asan_dir}" -L infer -E bench_
   ctest --test-dir "${asan_dir}" --output-on-failure -L infer -E bench_
-  echo "sanitizer pass over the parallel-build, dtype and infer test layers: OK"
+  require_tests "${asan_dir}" -L dynamic -E bench_
+  ctest --test-dir "${asan_dir}" --output-on-failure -L dynamic -E bench_
+  echo "sanitizer pass over the parallel-build, dtype, infer and dynamic test layers: OK"
 fi

@@ -1,5 +1,6 @@
 #include "core/link_predictor.h"
 
+#include <algorithm>
 #include <exception>
 #include <stdexcept>
 
@@ -31,6 +32,21 @@ LinkPredictions LinkPredictor::predict_links(
   LinkPredictions result;
   result.num_classes = c;
   result.proba.resize(links.size() * static_cast<std::size_t>(c));
+
+  if (options_.cache_scores)
+    predict_links_cached(g, links, result);
+  else
+    predict_links_cold(g, links, result);
+
+  result.labels = metrics::argmax_rows(result.proba, c);
+  return result;
+}
+
+void LinkPredictor::predict_links_cold(
+    const graph::KnowledgeGraph& g,
+    const std::vector<seal::LinkExample>& links,
+    LinkPredictions& result) const {
+  const std::int64_t c = result.num_classes;
   const auto n = static_cast<std::int64_t>(links.size());
 
   if (options_.dataset.num_threads == 0) {
@@ -68,9 +84,116 @@ LinkPredictions LinkPredictor::predict_links(
     }
     if (error) std::rethrow_exception(error);
   }
+}
 
-  result.labels = metrics::argmax_rows(result.proba, c);
-  return result;
+namespace {
+std::uint64_t cache_key(graph::NodeId a, graph::NodeId b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(b));
+}
+}  // namespace
+
+void LinkPredictor::predict_links_cached(
+    const graph::KnowledgeGraph& g,
+    const std::vector<seal::LinkExample>& links,
+    LinkPredictions& result) const {
+  const std::int64_t c = result.num_classes;
+  const auto n = static_cast<std::int64_t>(links.size());
+  if (cache_graph_ != &g) {  // new serving graph: nothing cached applies
+    cache_.clear();
+    cache_graph_ = &g;
+  }
+
+  // Phase 1 (serial): serve hits, collect misses.  An entry is live iff no
+  // node of its hop-hull was touched after it was filled — any mutation
+  // that could change the enclosing subgraph of (a, b) stamps a hull node
+  // with a later generation (see EnclosingSubgraph::hull).
+  std::vector<std::int64_t> miss;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto it = cache_.find(cache_key(links[i].a, links[i].b));
+    if (it != cache_.end()) {
+      const CacheEntry& entry = it->second;
+      bool live = true;
+      for (const auto v : entry.members)
+        if (g.node_generation(v) > entry.generation) {
+          live = false;
+          break;
+        }
+      if (live) {
+        std::copy(entry.proba.begin(), entry.proba.end(),
+                  result.proba.begin() + i * c);
+        ++cache_stats_.hits;
+        continue;
+      }
+      cache_.erase(it);
+      ++cache_stats_.invalidated;
+    }
+    ++cache_stats_.misses;
+    miss.push_back(i);
+  }
+  if (miss.empty()) return;
+
+  // Phase 2: score the misses with the cold pipeline (serial or the
+  // deterministic OpenMP path), keeping each extraction's hull around.
+  const auto m = static_cast<std::int64_t>(miss.size());
+  std::vector<std::vector<graph::NodeId>> hulls(miss.size());
+  auto extract_opts = options_.dataset.extract;
+  extract_opts.collect_hull = true;
+  auto score_one = [&](std::int64_t k, infer::Arena& arena) {
+    const auto& link = links[static_cast<std::size_t>(miss[k])];
+    auto sub = graph::extract_enclosing_subgraph(g, link.a, link.b,
+                                                 extract_opts);
+    const auto sample =
+        seal::build_sample(g, sub, link.label, options_.dataset.features);
+    frozen_.predict_proba(sample, arena,
+                          result.proba.data() + miss[k] * c);
+    hulls[static_cast<std::size_t>(k)] = std::move(sub.hull);
+  };
+  if (options_.dataset.num_threads == 0) {
+    for (std::int64_t k = 0; k < m; ++k) score_one(k, arena_);
+  } else {
+    [[maybe_unused]] const int nt =
+        static_cast<int>(options_.dataset.num_threads);
+    std::exception_ptr error;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) num_threads(nt)
+#endif
+    for (std::int64_t k = 0; k < m; ++k) {
+      try {
+        score_one(k, tls_arena());
+      } catch (...) {
+#ifdef _OPENMP
+#pragma omp critical
+#endif
+        {
+          if (!error) error = std::current_exception();
+        }
+      }
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+  // Phase 3 (serial, after the join): admit the fresh entries.  Wipe-on-full
+  // keeps the policy deterministic and branch-free; the snapshot generation
+  // is the graph's current one (no mutation can interleave with a
+  // predict_links call — single-writer contract).
+  const std::uint64_t gen = g.generation();
+  for (std::int64_t k = 0; k < m; ++k) {
+    if (cache_.size() >= options_.cache_capacity) cache_.clear();
+    const auto& link = links[static_cast<std::size_t>(miss[k])];
+    CacheEntry entry;
+    entry.proba.assign(result.proba.begin() + miss[k] * c,
+                       result.proba.begin() + (miss[k] + 1) * c);
+    entry.members = std::move(hulls[static_cast<std::size_t>(k)]);
+    entry.generation = gen;
+    cache_[cache_key(link.a, link.b)] = std::move(entry);
+  }
+}
+
+void LinkPredictor::clear_cache() const {
+  cache_.clear();
+  cache_graph_ = nullptr;
+  cache_stats_ = CacheStats{};
 }
 
 void LinkPredictor::forward_logits(const seal::SubgraphSample& sample,

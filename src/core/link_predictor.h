@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "infer/frozen_model.h"
@@ -38,6 +39,25 @@ class LinkPredictor {
     /// query.  Worker arenas warm up on their first query instead.
     std::int64_t warm_nodes = 0;
     std::int64_t warm_edges = 0;
+    /// Per-endpoint score cache for the dynamic-graph serving scenario
+    /// (DESIGN.md §2.5).  Each cached (a, b) entry remembers the hop-hull of
+    /// its extraction plus the graph generation at fill time; a hit is only
+    /// served when no hull node has been touched by a later insert/delete
+    /// (KnowledgeGraph::node_generation), so scores are always bit-identical
+    /// to the cold path.  compact() preserves generations, so compaction
+    /// never evicts anything.  The cache assumes one serving graph per
+    /// predictor (it resets when a different graph instance is passed) and
+    /// that predict_links calls are not issued concurrently.
+    bool cache_scores = false;
+    /// Entry cap; the cache is wiped when it would grow past this (simple,
+    /// deterministic policy — the serving workload re-fills it in one pass).
+    std::size_t cache_capacity = 1 << 16;
+  };
+
+  struct CacheStats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;        // cold entries (includes invalidations)
+    std::int64_t invalidated = 0;   // evicted because a hull node went dirty
   };
 
   /// Snapshots `model`'s parameters (shared storage; the model may be
@@ -62,10 +82,37 @@ class LinkPredictor {
   const models::ModelConfig& config() const { return frozen_.config(); }
   const Options& options() const { return options_; }
 
+  const CacheStats& cache_stats() const { return cache_stats_; }
+  std::size_t cache_size() const { return cache_.size(); }
+  void clear_cache() const;
+
  private:
+  struct CacheEntry {
+    std::vector<double> proba;           // one row, num_classes wide
+    std::vector<graph::NodeId> members;  // hop-hull at fill time
+    std::uint64_t generation = 0;        // graph generation at fill time
+  };
+
+  /// Batched scoring without the cache (the pre-dynamic-graph path).
+  void predict_links_cold(const graph::KnowledgeGraph& g,
+                          const std::vector<seal::LinkExample>& links,
+                          LinkPredictions& result) const;
+  void predict_links_cached(const graph::KnowledgeGraph& g,
+                            const std::vector<seal::LinkExample>& links,
+                            LinkPredictions& result) const;
+
   infer::FrozenModel frozen_;
   Options options_;
   mutable infer::Arena arena_;  // serial path + single-sample helpers
+
+  // Score cache (active when options_.cache_scores); keyed by the ordered
+  // (a, b) pair packed into one word.  Mutable: predict_links stays const
+  // for cache-off callers, and the cache is an observably-pure memo — every
+  // hit is bit-identical to recomputation (asserted by the coherence
+  // property suite).
+  mutable std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  mutable const graph::KnowledgeGraph* cache_graph_ = nullptr;
+  mutable CacheStats cache_stats_;
 };
 
 }  // namespace amdgcnn::core

@@ -1,0 +1,27 @@
+#include "graph/delta_overlay.h"
+
+namespace amdgcnn::graph {
+
+std::vector<Adjacent>& DeltaOverlay::materialize(NodeId v,
+                                                 std::span<const Adjacent> base) {
+  auto [it, inserted] = patched_.try_emplace(v);
+  if (inserted) it->second.assign(base.begin(), base.end());
+  return it->second;
+}
+
+void DeltaOverlay::mark_removed(EdgeId e) {
+  const auto i = static_cast<std::size_t>(e);
+  if (i >= removed_.size()) removed_.resize(i + 1, 0);
+  removed_[i] = 1;
+  ++tombstones_;
+}
+
+void DeltaOverlay::touch(NodeId u, NodeId v) {
+  ++generation_;
+  const auto hi = static_cast<std::size_t>(u > v ? u : v);
+  if (hi >= node_generation_.size()) node_generation_.resize(hi + 1, 0);
+  node_generation_[static_cast<std::size_t>(u)] = generation_;
+  node_generation_[static_cast<std::size_t>(v)] = generation_;
+}
+
+}  // namespace amdgcnn::graph

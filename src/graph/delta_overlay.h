@@ -1,0 +1,100 @@
+// Dynamic-update state layered over the immutable CSR of KnowledgeGraph
+// (DESIGN.md §2.5).
+//
+// The base CSR stays frozen; the overlay records the difference as
+//   * a tombstone bitmap over edge ids (deleted edges), and
+//   * a per-node PATCHED adjacency list for every node an update touched,
+//     seeded from the node's base CSR entries (minus tombstones) the first
+//     time the node goes dirty, then edited in place.
+// Reads stay span-shaped: KnowledgeGraph::neighbors(v) returns the patched
+// vector for dirty nodes and the base CSR slice for clean ones, so BFS,
+// SEAL extraction, the heuristics and the serving pipeline all see the
+// updated graph without a single call-site change.
+//
+// Ordering discipline (what makes compaction a byte-level no-op): a patched
+// list is always [surviving base entries in base-CSR order] + [overlay
+// inserts in insertion order].  Overlay edges get ids appended after the
+// base edges, so when compact() drops tombstones and rebuilds the CSR by
+// edge id, every node's neighbor sequence is reproduced exactly — the
+// invariant the compaction-identity property tests pin down.
+//
+// Generation counters: `generation()` bumps on every successful mutation
+// and `node_generation(v)` records the generation of the last mutation
+// touching v.  A consumer that cached anything derived from the
+// k-hop neighborhood of (a, b) can revalidate by comparing the generation
+// of every hull node against its fill-time snapshot — only subgraphs whose
+// hull actually went dirty re-extract (core::LinkPredictor's score cache).
+// compact() changes no adjacency, so it preserves all counters and never
+// invalidates a cache.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_types.h"
+
+namespace amdgcnn::graph {
+
+class DeltaOverlay {
+ public:
+  /// Patched adjacency of v, or nullptr when v is clean (read path; used by
+  /// KnowledgeGraph::neighbors).
+  const std::vector<Adjacent>* find(NodeId v) const {
+    if (patched_.empty()) return nullptr;  // fast path: no overlay at all
+    const auto it = patched_.find(v);
+    return it == patched_.end() ? nullptr : &it->second;
+  }
+
+  /// Mutable patched adjacency of v, materialised from the node's base CSR
+  /// slice on first touch.  `base` must be v's CLEAN base adjacency; any
+  /// previously tombstoned edge of v already has a patch, so the seed copy
+  /// never needs filtering.
+  std::vector<Adjacent>& materialize(NodeId v, std::span<const Adjacent> base);
+
+  bool removed(EdgeId e) const {
+    return static_cast<std::size_t>(e) < removed_.size() &&
+           removed_[static_cast<std::size_t>(e)] != 0;
+  }
+  void mark_removed(EdgeId e);
+
+  /// Record one successful mutation touching u and v: bumps the global
+  /// generation and stamps both endpoints with it.
+  void touch(NodeId u, NodeId v);
+
+  std::uint64_t generation() const { return generation_; }
+  std::uint64_t node_generation(NodeId v) const {
+    const auto i = static_cast<std::size_t>(v);
+    return i < node_generation_.size() ? node_generation_[i] : 0;
+  }
+
+  std::int64_t num_inserts() const { return inserts_; }
+  std::int64_t num_tombstones() const { return tombstones_; }
+  /// Pending structural delta (inserts + tombstones since the last compact);
+  /// the bench's compaction-cadence knob triggers on this.
+  std::int64_t depth() const { return inserts_ + tombstones_; }
+  bool empty() const { return patched_.empty(); }
+
+  /// Drop the structural delta after the owner folded it into a fresh CSR.
+  /// Generation counters survive: compaction does not change the logical
+  /// graph, so nothing a consumer cached becomes stale.
+  void clear_structural() {
+    patched_.clear();
+    removed_.clear();
+    inserts_ = 0;
+    tombstones_ = 0;
+  }
+
+  void note_insert() { ++inserts_; }
+
+ private:
+  std::unordered_map<NodeId, std::vector<Adjacent>> patched_;
+  std::vector<std::uint8_t> removed_;           // indexed by EdgeId
+  std::vector<std::uint64_t> node_generation_;  // grown on demand, 0 = clean
+  std::uint64_t generation_ = 0;
+  std::int64_t inserts_ = 0;
+  std::int64_t tombstones_ = 0;
+};
+
+}  // namespace amdgcnn::graph

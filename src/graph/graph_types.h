@@ -1,0 +1,54 @@
+// Core graph value types shared by KnowledgeGraph and the dynamic-update
+// layer (DeltaOverlay), split out so the overlay header does not depend on
+// the full container.  Also home of GraphUpdateError, the typed error every
+// post-finalize mutation failure raises: callers of the streaming API can
+// catch mutation misuse (duplicate insert, missing edge, bad ids) without
+// also catching the construction-time std::logic_error family.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace amdgcnn::graph {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+struct EdgeRecord {
+  NodeId src = -1;
+  NodeId dst = -1;
+  std::int32_t type = 0;
+};
+
+/// One (neighbor, via-edge) adjacency entry.
+struct Adjacent {
+  NodeId node;
+  EdgeId edge;
+};
+
+/// Typed failure of a post-finalize graph mutation (insert_edge /
+/// delete_edge).  `kind()` identifies the violated precondition so tests and
+/// serving code can branch without parsing the message.
+class GraphUpdateError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kDuplicateEdge,   ///< insert of a (u, v) pair that already has an edge
+    kMissingEdge,     ///< delete of a (u, v) pair with no edge
+    kNodeOutOfRange,  ///< endpoint id outside [0, num_nodes)
+    kSelfLoop,        ///< u == v
+    kTypeOutOfRange,  ///< relation type outside [0, num_edge_types)
+    kAttrDimMismatch, ///< attribute vector length != edge_attr_dim
+    kNotFinalized,    ///< mutation attempted before finalize()
+  };
+
+  GraphUpdateError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+}  // namespace amdgcnn::graph

@@ -77,8 +77,7 @@ void KnowledgeGraph::set_edge_type_attr(std::int32_t type,
                 static_cast<std::size_t>(type) * edge_attr_dim_);
 }
 
-void KnowledgeGraph::finalize() {
-  require_not_finalized("finalize");
+void KnowledgeGraph::build_csr() {
   const std::int64_t n = num_nodes();
   std::vector<std::int64_t> deg(static_cast<std::size_t>(n) + 1, 0);
   for (const auto& e : edges_) {
@@ -95,7 +94,107 @@ void KnowledgeGraph::finalize() {
     adjacency_[cursor[e.src]++] = {e.dst, static_cast<EdgeId>(eid)};
     adjacency_[cursor[e.dst]++] = {e.src, static_cast<EdgeId>(eid)};
   }
+}
+
+void KnowledgeGraph::finalize() {
+  require_not_finalized("finalize");
+  build_csr();
   finalized_ = true;
+}
+
+void KnowledgeGraph::check_update_endpoints(const char* what, NodeId u,
+                                            NodeId v) const {
+  using Kind = GraphUpdateError::Kind;
+  if (!finalized_)
+    throw GraphUpdateError(Kind::kNotFinalized,
+                           std::string(what) + ": graph not finalized "
+                                               "(use add_edge before finalize)");
+  const auto n = static_cast<NodeId>(node_type_.size());
+  if (u < 0 || u >= n || v < 0 || v >= n)
+    throw GraphUpdateError(Kind::kNodeOutOfRange,
+                           std::string(what) + ": endpoint out of range");
+  if (u == v)
+    throw GraphUpdateError(Kind::kSelfLoop,
+                           std::string(what) + ": self-loop rejected");
+}
+
+EdgeId KnowledgeGraph::insert_edge(NodeId u, NodeId v, std::int32_t type) {
+  using Kind = GraphUpdateError::Kind;
+  check_update_endpoints("insert_edge", u, v);
+  if (type < 0 || type >= num_edge_types_)
+    throw GraphUpdateError(Kind::kTypeOutOfRange,
+                           "insert_edge: type out of range");
+  if (find_edge(u, v) >= 0)
+    throw GraphUpdateError(Kind::kDuplicateEdge,
+                           "insert_edge: edge already present");
+  edges_.push_back({u, v, type});
+  const auto id = static_cast<EdgeId>(edges_.size() - 1);
+  overlay_.materialize(u, base_neighbors(u)).push_back({v, id});
+  overlay_.materialize(v, base_neighbors(v)).push_back({u, id});
+  overlay_.note_insert();
+  overlay_.touch(u, v);
+  return id;
+}
+
+EdgeId KnowledgeGraph::insert_edge(NodeId u, NodeId v, std::int32_t type,
+                                   std::span<const double> attr) {
+  using Kind = GraphUpdateError::Kind;
+  if (static_cast<std::int64_t>(attr.size()) != edge_attr_dim_)
+    throw GraphUpdateError(Kind::kAttrDimMismatch,
+                           "insert_edge: attribute length does not match "
+                           "edge_attr_dim");
+  const auto id = insert_edge(u, v, type);
+  if (edge_attr_dim_ > 0)
+    std::copy(attr.begin(), attr.end(),
+              edge_type_attr_.begin() +
+                  static_cast<std::size_t>(type) * edge_attr_dim_);
+  return id;
+}
+
+EdgeId KnowledgeGraph::delete_edge(NodeId u, NodeId v) {
+  using Kind = GraphUpdateError::Kind;
+  check_update_endpoints("delete_edge", u, v);
+  const EdgeId e = find_edge(u, v);
+  if (e < 0)
+    throw GraphUpdateError(Kind::kMissingEdge,
+                           "delete_edge: no edge between the endpoints");
+  overlay_.mark_removed(e);
+  auto erase_entry = [&](NodeId from, NodeId to) {
+    auto& adj = overlay_.materialize(from, base_neighbors(from));
+    for (auto it = adj.begin(); it != adj.end(); ++it)
+      if (it->edge == e && it->node == to) {
+        adj.erase(it);  // order-preserving: later entries keep their rank
+        return;
+      }
+  };
+  erase_entry(u, v);
+  erase_entry(v, u);
+  overlay_.touch(u, v);
+  return e;
+}
+
+void KnowledgeGraph::compact() {
+  if (!finalized_)
+    throw GraphUpdateError(GraphUpdateError::Kind::kNotFinalized,
+                           "compact: graph not finalized");
+  if (overlay_.empty()) return;
+  // Drop tombstones, keeping the relative order of survivors: a node's
+  // rebuilt CSR slice then equals its patched overlay list byte for byte
+  // (base survivors in base order, then overlay inserts in insertion
+  // order), so compaction is invisible to every adjacency consumer.
+  std::vector<EdgeRecord> live;
+  live.reserve(edges_.size());
+  for (std::size_t eid = 0; eid < edges_.size(); ++eid)
+    if (!overlay_.removed(static_cast<EdgeId>(eid))) live.push_back(edges_[eid]);
+  edges_ = std::move(live);
+  overlay_.clear_structural();
+  build_csr();
+}
+
+bool KnowledgeGraph::edge_removed(EdgeId e) const {
+  if (e < 0 || e >= static_cast<EdgeId>(edges_.size()))
+    throw std::invalid_argument("edge_removed: id out of range");
+  return overlay_.removed(e);
 }
 
 std::int32_t KnowledgeGraph::node_type(NodeId v) const {
@@ -136,14 +235,17 @@ std::span<const Adjacent> KnowledgeGraph::neighbors(NodeId v) const {
   require_finalized("neighbors");
   if (v < 0 || v >= static_cast<NodeId>(node_type_.size()))
     throw std::invalid_argument("neighbors: node out of range");
-  return {adjacency_.data() + offsets_[v],
-          static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  if (const auto* patched = overlay_.find(v))
+    return {patched->data(), patched->size()};
+  return base_neighbors(v);
 }
 
 std::int64_t KnowledgeGraph::degree(NodeId v) const {
   require_finalized("degree");
   if (v < 0 || v >= static_cast<NodeId>(node_type_.size()))
     throw std::invalid_argument("degree: node out of range");
+  if (const auto* patched = overlay_.find(v))
+    return static_cast<std::int64_t>(patched->size());
   return offsets_[v + 1] - offsets_[v];
 }
 
@@ -169,7 +271,9 @@ std::vector<std::int64_t> KnowledgeGraph::node_type_counts() const {
 std::vector<std::int64_t> KnowledgeGraph::edge_type_counts() const {
   std::vector<std::int64_t> counts(static_cast<std::size_t>(num_edge_types_),
                                    0);
-  for (const auto& e : edges_) ++counts[static_cast<std::size_t>(e.type)];
+  for (std::size_t eid = 0; eid < edges_.size(); ++eid)
+    if (!overlay_.removed(static_cast<EdgeId>(eid)))
+      ++counts[static_cast<std::size_t>(edges_[eid].type)];
   return counts;
 }
 

@@ -6,7 +6,17 @@
 // subgraph extraction), carry a relation-type id, and an attribute vector
 // (paper §III-B: e.g. PrimeKG's 30 relations compressed to a 2-d ±polarity
 // one-hot).  Adjacency is CSR over both endpoint directions, built once by
-// finalize() and immutable afterwards.
+// finalize().
+//
+// After finalize() the graph is no longer frozen: insert_edge / delete_edge
+// record incremental updates in a DeltaOverlay (tombstone bitmap + per-node
+// patched adjacency) so the serving path can mutate the graph in O(degree)
+// instead of rebuilding the CSR, and compact() folds the overlay back into
+// a fresh CSR whose neighbor order is byte-identical to the overlay view
+// (DESIGN.md §2.5).  neighbors()/degree()/find_edge() transparently read
+// through the overlay, so every consumer (BFS, SEAL extraction, heuristics)
+// sees the updated graph unchanged.  Mutations are NOT thread-safe against
+// concurrent reads; reads of an unchanging graph (overlay or not) are.
 #pragma once
 
 #include <cstdint>
@@ -14,22 +24,10 @@
 #include <string>
 #include <vector>
 
+#include "graph/delta_overlay.h"
+#include "graph/graph_types.h"
+
 namespace amdgcnn::graph {
-
-using NodeId = std::int32_t;
-using EdgeId = std::int32_t;
-
-struct EdgeRecord {
-  NodeId src = -1;
-  NodeId dst = -1;
-  std::int32_t type = 0;
-};
-
-/// One (neighbor, via-edge) adjacency entry.
-struct Adjacent {
-  NodeId node;
-  EdgeId edge;
-};
 
 class KnowledgeGraph {
  public:
@@ -58,15 +56,63 @@ class KnowledgeGraph {
   /// exactly how the paper derives edge attributes from relation ids.
   void set_edge_type_attr(std::int32_t type, std::span<const double> attr);
 
-  /// Build the CSR adjacency.  Must be called exactly once, after which the
-  /// graph is immutable.
+  /// Build the CSR adjacency.  Must be called exactly once; afterwards the
+  /// construction API above is closed and the incremental-update API below
+  /// opens.
   void finalize();
   bool finalized() const { return finalized_; }
+
+  // ---- Incremental updates (after finalize; DESIGN.md §2.5) ---------------
+  //
+  // All failures raise GraphUpdateError (typed; never UB): duplicate
+  // inserts, self-loops, out-of-range node/type ids, deleting a missing
+  // edge, attribute-dim mismatch.
+
+  /// Insert an undirected edge through the delta overlay; returns its id
+  /// (stable until the next compact()).  O(degree) on first touch of each
+  /// endpoint, O(1) amortised afterwards.
+  EdgeId insert_edge(NodeId u, NodeId v, std::int32_t type);
+
+  /// As above, also (re)defining the attribute vector of `type`.  The
+  /// attribute length must equal edge_attr_dim() exactly.
+  EdgeId insert_edge(NodeId u, NodeId v, std::int32_t type,
+                     std::span<const double> attr);
+
+  /// Delete the edge between u and v (base edges become tombstones, overlay
+  /// edges are dropped at the next compact()).  Returns the removed id.
+  EdgeId delete_edge(NodeId u, NodeId v);
+
+  /// Fold the overlay into a fresh CSR: tombstoned edges vanish, overlay
+  /// edges become base edges, and edge ids are renumbered (surviving edges
+  /// keep their relative order, so every node's neighbor sequence — and
+  /// hence any extraction, DRNL labeling or BFS — is byte-identical before
+  /// and after).  Generation counters survive: no cache goes stale.
+  void compact();
+
+  /// Monotone counter, bumped by every successful insert/delete (compact()
+  /// does not bump it — the logical graph is unchanged).
+  std::uint64_t generation() const { return overlay_.generation(); }
+  /// Generation of the last mutation touching v (0 = never touched).
+  std::uint64_t node_generation(NodeId v) const {
+    return overlay_.node_generation(v);
+  }
+  /// Pending overlay depth (inserts + tombstones since the last compact).
+  std::int64_t overlay_depth() const { return overlay_.depth(); }
+  /// True when an edge id refers to a tombstoned (deleted, not yet
+  /// compacted) edge; its record stays readable until compact().
+  bool edge_removed(EdgeId e) const;
 
   // ---- Topology queries (after finalize) ----------------------------------
 
   std::int64_t num_nodes() const { return static_cast<std::int64_t>(node_type_.size()); }
+  /// Count of edge RECORDS (valid id range), including tombstones awaiting
+  /// compaction; see num_live_edges() for the logical edge count.
   std::int64_t num_edges() const { return static_cast<std::int64_t>(edges_.size()); }
+  /// Edges actually present in the graph (records minus tombstones).
+  std::int64_t num_live_edges() const {
+    return static_cast<std::int64_t>(edges_.size()) -
+           overlay_.num_tombstones();
+  }
   std::int32_t num_node_types() const { return num_node_types_; }
   std::int32_t num_edge_types() const { return num_edge_types_; }
   std::int64_t edge_attr_dim() const { return edge_attr_dim_; }
@@ -97,6 +143,15 @@ class KnowledgeGraph {
  private:
   void require_finalized(const char* what) const;
   void require_not_finalized(const char* what) const;
+  /// (Re)build offsets_/adjacency_ from edges_ (counting sort by edge id).
+  void build_csr();
+  /// Base CSR slice of v, ignoring the overlay (patch seeding).
+  std::span<const Adjacent> base_neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+  /// Shared endpoint/type validation for insert_edge/delete_edge.
+  void check_update_endpoints(const char* what, NodeId u, NodeId v) const;
 
   std::int32_t num_node_types_;
   std::int32_t num_edge_types_;
@@ -111,6 +166,8 @@ class KnowledgeGraph {
   // CSR over both directions.
   std::vector<std::int64_t> offsets_;
   std::vector<Adjacent> adjacency_;
+  // Post-finalize updates: tombstones, patched adjacency, generations.
+  DeltaOverlay overlay_;
   bool finalized_ = false;
 };
 

@@ -68,11 +68,17 @@ EnclosingSubgraph extract_enclosing_subgraph(const KnowledgeGraph& g, NodeId a,
   bfs_distances_into(g, b, bfs_opts, db.v, queue.v);
 
   // Collect candidate nodes per the union / intersection rule.
+  EnclosingSubgraph sub;
   std::vector<NodeId> candidates;
+  if (options.collect_hull) {
+    sub.hull.push_back(a);
+    sub.hull.push_back(b);
+  }
   for (NodeId v = 0; v < static_cast<NodeId>(g.num_nodes()); ++v) {
     if (v == a || v == b) continue;
     const bool in_a = da.v[v] != kUnreachable;
     const bool in_b = db.v[v] != kUnreachable;
+    if (options.collect_hull && (in_a || in_b)) sub.hull.push_back(v);
     const bool keep = options.mode == NeighborhoodMode::kUnion
                           ? (in_a || in_b)
                           : (in_a && in_b);
@@ -95,7 +101,6 @@ EnclosingSubgraph extract_enclosing_subgraph(const KnowledgeGraph& g, NodeId a,
     candidates.resize(static_cast<std::size_t>(options.max_nodes - 2));
   }
 
-  EnclosingSubgraph sub;
   sub.nodes.reserve(candidates.size() + 2);
   sub.nodes.push_back(a);
   sub.nodes.push_back(b);

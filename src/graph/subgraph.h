@@ -34,6 +34,13 @@ struct EnclosingSubgraph {
   std::vector<LocalEdge> edges;       // induced edges, target link excluded
   std::vector<std::int32_t> dist_a;   // per local node; kUnreachable = -1
   std::vector<std::int32_t> dist_b;
+  /// Original ids of EVERY node within num_hops of either target (the union
+  /// hull, before the intersection rule or the size cap prunes it), plus the
+  /// two targets.  Only filled when ExtractOptions::collect_hull is set.
+  /// Any graph mutation that can change this subgraph must touch a hull
+  /// node, so caches key their invalidation on hull generations
+  /// (core::LinkPredictor, DESIGN.md §2.5).
+  std::vector<NodeId> hull;
 
   std::int64_t num_nodes() const {
     return static_cast<std::int64_t>(nodes.size());
@@ -48,6 +55,10 @@ struct ExtractOptions {
   /// Hard cap on subgraph size; nodes closest to the targets are kept.
   /// 0 disables the cap.
   std::int64_t max_nodes = 0;
+  /// Also record the uncapped union hull in EnclosingSubgraph::hull (cache
+  /// invalidation support); off by default — the extraction bytes are
+  /// unchanged either way.
+  bool collect_hull = false;
 };
 
 /// Extract the enclosing subgraph of (a, b).  Requires a != b.  The returned

@@ -23,72 +23,24 @@
 #include "graph/traversal.h"
 #include "seal/dataset.h"
 #include "seal/drnl.h"
+#include "test_util.h"
 
 namespace amdgcnn {
 namespace {
 
-datasets::RandomKGOptions kg_opts(std::uint64_t seed) {
-  datasets::RandomKGOptions o;
-  o.seed = seed;
-  return o;
-}
-
-/// Links over distinct node pairs of g, labels cycling over `num_classes`.
-/// A mix of real edges and non-edges, so extraction exercises both the
-/// masked-edge path and the plain path.
-std::vector<seal::LinkExample> make_links(const graph::KnowledgeGraph& g,
-                                          std::int64_t count,
-                                          std::int64_t num_classes,
-                                          std::uint64_t seed) {
-  util::Rng rng(seed);
-  std::vector<seal::LinkExample> links;
-  while (static_cast<std::int64_t>(links.size()) < count) {
-    const auto a = static_cast<graph::NodeId>(
-        rng.uniform_int(static_cast<std::uint64_t>(g.num_nodes())));
-    const auto b = static_cast<graph::NodeId>(
-        rng.uniform_int(static_cast<std::uint64_t>(g.num_nodes())));
-    if (a == b) continue;
-    links.push_back({a, b,
-                     static_cast<std::int32_t>(links.size() %
-                                               static_cast<std::size_t>(
-                                                   num_classes))});
-  }
-  return links;
-}
-
-void expect_samples_identical(const std::vector<seal::SubgraphSample>& got,
-                              const std::vector<seal::SubgraphSample>& want,
-                              const char* what) {
-  ASSERT_EQ(got.size(), want.size()) << what;
-  for (std::size_t i = 0; i < got.size(); ++i) {
-    const auto& a = got[i];
-    const auto& b = want[i];
-    EXPECT_EQ(a.num_nodes, b.num_nodes) << what << " sample " << i;
-    EXPECT_EQ(a.label, b.label) << what << " sample " << i;
-    EXPECT_EQ(a.src, b.src) << what << " sample " << i;
-    EXPECT_EQ(a.dst, b.dst) << what << " sample " << i;
-    ASSERT_EQ(a.node_feat.shape(), b.node_feat.shape())
-        << what << " sample " << i;
-    // Bit-exact, not approximate: the whole point of the contract.
-    EXPECT_EQ(a.node_feat.data(), b.node_feat.data())
-        << what << " sample " << i;
-    ASSERT_EQ(a.edge_attr.defined(), b.edge_attr.defined())
-        << what << " sample " << i;
-    if (a.edge_attr.defined()) {
-      ASSERT_EQ(a.edge_attr.shape(), b.edge_attr.shape())
-          << what << " sample " << i;
-      EXPECT_EQ(a.edge_attr.data(), b.edge_attr.data())
-          << what << " sample " << i;
-    }
-  }
-}
+// Random KGs / link lists and the byte-level sample comparison are the
+// shared generator module in test_util.h (reused by the dynamic-graph
+// suite).
+using testing::expect_samples_identical;
+using testing::random_kg_options;
+using testing::random_links;
 
 // ---- ParallelDatasetBuild ---------------------------------------------------
 
 TEST(ParallelDatasetBuild, BitIdenticalForAnyWorkerCount) {
-  const auto g = datasets::make_random_kg(kg_opts(7));
-  const auto train = make_links(g, 40, /*num_classes=*/3, /*seed=*/11);
-  const auto test = make_links(g, 15, /*num_classes=*/3, /*seed=*/13);
+  const auto g = datasets::make_random_kg(random_kg_options(7));
+  const auto train = random_links(g, 40, /*num_classes=*/3, /*seed=*/11);
+  const auto test = random_links(g, 15, /*num_classes=*/3, /*seed=*/13);
 
   seal::SealDatasetOptions options;
   options.extract.num_hops = 2;
@@ -112,8 +64,8 @@ TEST(ParallelDatasetBuild, ExtractionStagesMatchSerialPath) {
   // Below the tensor level: the extracted subgraphs themselves (node order,
   // edge lists, both DRNL distance vectors) must be identical when the
   // parallel build's samples are recomputed serially.
-  const auto g = datasets::make_random_kg(kg_opts(21));
-  const auto links = make_links(g, 30, /*num_classes=*/2, /*seed=*/5);
+  const auto g = datasets::make_random_kg(random_kg_options(21));
+  const auto links = random_links(g, 30, /*num_classes=*/2, /*seed=*/5);
 
   seal::SealDatasetOptions options;
   options.extract.num_hops = 2;
@@ -148,8 +100,8 @@ TEST(ParallelDatasetBuild, ExtractionStagesMatchSerialPath) {
 }
 
 TEST(ParallelDatasetBuild, RejectsNegativeThreadCount) {
-  const auto g = datasets::make_random_kg(kg_opts(3));
-  const auto links = make_links(g, 4, 2, 9);
+  const auto g = datasets::make_random_kg(random_kg_options(3));
+  const auto links = random_links(g, 4, 2, 9);
   seal::SealDatasetOptions options;
   options.num_threads = -1;
   EXPECT_THROW(seal::build_samples(g, links, options), std::invalid_argument);
@@ -171,8 +123,8 @@ TEST(DrnlProperty, HashIsSymmetricInTheTwoDistances) {
 TEST(DrnlProperty, SwappingTargetsPreservesPerNodeLabels) {
   // drnl is defined on unordered pairs: extracting (a, b) and (b, a) must
   // assign every original node the same label.
-  const auto g = datasets::make_random_kg(kg_opts(17));
-  const auto links = make_links(g, 20, 2, 23);
+  const auto g = datasets::make_random_kg(random_kg_options(17));
+  const auto links = random_links(g, 20, 2, 23);
   graph::ExtractOptions options;
   options.num_hops = 2;
   for (const auto& link : links) {
@@ -218,7 +170,7 @@ TEST(DrnlProperty, InvariantUnderNodeRelabeling) {
   // Isomorphic graphs must yield identical per-node DRNL labels for the
   // corresponding links.  max_nodes stays 0: the size cap tie-breaks on raw
   // node id, which a relabeling is free to change.
-  const auto g = datasets::make_random_kg(kg_opts(29));
+  const auto g = datasets::make_random_kg(random_kg_options(29));
   std::vector<graph::NodeId> perm(static_cast<std::size_t>(g.num_nodes()));
   for (std::size_t i = 0; i < perm.size(); ++i)
     perm[i] = static_cast<graph::NodeId>(i);
@@ -229,7 +181,7 @@ TEST(DrnlProperty, InvariantUnderNodeRelabeling) {
   graph::ExtractOptions options;
   options.num_hops = 2;
   options.max_nodes = 0;
-  const auto links = make_links(g, 20, 2, 37);
+  const auto links = random_links(g, 20, 2, 37);
   for (const auto& link : links) {
     const auto sub_g =
         graph::extract_enclosing_subgraph(g, link.a, link.b, options);
@@ -253,8 +205,8 @@ TEST(DrnlProperty, InvariantUnderNodeRelabeling) {
 
 TEST(ExtractionProperty, SubgraphInvariantsHoldOnRandomGraphs) {
   for (std::uint64_t seed : {41u, 43u, 47u}) {
-    const auto g = datasets::make_random_kg(kg_opts(seed));
-    const auto links = make_links(g, 25, 2, seed + 1);
+    const auto g = datasets::make_random_kg(random_kg_options(seed));
+    const auto links = random_links(g, 25, 2, seed + 1);
     for (auto mode : {graph::NeighborhoodMode::kUnion,
                       graph::NeighborhoodMode::kIntersection}) {
       graph::ExtractOptions options;
@@ -338,8 +290,8 @@ TEST(ExtractionProperty, SubgraphInvariantsHoldOnRandomGraphs) {
 }
 
 TEST(ExtractionProperty, MaxNodesCapsSubgraphSize) {
-  const auto g = datasets::make_random_kg(kg_opts(53));
-  const auto links = make_links(g, 15, 2, 59);
+  const auto g = datasets::make_random_kg(random_kg_options(53));
+  const auto links = random_links(g, 15, 2, 59);
   graph::ExtractOptions capped;
   capped.num_hops = 2;
   capped.max_nodes = 8;

@@ -5,9 +5,12 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <set>
+#include <utility>
 
 #include "datasets/biokg_sim.h"
 #include "datasets/cora_sim.h"
+#include "datasets/kg_generator.h"
 #include "datasets/primekg_sim.h"
 #include "datasets/wordnet_sim.h"
 #include "models/dgcnn.h"
@@ -269,6 +272,49 @@ TEST(SegmentSoftmaxProperty, InvariantToPerSegmentShift) {
   auto out = ag::ops::segment_softmax(shifted, seg, 3);
   for (std::int64_t i = 0; i < base.numel(); ++i)
     EXPECT_NEAR(base.item(i), out.item(i), 1e-12);
+}
+
+// ---- Dynamic-graph structural invariants -----------------------------------
+
+/// Any sequence of overlay mutations leaves the adjacency view structurally
+/// sound: symmetric, duplicate-free, tombstone-free, and in bijection with
+/// the live edge records.  200 randomized (graph, update-sequence) trials.
+TEST(DynamicGraphProperty, OverlayAdjacencyStaysStructurallySound) {
+  for (std::uint64_t trial = 0; trial < 200; ++trial) {
+    auto g = datasets::make_random_kg(testing::random_kg_options(trial + 7));
+    testing::UpdateSequenceOptions uo;
+    uo.count = 35;
+    uo.seed = trial + 1;
+    testing::apply_updates(g, testing::make_update_sequence(g, uo));
+    if (trial % 4 == 2) g.compact();
+
+    std::int64_t degree_sum = 0;
+    std::set<std::pair<graph::NodeId, graph::NodeId>> seen;
+    for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(g.num_nodes());
+         ++v) {
+      ASSERT_EQ(g.degree(v), static_cast<std::int64_t>(g.neighbors(v).size()))
+          << "trial " << trial;
+      degree_sum += g.degree(v);
+      for (const auto& adj : g.neighbors(v)) {
+        ASSERT_FALSE(g.edge_removed(adj.edge))
+            << "trial " << trial << ": tombstone in adjacency of " << v;
+        const auto& rec = g.edge(adj.edge);
+        ASSERT_TRUE((rec.src == v && rec.dst == adj.node) ||
+                    (rec.dst == v && rec.src == adj.node))
+            << "trial " << trial << ": record/adjacency mismatch";
+        ASSERT_TRUE(seen.emplace(std::min(v, adj.node),
+                                 std::max(v, adj.node)).second ||
+                    v > adj.node)
+            << "trial " << trial << ": duplicate edge in adjacency";
+        // Symmetry: the reverse direction lists the same edge id.
+        ASSERT_EQ(g.find_edge(adj.node, v), adj.edge) << "trial " << trial;
+      }
+    }
+    // Handshake: every live edge appears from exactly both endpoints.
+    ASSERT_EQ(degree_sum, 2 * g.num_live_edges()) << "trial " << trial;
+    ASSERT_EQ(static_cast<std::int64_t>(seen.size()), g.num_live_edges())
+        << "trial " << trial;
+  }
 }
 
 }  // namespace

@@ -1,15 +1,26 @@
 // Shared test helpers: numerical gradient checking against the autograd
-// tape, and small graph fixtures reused across suites.
+// tape, small graph fixtures, and the seeded random-input generators
+// (random KGs, random link lists, random update sequences) that drive the
+// property suites.  Every generator is a pure function of its seed, so a
+// failing trial replays from the seed printed in the assertion message —
+// shrink by hand-editing the seed/count, mapf-het style.
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "datasets/kg_generator.h"
 #include "graph/knowledge_graph.h"
+#include "seal/feature_builder.h"
+#include "seal/sampling.h"
 #include "tensor/tensor.h"
+#include "util/rng.h"
 
 namespace amdgcnn::testing {
 
@@ -92,6 +103,170 @@ inline graph::KnowledgeGraph triangle_with_tail() {
   g.add_edge(2, 3, 0);
   g.finalize();
   return g;
+}
+
+// ---- Seeded random-input generators (property suites) ----------------------
+
+/// RandomKGOptions pinned to one seed (the defaults elsewhere are the
+/// property-suite workhorse shape: 60 nodes / 150 edges / 3+4 types).
+inline datasets::RandomKGOptions random_kg_options(std::uint64_t seed) {
+  datasets::RandomKGOptions o;
+  o.seed = seed;
+  return o;
+}
+
+/// Links over distinct node pairs of g, labels cycling over `num_classes`.
+/// A mix of real edges and non-edges, so extraction exercises both the
+/// masked-edge path and the plain path.
+inline std::vector<seal::LinkExample> random_links(
+    const graph::KnowledgeGraph& g, std::int64_t count,
+    std::int64_t num_classes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<seal::LinkExample> links;
+  while (static_cast<std::int64_t>(links.size()) < count) {
+    const auto a = static_cast<graph::NodeId>(
+        rng.uniform_int(static_cast<std::uint64_t>(g.num_nodes())));
+    const auto b = static_cast<graph::NodeId>(
+        rng.uniform_int(static_cast<std::uint64_t>(g.num_nodes())));
+    if (a == b) continue;
+    links.push_back({a, b,
+                     static_cast<std::int32_t>(
+                         links.size() % static_cast<std::size_t>(num_classes))});
+  }
+  return links;
+}
+
+/// One step of a dynamic-graph workload.
+struct GraphUpdate {
+  enum class Kind { kInsert, kRemove };
+  Kind kind = Kind::kInsert;
+  graph::NodeId u = -1;
+  graph::NodeId v = -1;
+  std::int32_t type = 0;  // relation type of an insert
+};
+
+struct UpdateSequenceOptions {
+  std::int64_t count = 40;
+  /// Probability of a removal at each step (when any edge is live).
+  double remove_fraction = 0.4;
+  std::uint64_t seed = 1;
+};
+
+/// A valid update sequence against the CURRENT live-edge set of `g`
+/// (finalized, overlay allowed): every remove targets an edge that is live
+/// at that point of the replay, every insert a pair that is not.  Pure in
+/// (g, options) — replaying the same sequence against any copy of g is
+/// deterministic, which is what lets the compaction-identity tests apply
+/// one sequence to many copies compacted at different points.
+inline std::vector<GraphUpdate> make_update_sequence(
+    const graph::KnowledgeGraph& g, const UpdateSequenceOptions& options) {
+  util::Rng rng(options.seed);
+  auto key = [](graph::NodeId a, graph::NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(b));
+  };
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> live;
+  std::unordered_set<std::uint64_t> live_set;
+  for (graph::EdgeId e = 0; e < static_cast<graph::EdgeId>(g.num_edges());
+       ++e) {
+    if (g.finalized() && g.edge_removed(e)) continue;
+    const auto& rec = g.edge(e);
+    live.emplace_back(rec.src, rec.dst);
+    live_set.insert(key(rec.src, rec.dst));
+  }
+  std::vector<GraphUpdate> seq;
+  seq.reserve(static_cast<std::size_t>(options.count));
+  const auto n = static_cast<std::uint64_t>(g.num_nodes());
+  while (static_cast<std::int64_t>(seq.size()) < options.count) {
+    if (!live.empty() && rng.uniform() < options.remove_fraction) {
+      const auto i = rng.uniform_int(static_cast<std::uint64_t>(live.size()));
+      const auto [u, v] = live[i];
+      live[i] = live.back();
+      live.pop_back();
+      live_set.erase(key(u, v));
+      seq.push_back({GraphUpdate::Kind::kRemove, u, v, 0});
+    } else {
+      const auto u = static_cast<graph::NodeId>(rng.uniform_int(n));
+      const auto v = static_cast<graph::NodeId>(rng.uniform_int(n));
+      if (u == v || live_set.contains(key(u, v))) continue;
+      const auto type =
+          static_cast<std::int32_t>(rng.uniform_int(
+              static_cast<std::uint64_t>(g.num_edge_types())));
+      live.emplace_back(u, v);
+      live_set.insert(key(u, v));
+      seq.push_back({GraphUpdate::Kind::kInsert, u, v, type});
+    }
+  }
+  return seq;
+}
+
+inline void apply_update(graph::KnowledgeGraph& g, const GraphUpdate& u) {
+  if (u.kind == GraphUpdate::Kind::kInsert)
+    g.insert_edge(u.u, u.v, u.type);
+  else
+    g.delete_edge(u.u, u.v);
+}
+
+inline void apply_updates(graph::KnowledgeGraph& g,
+                          const std::vector<GraphUpdate>& seq) {
+  for (const auto& u : seq) apply_update(g, u);
+}
+
+/// The logical graph of `g` (live edges, in the stable order compact()
+/// produces) rebuilt through the pristine add_edge + finalize path — the
+/// reference side of the static-vs-incremental equivalence property.
+inline graph::KnowledgeGraph rebuild_via_finalize(
+    const graph::KnowledgeGraph& g) {
+  graph::KnowledgeGraph out(g.num_node_types(), g.num_edge_types(),
+                            g.edge_attr_dim(), g.node_feat_dim());
+  for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(g.num_nodes());
+       ++v) {
+    out.add_node(g.node_type(v));
+    if (g.node_feat_dim() > 0) {
+      const auto added = static_cast<graph::NodeId>(out.num_nodes() - 1);
+      out.set_node_features(added, g.node_features(v));
+    }
+  }
+  for (std::int32_t t = 0; t < g.num_edge_types(); ++t)
+    if (g.edge_attr_dim() > 0) out.set_edge_type_attr(t, g.edge_type_attr(t));
+  for (graph::EdgeId e = 0; e < static_cast<graph::EdgeId>(g.num_edges());
+       ++e) {
+    if (g.edge_removed(e)) continue;
+    const auto& rec = g.edge(e);
+    out.add_edge(rec.src, rec.dst, rec.type);
+  }
+  out.finalize();
+  return out;
+}
+
+/// Byte-level sample comparison shared by the parallel-build and
+/// dynamic-graph determinism suites.
+inline void expect_samples_identical(
+    const std::vector<seal::SubgraphSample>& got,
+    const std::vector<seal::SubgraphSample>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const auto& a = got[i];
+    const auto& b = want[i];
+    EXPECT_EQ(a.num_nodes, b.num_nodes) << what << " sample " << i;
+    EXPECT_EQ(a.label, b.label) << what << " sample " << i;
+    EXPECT_EQ(a.src, b.src) << what << " sample " << i;
+    EXPECT_EQ(a.dst, b.dst) << what << " sample " << i;
+    ASSERT_EQ(a.node_feat.shape(), b.node_feat.shape())
+        << what << " sample " << i;
+    // Bit-exact, not approximate: the whole point of the contract.
+    EXPECT_EQ(a.node_feat.data(), b.node_feat.data())
+        << what << " sample " << i;
+    ASSERT_EQ(a.edge_attr.defined(), b.edge_attr.defined())
+        << what << " sample " << i;
+    if (a.edge_attr.defined()) {
+      ASSERT_EQ(a.edge_attr.shape(), b.edge_attr.shape())
+          << what << " sample " << i;
+      EXPECT_EQ(a.edge_attr.data(), b.edge_attr.data())
+          << what << " sample " << i;
+    }
+  }
 }
 
 }  // namespace amdgcnn::testing
