@@ -11,9 +11,18 @@
 // construction (the feature stage re-runs DRNL internally, so the three
 // stage times slightly exceed the end-to-end time).
 //
+// The scale tier (DESIGN.md §2.6) then runs the same extraction on
+// 10^5- and 10^6-node streaming-generated graphs, comparing the legacy
+// clear-per-link kernel against the epoch kernel (gated at >= 5x at a
+// million nodes) and the frontier-reuse cache on a shared-endpoint candidate
+// batch, plus snapshot save / mmap-load timings (mmap load gated at >= 20x
+// over the generator build).  The gates are asserted in full mode only;
+// --smoke shrinks the tier to one small graph and checks bytes, not speed.
+//
 // Output goes to stdout as a table and to a JSON file (default
 // BENCH_extraction.json in the current directory; override with --out PATH).
 // --smoke shrinks everything so the binary doubles as a CTest smoke test.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,7 +31,10 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "datasets/kg_generator.h"
+#include "graph/subgraph.h"
 #include "seal/drnl.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -150,8 +162,147 @@ std::vector<StageResult> time_stages(const graph::KnowledgeGraph& g,
   return stages;
 }
 
+// ---- Scale tier (DESIGN.md §2.6) --------------------------------------------
+
+struct ScaleResult {
+  std::int64_t num_nodes = 0;
+  std::int64_t num_edges = 0;
+  std::size_t num_links = 0;
+  double build_seconds = 0.0;      // streaming generator + finalize()
+  double save_seconds = 0.0;       // save_snapshot
+  double load_map_seconds = 0.0;   // load_snapshot(kMap)
+  double load_copy_seconds = 0.0;  // load_snapshot(kCopy)
+  double clear_links_per_sec = 0.0;     // legacy clear-per-link kernel
+  double epoch_links_per_sec = 0.0;     // epoch kernel (default)
+  double frontier_links_per_sec = 0.0;  // epoch + reuse on a candidate batch
+  double epoch_speedup = 0.0;           // epoch vs clear
+  double load_speedup = 0.0;            // build vs mmap load
+};
+
+bool subgraphs_equal(const graph::EnclosingSubgraph& x,
+                     const graph::EnclosingSubgraph& y) {
+  if (x.nodes != y.nodes || x.dist_a != y.dist_a || x.dist_b != y.dist_b ||
+      x.edges.size() != y.edges.size())
+    return false;
+  for (std::size_t i = 0; i < x.edges.size(); ++i)
+    if (x.edges[i].src != y.edges[i].src ||
+        x.edges[i].dst != y.edges[i].dst ||
+        x.edges[i].orig != y.edges[i].orig)
+      return false;
+  return true;
+}
+
+/// Links/sec of extraction over `links`, repeating whole passes until the
+/// clock has accumulated enough signal (>= 3 passes and >= 0.25 s).
+double time_extraction(const graph::KnowledgeGraph& g,
+                       const std::vector<seal::LinkExample>& links,
+                       const graph::ExtractOptions& opt) {
+  graph::extract_enclosing_subgraph(g, links[0].a, links[0].b, opt);  // warmup
+  util::Stopwatch watch;
+  int passes = 0;
+  do {
+    for (const auto& l : links)
+      graph::extract_enclosing_subgraph(g, l.a, l.b, opt);
+    ++passes;
+  } while (passes < 3 || watch.seconds() < 0.25);
+  return static_cast<double>(links.size()) * passes / watch.seconds();
+}
+
+ScaleResult run_scale_tier(std::int64_t num_nodes, bool smoke) {
+  datasets::ScaleKGOptions o;
+  o.num_nodes = num_nodes;
+  o.seed = 7;
+  util::Stopwatch build_watch;
+  const auto g = datasets::make_scale_kg(o);
+  ScaleResult r;
+  r.build_seconds = build_watch.seconds();
+  r.num_nodes = g.num_nodes();
+  r.num_edges = g.num_edges();
+
+  // Snapshot round trip: save once, then time both load modes.  The byte-
+  // exactness of the loaded graphs is covered by the scale test tier; here
+  // only the cheap shape invariants are asserted.
+  const std::string snap_path =
+      "bench_scale_" + std::to_string(num_nodes) + ".snap";
+  {
+    util::Stopwatch w;
+    g.save_snapshot(snap_path);
+    r.save_seconds = w.seconds();
+  }
+  {
+    util::Stopwatch w;
+    const auto mapped = graph::KnowledgeGraph::load_snapshot(
+        snap_path, graph::SnapshotLoadMode::kMap);
+    r.load_map_seconds = w.seconds();
+    if (mapped.num_nodes() != g.num_nodes() ||
+        mapped.num_edges() != g.num_edges()) {
+      std::fprintf(stderr, "FATAL: mapped snapshot shape mismatch\n");
+      std::exit(1);
+    }
+  }
+  {
+    util::Stopwatch w;
+    const auto copied = graph::KnowledgeGraph::load_snapshot(
+        snap_path, graph::SnapshotLoadMode::kCopy);
+    r.load_copy_seconds = w.seconds();
+    if (copied.num_edges() != g.num_edges()) {
+      std::fprintf(stderr, "FATAL: copied snapshot shape mismatch\n");
+      std::exit(1);
+    }
+  }
+  std::remove(snap_path.c_str());
+  r.load_speedup = r.build_seconds / std::max(r.load_map_seconds, 1e-9);
+
+  const auto links =
+      datasets::sample_scale_links(g, smoke ? 24 : 40, /*seed=*/11);
+  r.num_links = links.size();
+  graph::ExtractOptions ex;
+  ex.num_hops = 2;
+  ex.max_nodes = 32;
+
+  // Both kernels must produce identical subgraphs before their speeds mean
+  // anything.
+  for (const auto& l : links) {
+    auto clear_opt = ex;
+    clear_opt.clear_per_link = true;
+    const auto a = graph::extract_enclosing_subgraph(g, l.a, l.b, clear_opt);
+    const auto b = graph::extract_enclosing_subgraph(g, l.a, l.b, ex);
+    if (!subgraphs_equal(a, b)) {
+      std::fprintf(stderr,
+                   "FATAL: epoch kernel differs from clear-per-link on "
+                   "(%d, %d) at %lld nodes\n",
+                   l.a, l.b, static_cast<long long>(num_nodes));
+      std::exit(1);
+    }
+  }
+
+  auto clear_opt = ex;
+  clear_opt.clear_per_link = true;
+  r.clear_links_per_sec = time_extraction(g, links, clear_opt);
+  r.epoch_links_per_sec = time_extraction(g, links, ex);
+  r.epoch_speedup = r.epoch_links_per_sec / r.clear_links_per_sec;
+
+  // Serving-shaped candidate batch: one source fanned out against many
+  // destinations — the frontier cache's hit case.
+  std::vector<seal::LinkExample> batch;
+  {
+    util::Rng rng(23);
+    const auto src = links[0].a;
+    while (batch.size() < links.size()) {
+      const auto v = static_cast<graph::NodeId>(
+          rng.uniform_int(static_cast<std::uint64_t>(g.num_nodes())));
+      if (v != src) batch.push_back({src, v, 0});
+    }
+  }
+  auto reuse_opt = ex;
+  reuse_opt.reuse_frontiers = true;
+  r.frontier_links_per_sec = time_extraction(g, batch, reuse_opt);
+  return r;
+}
+
 void write_json(const std::string& path,
-                const std::vector<DatasetResult>& datasets, bool smoke) {
+                const std::vector<DatasetResult>& datasets,
+                const std::vector<ScaleResult>& scale, bool smoke) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -194,6 +345,26 @@ void write_json(const std::string& path,
         << ", \"hit_rate\": "
         << (acq > 0.0 ? static_cast<double>(ds.i32_pool.hits) / acq : 0.0)
         << "}\n    }" << (d + 1 < datasets.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"scale_tier\": [\n";
+  for (std::size_t s = 0; s < scale.size(); ++s) {
+    const auto& sc = scale[s];
+    char buf[768];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"num_nodes\": %lld, \"num_edges\": %lld, \"num_links\": %zu,\n"
+        "     \"build_seconds\": %.4f, \"save_seconds\": %.4f, "
+        "\"load_map_seconds\": %.6f, \"load_copy_seconds\": %.4f,\n"
+        "     \"clear_links_per_sec\": %.1f, \"epoch_links_per_sec\": %.1f, "
+        "\"frontier_links_per_sec\": %.1f,\n"
+        "     \"epoch_speedup\": %.2f, \"load_speedup\": %.1f}%s\n",
+        static_cast<long long>(sc.num_nodes),
+        static_cast<long long>(sc.num_edges), sc.num_links, sc.build_seconds,
+        sc.save_seconds, sc.load_map_seconds, sc.load_copy_seconds,
+        sc.clear_links_per_sec, sc.epoch_links_per_sec,
+        sc.frontier_links_per_sec, sc.epoch_speedup, sc.load_speedup,
+        s + 1 < scale.size() ? "," : "");
+    out << buf;
   }
   out << "  ]\n}\n";
 }
@@ -286,7 +457,41 @@ int main(int argc, char** argv) {
     results.push_back(std::move(dr));
   }
 
-  write_json(out_path, results, smoke);
+  // Scale tier: smoke uses one small graph (byte checks only); full runs
+  // 10^5 and 10^6 nodes and asserts the DESIGN.md §2.6 gates.
+  std::vector<ScaleResult> scale_results;
+  const std::vector<std::int64_t> tiers =
+      smoke ? std::vector<std::int64_t>{20'000}
+            : std::vector<std::int64_t>{100'000, 1'000'000};
+  for (const auto tier : tiers) {
+    auto sc = run_scale_tier(tier, smoke);
+    std::printf(
+        "scale %-9lld build=%.2fs save=%.2fs mmap=%.5fs (%.0fx) "
+        "clear=%.1f epoch=%.1f (%.1fx) frontier=%.1f links/sec\n",
+        static_cast<long long>(sc.num_nodes), sc.build_seconds,
+        sc.save_seconds, sc.load_map_seconds, sc.load_speedup,
+        sc.clear_links_per_sec, sc.epoch_links_per_sec, sc.epoch_speedup,
+        sc.frontier_links_per_sec);
+    if (!smoke) {
+      if (sc.load_speedup < 20.0) {
+        std::fprintf(stderr,
+                     "FATAL: mmap load only %.1fx faster than the generator "
+                     "build at %lld nodes (gate: 20x)\n",
+                     sc.load_speedup, static_cast<long long>(sc.num_nodes));
+        return 1;
+      }
+      if (sc.num_nodes >= 1'000'000 && sc.epoch_speedup < 5.0) {
+        std::fprintf(stderr,
+                     "FATAL: epoch kernel only %.2fx over clear-per-link at "
+                     "%lld nodes (gate: 5x)\n",
+                     sc.epoch_speedup, static_cast<long long>(sc.num_nodes));
+        return 1;
+      }
+    }
+    scale_results.push_back(sc);
+  }
+
+  write_json(out_path, results, scale_results, smoke);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

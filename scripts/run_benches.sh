@@ -6,8 +6,9 @@
 # and f32 rows plus per-dtype determinism / bit-identity checks; the dynamic
 # bench gates the overlay-vs-rebuild speedup and score-cache coherence),
 # then re-run the parallel-build determinism/property tests, the dtype
-# suite, the forward-only inference suite AND the dynamic-graph suite under
-# ASan+UBSan (AMDGCNN_SANITIZE=ON) in a separate build tree.
+# suite, the forward-only inference suite, the dynamic-graph suite AND the
+# scale-tier suite (snapshot round-trips, epoch extraction, id-capacity
+# guards) under ASan+UBSan (AMDGCNN_SANITIZE=ON) in a separate build tree.
 #
 # Usage: scripts/run_benches.sh [--smoke] [--skip-sanitize]
 #   --smoke           shrink datasets/iterations (seconds instead of minutes)
@@ -81,7 +82,7 @@ if [[ "${run_sanitize}" -eq 1 ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAMDGCNN_SANITIZE=ON
   cmake --build "${asan_dir}" -j \
     --target amdgcnn_tests amdgcnn_dtype_tests amdgcnn_infer_tests \
-             amdgcnn_dynamic_tests
+             amdgcnn_dynamic_tests amdgcnn_scale_tests
   require_tests "${asan_dir}" \
     -R 'ParallelDatasetBuild|DrnlProperty|ExtractionProperty|DynamicGraphProperty|BufferPool|SortPoolEquivalence'
   ctest --test-dir "${asan_dir}" --output-on-failure \
@@ -94,5 +95,10 @@ if [[ "${run_sanitize}" -eq 1 ]]; then
   ctest --test-dir "${asan_dir}" --output-on-failure -L infer -E bench_
   require_tests "${asan_dir}" -L dynamic -E bench_
   ctest --test-dir "${asan_dir}" --output-on-failure -L dynamic -E bench_
-  echo "sanitizer pass over the parallel-build, dtype, infer and dynamic test layers: OK"
+  # The scale tier touches the rawest memory in the tree (mmap'd views, the
+  # epoch stamp arrays, the 32-bit local CSR): the snapshot round-trip and
+  # kernel-equivalence tests run under the sanitizers too.
+  require_tests "${asan_dir}" -L scale
+  ctest --test-dir "${asan_dir}" --output-on-failure -L scale
+  echo "sanitizer pass over the parallel-build, dtype, infer, dynamic and scale test layers: OK"
 fi

@@ -1,10 +1,10 @@
 #include "core/link_predictor.h"
 
 #include <algorithm>
-#include <exception>
 #include <stdexcept>
 
 #include "metrics/classification.h"
+#include "util/parallel_error.h"
 
 namespace amdgcnn::core {
 
@@ -21,6 +21,7 @@ LinkPredictor::LinkPredictor(const models::LinkGNN& model, Options options)
     : frozen_(model), options_(std::move(options)) {
   if (options_.dataset.num_threads < 0)
     throw std::invalid_argument("LinkPredictor: num_threads must be >= 0");
+  options_.dataset.extract.reuse_frontiers = options_.reuse_frontiers;
   if (options_.warm_nodes > 0)
     frozen_.warm_up(arena_, options_.warm_nodes, options_.warm_edges);
 }
@@ -60,11 +61,11 @@ void LinkPredictor::predict_links_cold(
     // its pre-sized slot and depends only on its link — extraction scratch
     // comes from thread-local pools, activations from the worker's own
     // thread-local arena — so the batch is bit-identical for any worker
-    // count.  Exceptions cannot cross the OpenMP region; the first one is
-    // captured and rethrown after the join.
+    // count.  Exceptions cannot cross the OpenMP region; the failure of the
+    // lowest link index is rethrown after the join with stage context.
     [[maybe_unused]] const int nt =
         static_cast<int>(options_.dataset.num_threads);
-    std::exception_ptr error;
+    util::WorkerErrorCollector error;
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic) num_threads(nt)
 #endif
@@ -74,15 +75,10 @@ void LinkPredictor::predict_links_cold(
         frozen_.predict_proba(sample, tls_arena(),
                               result.proba.data() + i * c);
       } catch (...) {
-#ifdef _OPENMP
-#pragma omp critical
-#endif
-        {
-          if (!error) error = std::current_exception();
-        }
+        error.capture(i);
       }
     }
-    if (error) std::rethrow_exception(error);
+    error.rethrow("predict_links");
   }
 }
 
@@ -154,7 +150,7 @@ void LinkPredictor::predict_links_cached(
   } else {
     [[maybe_unused]] const int nt =
         static_cast<int>(options_.dataset.num_threads);
-    std::exception_ptr error;
+    util::WorkerErrorCollector error;
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic) num_threads(nt)
 #endif
@@ -162,15 +158,10 @@ void LinkPredictor::predict_links_cached(
       try {
         score_one(k, tls_arena());
       } catch (...) {
-#ifdef _OPENMP
-#pragma omp critical
-#endif
-        {
-          if (!error) error = std::current_exception();
-        }
+        error.capture(k);
       }
     }
-    if (error) std::rethrow_exception(error);
+    error.rethrow("predict_links(cached)");
   }
 
   // Phase 3 (serial, after the join): admit the fresh entries.  Wipe-on-full

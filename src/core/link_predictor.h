@@ -52,6 +52,11 @@ class LinkPredictor {
     /// Entry cap; the cache is wiped when it would grow past this (simple,
     /// deterministic policy — the serving workload re-fills it in one pass).
     std::size_t cache_capacity = 1 << 16;
+    /// Reuse hop-bounded BFS frontiers across links sharing an endpoint
+    /// (graph::ExtractOptions::reuse_frontiers): candidate batches fan one
+    /// source out against many destinations, exactly the cache's hit shape.
+    /// On by default — extraction bytes are unchanged, only time.
+    bool reuse_frontiers = true;
   };
 
   struct CacheStats {

@@ -112,4 +112,36 @@ graph::KnowledgeGraph make_random_kg(const RandomKGOptions& options);
 void split_links(std::vector<seal::LinkExample> links, std::int64_t num_train,
                  std::int64_t num_test, util::Rng& rng, LinkDataset& out);
 
+/// Knobs for `make_scale_kg` — the 10^5..10^6-node scale tier (DESIGN.md
+/// §2.6).  Unlike the planted-latent generators above, edges stream straight
+/// into KnowledgeGraph::add_edge with NO duplicate-tracking set: a dedup
+/// table at a million nodes costs more memory than the graph itself, and
+/// SEAL extraction is indifferent to the occasional parallel edge.
+struct ScaleKGOptions {
+  std::int64_t num_nodes = 100'000;
+  /// Average undirected edges per node (edge count = num_nodes * this / 2).
+  double mean_degree = 8.0;
+  /// Endpoint-skew exponent: one endpoint of every edge is
+  /// floor(num_nodes * u^degree_skew) for uniform u, so 1.0 is uniform and
+  /// larger values concentrate edges on low-id hub nodes — the heavy-tailed
+  /// degree shape that makes extraction cost realistic.
+  double degree_skew = 2.0;
+  std::int32_t num_node_types = 8;
+  std::int32_t num_edge_types = 6;
+  std::uint64_t seed = 1;
+};
+
+/// A finalized scale-tier KG: uniform node types, one-hot edge-type
+/// attributes (edge_attr_dim == num_edge_types), edge type a noisy function
+/// of the endpoint node types.  O(V + E) time and memory (streaming; no
+/// intermediate edge list), deterministic in `options.seed`.
+graph::KnowledgeGraph make_scale_kg(const ScaleKGOptions& options);
+
+/// Labeled link batch for the scale bench: alternating existing edges
+/// (label 1) and uniformly random pairs (label 0; not checked against the
+/// graph — at scale the collision probability is negligible and the bench
+/// measures extraction, not classification).  Deterministic in `seed`.
+std::vector<seal::LinkExample> sample_scale_links(
+    const graph::KnowledgeGraph& g, std::int64_t count, std::uint64_t seed);
+
 }  // namespace amdgcnn::datasets

@@ -40,6 +40,7 @@ class GraphUpdateError : public std::runtime_error {
     kTypeOutOfRange,  ///< relation type outside [0, num_edge_types)
     kAttrDimMismatch, ///< attribute vector length != edge_attr_dim
     kNotFinalized,    ///< mutation attempted before finalize()
+    kIdOverflow,      ///< node/edge count would overflow NodeId/EdgeId
   };
 
   GraphUpdateError(Kind kind, const std::string& what)

@@ -1,9 +1,34 @@
 #include "graph/knowledge_graph.h"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 #include <stdexcept>
 
 namespace amdgcnn::graph {
+
+namespace {
+std::int64_t g_id_capacity_override = 0;  // 0 = the real 2^31-1 limit
+}  // namespace
+
+std::uint64_t KnowledgeGraph::next_uid() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::int64_t KnowledgeGraph::id_capacity() {
+  return g_id_capacity_override > 0
+             ? g_id_capacity_override
+             : static_cast<std::int64_t>(
+                   std::numeric_limits<NodeId>::max());
+}
+
+void KnowledgeGraph::set_id_capacity_for_testing(std::int64_t cap) {
+  if (cap < 0 ||
+      cap > static_cast<std::int64_t>(std::numeric_limits<NodeId>::max()))
+    throw std::invalid_argument("set_id_capacity_for_testing: bad capacity");
+  g_id_capacity_override = cap;
+}
 
 KnowledgeGraph::KnowledgeGraph(std::int32_t num_node_types,
                                std::int32_t num_edge_types,
@@ -35,6 +60,9 @@ NodeId KnowledgeGraph::add_node(std::int32_t type) {
   require_not_finalized("add_node");
   if (type < 0 || type >= num_node_types_)
     throw std::invalid_argument("add_node: type out of range");
+  if (num_nodes() >= id_capacity())
+    throw std::invalid_argument(
+        "add_node: node count would overflow NodeId (2^31-1)");
   node_type_.push_back(type);
   if (node_feat_dim_ > 0)
     node_feat_.resize(node_feat_.size() + node_feat_dim_, 0.0);
@@ -49,6 +77,9 @@ EdgeId KnowledgeGraph::add_edge(NodeId u, NodeId v, std::int32_t type) {
   if (u == v) throw std::invalid_argument("add_edge: self-loop rejected");
   if (type < 0 || type >= num_edge_types_)
     throw std::invalid_argument("add_edge: type out of range");
+  if (num_edges() >= id_capacity())
+    throw std::invalid_argument(
+        "add_edge: edge count would overflow EdgeId (2^31-1)");
   edges_.push_back({u, v, type});
   return static_cast<EdgeId>(edges_.size() - 1);
 }
@@ -56,6 +87,10 @@ EdgeId KnowledgeGraph::add_edge(NodeId u, NodeId v, std::int32_t type) {
 void KnowledgeGraph::set_node_features(NodeId v, std::span<const double> feat) {
   if (node_feat_dim_ == 0)
     throw std::logic_error("set_node_features: node_feat_dim is 0");
+  if (snap_)
+    throw std::logic_error(
+        "set_node_features: snapshot-backed features are read-only "
+        "(compact() first)");
   if (v < 0 || v >= static_cast<NodeId>(node_type_.size()))
     throw std::invalid_argument("set_node_features: node out of range");
   if (static_cast<std::int64_t>(feat.size()) != node_feat_dim_)
@@ -98,6 +133,9 @@ void KnowledgeGraph::build_csr() {
 
 void KnowledgeGraph::finalize() {
   require_not_finalized("finalize");
+  if (num_nodes() > id_capacity() || num_edges() > id_capacity())
+    throw std::invalid_argument(
+        "finalize: node/edge count overflows the 32-bit id range");
   build_csr();
   finalized_ = true;
 }
@@ -109,7 +147,7 @@ void KnowledgeGraph::check_update_endpoints(const char* what, NodeId u,
     throw GraphUpdateError(Kind::kNotFinalized,
                            std::string(what) + ": graph not finalized "
                                                "(use add_edge before finalize)");
-  const auto n = static_cast<NodeId>(node_type_.size());
+  const auto n = static_cast<NodeId>(num_nodes());
   if (u < 0 || u >= n || v < 0 || v >= n)
     throw GraphUpdateError(Kind::kNodeOutOfRange,
                            std::string(what) + ": endpoint out of range");
@@ -127,8 +165,12 @@ EdgeId KnowledgeGraph::insert_edge(NodeId u, NodeId v, std::int32_t type) {
   if (find_edge(u, v) >= 0)
     throw GraphUpdateError(Kind::kDuplicateEdge,
                            "insert_edge: edge already present");
+  if (num_edges() >= id_capacity())
+    throw GraphUpdateError(
+        Kind::kIdOverflow,
+        "insert_edge: edge count would overflow EdgeId (2^31-1)");
   edges_.push_back({u, v, type});
-  const auto id = static_cast<EdgeId>(edges_.size() - 1);
+  const auto id = static_cast<EdgeId>(num_edges() - 1);
   overlay_.materialize(u, base_neighbors(u)).push_back({v, id});
   overlay_.materialize(v, base_neighbors(v)).push_back({u, id});
   overlay_.note_insert();
@@ -173,11 +215,37 @@ EdgeId KnowledgeGraph::delete_edge(NodeId u, NodeId v) {
   return e;
 }
 
+void KnowledgeGraph::detach_snapshot() {
+  if (!snap_) return;
+  // Owned copies of the mapped base arrays.  Edge records: base first, then
+  // the post-load inserts already in edges_ — preserving every id.
+  std::vector<EdgeRecord> all_edges;
+  all_edges.reserve(static_cast<std::size_t>(num_edges()));
+  all_edges.insert(all_edges.end(), snap_edges_,
+                   snap_edges_ + snap_num_edges_);
+  all_edges.insert(all_edges.end(), edges_.begin(), edges_.end());
+  edges_ = std::move(all_edges);
+  node_type_.assign(snap_node_type_, snap_node_type_ + snap_num_nodes_);
+  if (node_feat_dim_ > 0)
+    node_feat_.assign(snap_node_feat_,
+                      snap_node_feat_ + snap_num_nodes_ * node_feat_dim_);
+  // The CSR arrays are rebuilt by the caller (compact); no need to copy.
+  snap_.reset();
+  snap_node_type_ = nullptr;
+  snap_edges_ = nullptr;
+  snap_offsets_ = nullptr;
+  snap_adjacency_ = nullptr;
+  snap_node_feat_ = nullptr;
+  snap_num_nodes_ = 0;
+  snap_num_edges_ = 0;
+}
+
 void KnowledgeGraph::compact() {
   if (!finalized_)
     throw GraphUpdateError(GraphUpdateError::Kind::kNotFinalized,
                            "compact: graph not finalized");
-  if (overlay_.empty()) return;
+  if (overlay_.empty() && !snap_) return;
+  detach_snapshot();
   // Drop tombstones, keeping the relative order of survivors: a node's
   // rebuilt CSR slice then equals its patched overlay list byte for byte
   // (base survivors in base order, then overlay inserts in insertion
@@ -192,21 +260,21 @@ void KnowledgeGraph::compact() {
 }
 
 bool KnowledgeGraph::edge_removed(EdgeId e) const {
-  if (e < 0 || e >= static_cast<EdgeId>(edges_.size()))
+  if (e < 0 || e >= static_cast<EdgeId>(num_edges()))
     throw std::invalid_argument("edge_removed: id out of range");
   return overlay_.removed(e);
 }
 
 std::int32_t KnowledgeGraph::node_type(NodeId v) const {
-  if (v < 0 || v >= static_cast<NodeId>(node_type_.size()))
+  if (v < 0 || v >= static_cast<NodeId>(num_nodes()))
     throw std::invalid_argument("node_type: node out of range");
-  return node_type_[v];
+  return node_type_data()[v];
 }
 
 const EdgeRecord& KnowledgeGraph::edge(EdgeId e) const {
-  if (e < 0 || e >= static_cast<EdgeId>(edges_.size()))
+  if (e < 0 || e >= static_cast<EdgeId>(num_edges()))
     throw std::invalid_argument("edge: id out of range");
-  return edges_[e];
+  return edge_rec(e);
 }
 
 std::span<const double> KnowledgeGraph::edge_attr(EdgeId e) const {
@@ -224,16 +292,16 @@ std::span<const double> KnowledgeGraph::edge_type_attr(
 }
 
 std::span<const double> KnowledgeGraph::node_features(NodeId v) const {
-  if (v < 0 || v >= static_cast<NodeId>(node_type_.size()))
+  if (v < 0 || v >= static_cast<NodeId>(num_nodes()))
     throw std::invalid_argument("node_features: node out of range");
   if (node_feat_dim_ == 0) return {};
-  return {node_feat_.data() + static_cast<std::size_t>(v) * node_feat_dim_,
+  return {node_feat_data() + static_cast<std::size_t>(v) * node_feat_dim_,
           static_cast<std::size_t>(node_feat_dim_)};
 }
 
 std::span<const Adjacent> KnowledgeGraph::neighbors(NodeId v) const {
   require_finalized("neighbors");
-  if (v < 0 || v >= static_cast<NodeId>(node_type_.size()))
+  if (v < 0 || v >= static_cast<NodeId>(num_nodes()))
     throw std::invalid_argument("neighbors: node out of range");
   if (const auto* patched = overlay_.find(v))
     return {patched->data(), patched->size()};
@@ -242,17 +310,18 @@ std::span<const Adjacent> KnowledgeGraph::neighbors(NodeId v) const {
 
 std::int64_t KnowledgeGraph::degree(NodeId v) const {
   require_finalized("degree");
-  if (v < 0 || v >= static_cast<NodeId>(node_type_.size()))
+  if (v < 0 || v >= static_cast<NodeId>(num_nodes()))
     throw std::invalid_argument("degree: node out of range");
   if (const auto* patched = overlay_.find(v))
     return static_cast<std::int64_t>(patched->size());
-  return offsets_[v + 1] - offsets_[v];
+  const std::int64_t* off = offsets_data();
+  return off[v + 1] - off[v];
 }
 
 EdgeId KnowledgeGraph::find_edge(NodeId u, NodeId v) const {
   require_finalized("find_edge");
-  if (u < 0 || u >= static_cast<NodeId>(node_type_.size()) || v < 0 ||
-      v >= static_cast<NodeId>(node_type_.size()))
+  if (u < 0 || u >= static_cast<NodeId>(num_nodes()) || v < 0 ||
+      v >= static_cast<NodeId>(num_nodes()))
     throw std::invalid_argument("find_edge: node out of range");
   const NodeId from = degree(u) <= degree(v) ? u : v;
   const NodeId to = from == u ? v : u;
@@ -264,16 +333,21 @@ EdgeId KnowledgeGraph::find_edge(NodeId u, NodeId v) const {
 std::vector<std::int64_t> KnowledgeGraph::node_type_counts() const {
   std::vector<std::int64_t> counts(static_cast<std::size_t>(num_node_types_),
                                    0);
-  for (auto t : node_type_) ++counts[static_cast<std::size_t>(t)];
+  const std::int32_t* types = node_type_data();
+  const std::int64_t n = num_nodes();
+  for (std::int64_t v = 0; v < n; ++v)
+    ++counts[static_cast<std::size_t>(types[v])];
   return counts;
 }
 
 std::vector<std::int64_t> KnowledgeGraph::edge_type_counts() const {
   std::vector<std::int64_t> counts(static_cast<std::size_t>(num_edge_types_),
                                    0);
-  for (std::size_t eid = 0; eid < edges_.size(); ++eid)
+  const std::int64_t m = num_edges();
+  for (std::int64_t eid = 0; eid < m; ++eid)
     if (!overlay_.removed(static_cast<EdgeId>(eid)))
-      ++counts[static_cast<std::size_t>(edges_[eid].type)];
+      ++counts[static_cast<std::size_t>(
+          edge_rec(static_cast<EdgeId>(eid)).type)];
   return counts;
 }
 

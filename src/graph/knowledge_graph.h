@@ -17,9 +17,21 @@
 // through the overlay, so every consumer (BFS, SEAL extraction, heuristics)
 // sees the updated graph unchanged.  Mutations are NOT thread-safe against
 // concurrent reads; reads of an unchanging graph (overlay or not) are.
+//
+// Million-node tier (DESIGN.md §2.6): a finalized graph serialises to a
+// compact binary CSR snapshot (save_snapshot) and loads back either by
+// copying (kCopy) or zero-copy via mmap (kMap).  A mapped graph keeps its
+// big immutable arrays (node types, edge records, 64-bit CSR offsets,
+// adjacency, node features) as read-only views into the mapping; the
+// DeltaOverlay mutation API works unchanged on top (patched adjacency lists
+// are seeded by copying the mapped base spans), and compact() detaches —
+// it folds overlay + mapped arrays into owned storage and releases the
+// mapping.  All id arithmetic is guarded: growing past 2^31-1 nodes or edge
+// records raises a typed error instead of silently wrapping NodeId/EdgeId.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -28,6 +40,14 @@
 #include "graph/graph_types.h"
 
 namespace amdgcnn::graph {
+
+class SnapshotMapping;  // graph/snapshot.h: owns one mmap'd snapshot file
+
+/// How load_snapshot materialises the on-disk arrays.
+enum class SnapshotLoadMode : int {
+  kMap,   ///< zero-copy: arrays stay in the mmap'd file (read-only views)
+  kCopy,  ///< read into owned vectors (portable fallback; same bytes)
+};
 
 class KnowledgeGraph {
  public:
@@ -62,11 +82,30 @@ class KnowledgeGraph {
   void finalize();
   bool finalized() const { return finalized_; }
 
+  // ---- Snapshot persistence (after finalize; DESIGN.md §2.6) ---------------
+
+  /// Write the graph as a versioned binary CSR snapshot (64-bit offsets,
+  /// 8-byte-aligned sections, mmap-ready).  Requires a finalized graph with
+  /// an EMPTY overlay — call compact() first so the snapshot is the logical
+  /// graph (throws GraphUpdateError otherwise).
+  void save_snapshot(const std::string& path) const;
+
+  /// Load a snapshot written by save_snapshot.  kMap keeps the big arrays
+  /// as read-only views into the mapped file (zero copy; the mapping lives
+  /// until compact() detaches or the graph is destroyed); kCopy reads them
+  /// into owned vectors.  Both modes produce byte-identical adjacency,
+  /// attributes and SEAL datasets.
+  static KnowledgeGraph load_snapshot(
+      const std::string& path, SnapshotLoadMode mode = SnapshotLoadMode::kMap);
+
+  /// True when the base arrays are views into an mmap'd snapshot.
+  bool snapshot_backed() const { return snap_ != nullptr; }
+
   // ---- Incremental updates (after finalize; DESIGN.md §2.5) ---------------
   //
   // All failures raise GraphUpdateError (typed; never UB): duplicate
   // inserts, self-loops, out-of-range node/type ids, deleting a missing
-  // edge, attribute-dim mismatch.
+  // edge, attribute-dim mismatch, id overflow.
 
   /// Insert an undirected edge through the delta overlay; returns its id
   /// (stable until the next compact()).  O(degree) on first touch of each
@@ -86,7 +125,9 @@ class KnowledgeGraph {
   /// edges become base edges, and edge ids are renumbered (surviving edges
   /// keep their relative order, so every node's neighbor sequence — and
   /// hence any extraction, DRNL labeling or BFS — is byte-identical before
-  /// and after).  Generation counters survive: no cache goes stale.
+  /// and after).  Generation counters survive: no cache goes stale.  On a
+  /// snapshot-backed graph this also detaches the mapping (mapped arrays
+  /// are copied into owned storage first).
   void compact();
 
   /// Monotone counter, bumped by every successful insert/delete (compact()
@@ -98,20 +139,28 @@ class KnowledgeGraph {
   }
   /// Pending overlay depth (inserts + tombstones since the last compact).
   std::int64_t overlay_depth() const { return overlay_.depth(); }
+  /// Process-unique instance id, assigned at construction (copies share the
+  /// source's id — a copy is content-identical at equal generation, which is
+  /// exactly the invariant the extraction frontier cache keys on).
+  std::uint64_t uid() const { return uid_; }
   /// True when an edge id refers to a tombstoned (deleted, not yet
   /// compacted) edge; its record stays readable until compact().
   bool edge_removed(EdgeId e) const;
 
   // ---- Topology queries (after finalize) ----------------------------------
 
-  std::int64_t num_nodes() const { return static_cast<std::int64_t>(node_type_.size()); }
+  std::int64_t num_nodes() const {
+    return snap_ ? snap_num_nodes_
+                 : static_cast<std::int64_t>(node_type_.size());
+  }
   /// Count of edge RECORDS (valid id range), including tombstones awaiting
   /// compaction; see num_live_edges() for the logical edge count.
-  std::int64_t num_edges() const { return static_cast<std::int64_t>(edges_.size()); }
+  std::int64_t num_edges() const {
+    return snap_num_edges_ + static_cast<std::int64_t>(edges_.size());
+  }
   /// Edges actually present in the graph (records minus tombstones).
   std::int64_t num_live_edges() const {
-    return static_cast<std::int64_t>(edges_.size()) -
-           overlay_.num_tombstones();
+    return num_edges() - overlay_.num_tombstones();
   }
   std::int32_t num_node_types() const { return num_node_types_; }
   std::int32_t num_edge_types() const { return num_edge_types_; }
@@ -140,18 +189,60 @@ class KnowledgeGraph {
   /// Count of edges per type.
   std::vector<std::int64_t> edge_type_counts() const;
 
+  // ---- Id-capacity guard (32-bit NodeId/EdgeId; DESIGN.md §2.6) -----------
+
+  /// Maximum number of node or edge-record ids a graph may hold: 2^31 - 1
+  /// unless lowered for testing.  Growing past it raises invalid_argument
+  /// (construction API) or GraphUpdateError::kIdOverflow (update API)
+  /// instead of silently wrapping the 32-bit ids.
+  static std::int64_t id_capacity();
+  /// Test-only: lower the capacity so overflow guards are exercisable
+  /// without allocating 2^31 records.  0 restores the real limit.  Not
+  /// thread-safe; never call outside tests.
+  static void set_id_capacity_for_testing(std::int64_t cap);
+
  private:
+  friend class SnapshotMapping;  // load_snapshot wiring (graph/snapshot.cpp)
+
   void require_finalized(const char* what) const;
   void require_not_finalized(const char* what) const;
   /// (Re)build offsets_/adjacency_ from edges_ (counting sort by edge id).
+  /// Requires fully-owned storage (never runs while snapshot-backed).
   void build_csr();
+
+  // Base-array views: owned vectors or (when snapshot-backed) read-only
+  // pointers into the mapping.  Edge records are split: ids below
+  // snap_num_edges_ live in the snapshot, later ids (post-load inserts) in
+  // the owned edges_ vector — so O(degree) mutation never copies the base.
+  const std::int32_t* node_type_data() const {
+    return snap_ ? snap_node_type_ : node_type_.data();
+  }
+  const EdgeRecord& edge_rec(EdgeId e) const {
+    return e < snap_num_edges_
+               ? snap_edges_[e]
+               : edges_[static_cast<std::size_t>(e - snap_num_edges_)];
+  }
+  const std::int64_t* offsets_data() const {
+    return snap_ ? snap_offsets_ : offsets_.data();
+  }
+  const Adjacent* adjacency_data() const {
+    return snap_ ? snap_adjacency_ : adjacency_.data();
+  }
+  const double* node_feat_data() const {
+    return snap_ ? snap_node_feat_ : node_feat_.data();
+  }
+
   /// Base CSR slice of v, ignoring the overlay (patch seeding).
   std::span<const Adjacent> base_neighbors(NodeId v) const {
-    return {adjacency_.data() + offsets_[v],
-            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+    const std::int64_t* off = offsets_data();
+    return {adjacency_data() + off[v],
+            static_cast<std::size_t>(off[v + 1] - off[v])};
   }
   /// Shared endpoint/type validation for insert_edge/delete_edge.
   void check_update_endpoints(const char* what, NodeId u, NodeId v) const;
+  /// Copy every mapped base array into owned storage and release the
+  /// mapping (compact()'s first step on a snapshot-backed graph).
+  void detach_snapshot();
 
   std::int32_t num_node_types_;
   std::int32_t num_edge_types_;
@@ -162,13 +253,29 @@ class KnowledgeGraph {
   std::vector<EdgeRecord> edges_;
   std::vector<double> node_feat_;       // num_nodes x node_feat_dim
   std::vector<double> edge_type_attr_;  // num_edge_types x edge_attr_dim
+                                        // (always owned: insert_edge writes)
 
-  // CSR over both directions.
+  // CSR over both directions (64-bit offsets: directed adjacency entry
+  // counts may exceed 2^31 even while ids stay 32-bit).
   std::vector<std::int64_t> offsets_;
   std::vector<Adjacent> adjacency_;
+
+  // Snapshot backing (null/0 when the graph owns its arrays).
+  std::shared_ptr<const SnapshotMapping> snap_;
+  const std::int32_t* snap_node_type_ = nullptr;
+  const EdgeRecord* snap_edges_ = nullptr;
+  const std::int64_t* snap_offsets_ = nullptr;
+  const Adjacent* snap_adjacency_ = nullptr;
+  const double* snap_node_feat_ = nullptr;
+  std::int64_t snap_num_nodes_ = 0;
+  std::int64_t snap_num_edges_ = 0;
+
   // Post-finalize updates: tombstones, patched adjacency, generations.
   DeltaOverlay overlay_;
   bool finalized_ = false;
+
+  static std::uint64_t next_uid();  // atomic counter, starts at 1
+  std::uint64_t uid_ = next_uid();
 };
 
 }  // namespace amdgcnn::graph

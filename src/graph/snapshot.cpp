@@ -1,0 +1,277 @@
+#include "graph/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define AMDGCNN_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace amdgcnn::graph {
+
+// The array sections are written/read as raw memory, so their element
+// layouts must be exactly what the header arithmetic assumes.
+static_assert(sizeof(EdgeRecord) == 12 && alignof(EdgeRecord) == 4,
+              "EdgeRecord must be three packed int32s");
+static_assert(sizeof(Adjacent) == 8 && alignof(Adjacent) == 4,
+              "Adjacent must be two packed int32s");
+
+namespace {
+
+constexpr std::uint64_t align8(std::uint64_t x) { return (x + 7) & ~7ull; }
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("snapshot: " + what);
+}
+
+}  // namespace
+
+// ---- SnapshotMapping --------------------------------------------------------
+
+std::shared_ptr<const SnapshotMapping> SnapshotMapping::open(
+    const std::string& path) {
+  auto mapping = std::shared_ptr<SnapshotMapping>(new SnapshotMapping());
+#ifdef AMDGCNN_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open " + path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail("cannot stat " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < sizeof(SnapshotHeader)) {
+    ::close(fd);
+    fail(path + " is smaller than a snapshot header");
+  }
+  void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the pages
+  if (p == MAP_FAILED) fail("mmap failed for " + path);
+  mapping->data_ = p;
+  mapping->size_ = size;
+  mapping->mmapped_ = true;
+#else
+  // Heap fallback: same views, the pages just are not demand-paged.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) fail("cannot open " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  if (size < sizeof(SnapshotHeader))
+    fail(path + " is smaller than a snapshot header");
+  in.seekg(0);
+  auto* buf = static_cast<char*>(::operator new(size, std::align_val_t{8}));
+  if (!in.read(buf, static_cast<std::streamsize>(size))) {
+    ::operator delete(buf, std::align_val_t{8});
+    fail("short read from " + path);
+  }
+  mapping->data_ = buf;
+  mapping->size_ = size;
+  mapping->mmapped_ = false;
+#endif
+  return mapping;
+}
+
+SnapshotMapping::~SnapshotMapping() {
+  if (data_ == nullptr) return;
+#ifdef AMDGCNN_HAVE_MMAP
+  if (mmapped_) {
+    ::munmap(data_, size_);
+    return;
+  }
+#endif
+  ::operator delete(data_, std::align_val_t{8});
+}
+
+// ---- save ------------------------------------------------------------------
+
+void KnowledgeGraph::save_snapshot(const std::string& path) const {
+  require_finalized("save_snapshot");
+  if (overlay_depth() != 0)
+    throw std::logic_error(
+        "save_snapshot: overlay has pending updates; call compact() first so "
+        "the snapshot is the logical graph");
+
+  SnapshotHeader h{};
+  std::memcpy(h.magic, kSnapshotMagic, sizeof(h.magic));
+  h.version = kSnapshotVersion;
+  h.endian = kEndianProbe;
+  h.num_nodes = num_nodes();
+  h.num_edges = num_edges();
+  h.num_node_types = num_node_types_;
+  h.num_edge_types = num_edge_types_;
+  h.edge_attr_dim = edge_attr_dim_;
+  h.node_feat_dim = node_feat_dim_;
+  h.adjacency_count = offsets_data()[h.num_nodes];
+
+  const auto n = static_cast<std::uint64_t>(h.num_nodes);
+  const auto m = static_cast<std::uint64_t>(h.num_edges);
+  std::uint64_t at = sizeof(SnapshotHeader);
+  h.off_node_type = at;
+  at = align8(at + n * sizeof(std::int32_t));
+  h.off_edges = at;
+  at = align8(at + m * sizeof(EdgeRecord));
+  h.off_offsets = at;
+  at = align8(at + (n + 1) * sizeof(std::int64_t));
+  h.off_adjacency = at;
+  at = align8(at + static_cast<std::uint64_t>(h.adjacency_count) *
+                       sizeof(Adjacent));
+  h.off_edge_type_attr = at;
+  at = align8(at + static_cast<std::uint64_t>(num_edge_types_) *
+                       static_cast<std::uint64_t>(edge_attr_dim_) *
+                       sizeof(double));
+  h.off_node_feat = at;
+  at = align8(at + n * static_cast<std::uint64_t>(node_feat_dim_) *
+                       sizeof(double));
+  h.file_size = at;
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail("cannot open " + path + " for writing");
+  std::uint64_t written = 0;
+  auto put = [&](std::uint64_t section_off, const void* data,
+                 std::uint64_t bytes) {
+    // Zero padding up to the section start keeps every section 8-aligned.
+    static const char zeros[8] = {};
+    if (section_off < written) fail("internal: section overlap");
+    out.write(zeros, static_cast<std::streamsize>(section_off - written));
+    if (bytes > 0)
+      out.write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(bytes));
+    written = section_off + bytes;
+  };
+  put(0, &h, sizeof(h));
+  put(h.off_node_type, node_type_data(), n * sizeof(std::int32_t));
+  // Edge records may be split across the snapshot view and the owned side
+  // vector (a re-saved mapped graph); write both halves contiguously.
+  put(h.off_edges, snap_edges_,
+      static_cast<std::uint64_t>(snap_num_edges_) * sizeof(EdgeRecord));
+  if (!edges_.empty()) {
+    out.write(
+        reinterpret_cast<const char*>(edges_.data()),
+        static_cast<std::streamsize>(edges_.size() * sizeof(EdgeRecord)));
+    written += edges_.size() * sizeof(EdgeRecord);
+  }
+  put(h.off_offsets, offsets_data(), (n + 1) * sizeof(std::int64_t));
+  put(h.off_adjacency, adjacency_data(),
+      static_cast<std::uint64_t>(h.adjacency_count) * sizeof(Adjacent));
+  put(h.off_edge_type_attr, edge_type_attr_.data(),
+      edge_type_attr_.size() * sizeof(double));
+  put(h.off_node_feat, node_feat_dim_ > 0 ? node_feat_data() : nullptr,
+      n * static_cast<std::uint64_t>(node_feat_dim_) * sizeof(double));
+  if (written < h.file_size) {
+    static const char zeros[8] = {};
+    out.write(zeros, static_cast<std::streamsize>(h.file_size - written));
+  }
+  if (!out) fail("write failed for " + path);
+}
+
+// ---- load ------------------------------------------------------------------
+
+namespace {
+
+/// Validate the header against the actual file size; returns it by value.
+SnapshotHeader checked_header(const std::byte* data, std::size_t size,
+                              const std::string& path) {
+  SnapshotHeader h;
+  std::memcpy(&h, data, sizeof(h));
+  if (std::memcmp(h.magic, kSnapshotMagic, sizeof(h.magic)) != 0)
+    fail(path + ": bad magic (not a KnowledgeGraph snapshot)");
+  if (h.version != kSnapshotVersion)
+    fail(path + ": unsupported snapshot version " +
+         std::to_string(h.version));
+  if (h.endian != kEndianProbe)
+    fail(path + ": snapshot written on a foreign-endian host");
+  if (h.num_nodes < 0 || h.num_edges < 0 ||
+      h.adjacency_count != 2 * h.num_edges || h.num_node_types <= 0 ||
+      h.num_edge_types <= 0 || h.edge_attr_dim < 0 || h.node_feat_dim < 0)
+    fail(path + ": corrupt header counts");
+  if (h.file_size != size)
+    fail(path + ": file size mismatch (truncated or trailing data)");
+  auto section = [&](std::uint64_t off, std::uint64_t bytes,
+                     const char* name) {
+    if (off % 8 != 0 || off > size ||
+        bytes > static_cast<std::uint64_t>(size) - off)
+      fail(path + ": section " + name + " out of bounds");
+  };
+  const auto n = static_cast<std::uint64_t>(h.num_nodes);
+  const auto m = static_cast<std::uint64_t>(h.num_edges);
+  section(h.off_node_type, n * sizeof(std::int32_t), "node_type");
+  section(h.off_edges, m * sizeof(EdgeRecord), "edges");
+  section(h.off_offsets, (n + 1) * sizeof(std::int64_t), "offsets");
+  section(h.off_adjacency,
+          static_cast<std::uint64_t>(h.adjacency_count) * sizeof(Adjacent),
+          "adjacency");
+  section(h.off_edge_type_attr,
+          static_cast<std::uint64_t>(h.num_edge_types) *
+              static_cast<std::uint64_t>(h.edge_attr_dim) * sizeof(double),
+          "edge_type_attr");
+  section(h.off_node_feat,
+          n * static_cast<std::uint64_t>(h.node_feat_dim) * sizeof(double),
+          "node_feat");
+  return h;
+}
+
+template <typename T>
+const T* view(const std::byte* base, std::uint64_t off) {
+  return reinterpret_cast<const T*>(base + off);
+}
+
+}  // namespace
+
+KnowledgeGraph KnowledgeGraph::load_snapshot(const std::string& path,
+                                             SnapshotLoadMode mode) {
+  auto mapping = SnapshotMapping::open(path);
+  const std::byte* base = mapping->data();
+  const SnapshotHeader h = checked_header(base, mapping->size(), path);
+
+  KnowledgeGraph g(h.num_node_types, h.num_edge_types, h.edge_attr_dim,
+                   h.node_feat_dim);
+  const auto* offsets = view<std::int64_t>(base, h.off_offsets);
+  if (offsets[0] != 0 || offsets[h.num_nodes] != h.adjacency_count)
+    fail(path + ": CSR offsets inconsistent with the header");
+  // Edge-type attributes are always owned: insert_edge(attr) may redefine
+  // them after load, and the table is tiny (types x attr_dim).
+  const auto* attr = view<double>(base, h.off_edge_type_attr);
+  g.edge_type_attr_.assign(
+      attr, attr + static_cast<std::size_t>(h.num_edge_types) *
+                       static_cast<std::size_t>(h.edge_attr_dim));
+
+  if (mode == SnapshotLoadMode::kMap) {
+    g.snap_ = mapping;
+    g.snap_node_type_ = view<std::int32_t>(base, h.off_node_type);
+    g.snap_edges_ = view<EdgeRecord>(base, h.off_edges);
+    g.snap_offsets_ = offsets;
+    g.snap_adjacency_ = view<Adjacent>(base, h.off_adjacency);
+    g.snap_node_feat_ =
+        h.node_feat_dim > 0 ? view<double>(base, h.off_node_feat) : nullptr;
+    g.snap_num_nodes_ = h.num_nodes;
+    g.snap_num_edges_ = h.num_edges;
+  } else {
+    const auto n = static_cast<std::size_t>(h.num_nodes);
+    const auto m = static_cast<std::size_t>(h.num_edges);
+    const auto* nt = view<std::int32_t>(base, h.off_node_type);
+    g.node_type_.assign(nt, nt + n);
+    const auto* er = view<EdgeRecord>(base, h.off_edges);
+    g.edges_.assign(er, er + m);
+    g.offsets_.assign(offsets, offsets + n + 1);
+    const auto* adj = view<Adjacent>(base, h.off_adjacency);
+    g.adjacency_.assign(adj,
+                        adj + static_cast<std::size_t>(h.adjacency_count));
+    if (h.node_feat_dim > 0) {
+      const auto* nf = view<double>(base, h.off_node_feat);
+      g.node_feat_.assign(
+          nf, nf + n * static_cast<std::size_t>(h.node_feat_dim));
+    }
+    // mapping released here: kCopy holds no views into it
+  }
+  g.finalized_ = true;
+  return g;
+}
+
+}  // namespace amdgcnn::graph

@@ -1,0 +1,91 @@
+// Binary CSR snapshot format for KnowledgeGraph (DESIGN.md §2.6).
+//
+// A snapshot is one file: a fixed 120-byte header followed by six raw,
+// 8-byte-aligned array sections (node types, edge records, 64-bit CSR
+// offsets, adjacency, edge-type attributes, node features), each written
+// exactly as the in-memory representation.  That makes loading trivial in
+// both modes:
+//
+//   * kCopy  — stream the sections into owned vectors (portable), and
+//   * kMap   — mmap the file read-only and point the graph's base-array
+//     views straight into the mapping: build the graph once, snapshot it,
+//     and every later process start is an O(1) map instead of an O(V + E)
+//     generator + finalize() run (the scale bench gates this at ≥ 20×).
+//
+// The mapping is owned by a SnapshotMapping handle held via shared_ptr by
+// the loaded graph; it stays alive until compact() detaches (copying the
+// mapped arrays into owned storage) or the graph is destroyed.  The
+// DeltaOverlay mutation layer coexists with a live mapping: patched
+// adjacency lists are seeded by COPYING the mapped base spans, and inserted
+// edge records land in an owned side vector, so the mapped pages are never
+// written (MAP_PRIVATE read-only).
+//
+// Format stability: the header carries a magic, a version and an endianness
+// probe; any mismatch (truncation, foreign byte order, future version)
+// raises std::runtime_error at load instead of serving garbage views.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace amdgcnn::graph {
+
+/// Fixed-layout snapshot header (all fields little-endian on disk; the
+/// endian probe rejects foreign byte orders at load).
+struct SnapshotHeader {
+  char magic[8];           // "AMKGCSR\0"
+  std::uint32_t version;   // kSnapshotVersion
+  std::uint32_t endian;    // kEndianProbe as written by the saving host
+  std::int64_t num_nodes;
+  std::int64_t num_edges;  // live edge records (overlay must be empty)
+  std::int32_t num_node_types;
+  std::int32_t num_edge_types;
+  std::int64_t edge_attr_dim;
+  std::int64_t node_feat_dim;
+  std::int64_t adjacency_count;  // == 2 * num_edges
+  // Byte offsets of the array sections, each 8-byte aligned.
+  std::uint64_t off_node_type;
+  std::uint64_t off_edges;
+  std::uint64_t off_offsets;
+  std::uint64_t off_adjacency;
+  std::uint64_t off_edge_type_attr;
+  std::uint64_t off_node_feat;
+  std::uint64_t file_size;  // total bytes; rejects truncated files
+};
+static_assert(sizeof(SnapshotHeader) == 120,
+              "snapshot header layout must be stable");
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kEndianProbe = 0x01020304u;
+inline constexpr char kSnapshotMagic[8] = {'A', 'M', 'K', 'G',
+                                           'C', 'S', 'R', '\0'};
+
+/// Owns one snapshot file mapped (or, where mmap is unavailable, read)
+/// into memory.  Read-only; shared by every view the loaded graph holds.
+class SnapshotMapping {
+ public:
+  /// Map `path` read-only.  Throws std::runtime_error on open/map failure
+  /// or if the file is smaller than a snapshot header.
+  static std::shared_ptr<const SnapshotMapping> open(const std::string& path);
+
+  SnapshotMapping(const SnapshotMapping&) = delete;
+  SnapshotMapping& operator=(const SnapshotMapping&) = delete;
+  ~SnapshotMapping();
+
+  const std::byte* data() const {
+    return static_cast<const std::byte*>(data_);
+  }
+  std::size_t size() const { return size_; }
+  /// True when the pages are a real mmap (false: heap fallback).
+  bool memory_mapped() const { return mmapped_; }
+
+ private:
+  SnapshotMapping() = default;
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mmapped_ = false;
+};
+
+}  // namespace amdgcnn::graph

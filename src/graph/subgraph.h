@@ -59,6 +59,20 @@ struct ExtractOptions {
   /// invalidation support); off by default — the extraction bytes are
   /// unchanged either way.
   bool collect_hull = false;
+  /// Use the legacy extraction kernel that clears O(num_nodes) scratch
+  /// (distance maps, candidate scan, local-id map) for every link.  The
+  /// default kernel instead stamps visits with a per-thread epoch counter
+  /// (DESIGN.md §2.6), so a link costs O(|subgraph|) regardless of graph
+  /// size — the difference is gated at >= 5x at a million nodes by
+  /// bench_extraction_throughput.  Both kernels are bit-identical in output;
+  /// this flag exists as the bench baseline and a determinism cross-check.
+  bool clear_per_link = false;
+  /// Reuse hop-bounded BFS frontiers across links sharing an endpoint via a
+  /// small per-thread cache keyed on (graph uid, generation, source, masked
+  /// edge, depth) — the shape of predict_links candidate batches, where
+  /// every link shares the source node and no masked edge.  Affects speed
+  /// only, never bytes.  Ignored by the clear_per_link kernel.
+  bool reuse_frontiers = false;
 };
 
 /// Extract the enclosing subgraph of (a, b).  Requires a != b.  The returned

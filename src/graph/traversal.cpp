@@ -31,6 +31,45 @@ void bfs_distances_into(const KnowledgeGraph& g, NodeId source,
   }
 }
 
+void VisitEpochMap::begin(std::int64_t num_nodes) {
+  const auto n = static_cast<std::size_t>(num_nodes);
+  if (stamp_.size() < n) {
+    stamp_.resize(n, 0u);
+    dist_.resize(n);
+  }
+  if (++epoch_ == 0) {
+    // 32-bit wraparound after ~4e9 traversals: one full clear, then epochs
+    // restart at 1 (stamp 0 can never alias a live epoch).
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    epoch_ = 1;
+  }
+}
+
+void bfs_distances_epoch(const KnowledgeGraph& g, NodeId source,
+                         const BfsOptions& options, VisitEpochMap& visit,
+                         std::vector<NodeId>& visited_out) {
+  if (source < 0 || source >= g.num_nodes())
+    throw std::invalid_argument("bfs_distances: source out of range");
+  visited_out.clear();
+  if (source == options.masked_node) return;
+  visit.set(source, 0);
+  visited_out.push_back(source);
+  // The visited list doubles as the flat frontier queue: discovery order IS
+  // BFS order, and the caller gets the reached set for free.
+  for (std::size_t head = 0; head < visited_out.size(); ++head) {
+    const NodeId u = visited_out[head];
+    const std::int32_t du = visit.distance(u);
+    if (options.max_depth >= 0 && du >= options.max_depth) continue;
+    for (const auto& a : g.neighbors(u)) {
+      if (a.edge == options.masked_edge) continue;
+      if (a.node == options.masked_node) continue;
+      if (visit.visited(a.node)) continue;
+      visit.set(a.node, du + 1);
+      visited_out.push_back(a.node);
+    }
+  }
+}
+
 std::vector<std::int32_t> bfs_distances(const KnowledgeGraph& g, NodeId source,
                                         const BfsOptions& options) {
   std::vector<std::int32_t> dist;

@@ -37,6 +37,45 @@ void bfs_distances_into(const KnowledgeGraph& g, NodeId source,
                         std::vector<std::int32_t>& dist,
                         std::vector<NodeId>& queue);
 
+/// Epoch-stamped visited/distance map (DESIGN.md §2.6): resetting for a new
+/// traversal bumps a 32-bit epoch counter instead of clearing the O(N)
+/// distance array, so a bounded BFS on a million-node graph costs only the
+/// nodes it actually reaches.  A slot is valid iff its stamp equals the
+/// current epoch; stale slots from earlier traversals are never read.
+class VisitEpochMap {
+ public:
+  /// Start a new epoch over a graph of `num_nodes` nodes.  Grows the
+  /// backing arrays on first use / graph growth (amortised; steady-state
+  /// O(1)).  Handles 32-bit epoch wraparound by a one-off full clear.
+  void begin(std::int64_t num_nodes);
+
+  bool visited(NodeId v) const {
+    return stamp_[static_cast<std::size_t>(v)] == epoch_;
+  }
+  /// Distance of v in the current epoch, or kUnreachable if unvisited.
+  std::int32_t distance(NodeId v) const {
+    return visited(v) ? dist_[static_cast<std::size_t>(v)] : kUnreachable;
+  }
+  void set(NodeId v, std::int32_t d) {
+    stamp_[static_cast<std::size_t>(v)] = epoch_;
+    dist_[static_cast<std::size_t>(v)] = d;
+  }
+
+ private:
+  std::vector<std::int32_t> dist_;
+  std::vector<std::uint32_t> stamp_;  // slot valid iff == epoch_
+  std::uint32_t epoch_ = 0;           // 0 = no epoch started yet
+};
+
+/// Bounded BFS into an epoch map: `visit` must be begin()-ed for this graph
+/// by the caller; visited nodes (the hop-bounded frontier, source first, in
+/// discovery order) are appended to `visited_out` (cleared first), which
+/// doubles as the frontier queue.  Produces exactly the distances of
+/// bfs_distances_into — only the clearing cost differs.
+void bfs_distances_epoch(const KnowledgeGraph& g, NodeId source,
+                         const BfsOptions& options, VisitEpochMap& visit,
+                         std::vector<NodeId>& visited_out);
+
 /// The set of nodes within `k` hops of `source` (including `source`),
 /// in BFS discovery order.
 std::vector<NodeId> k_hop_nodes(const KnowledgeGraph& g, NodeId source,

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.h"
+#include "util/parallel_error.h"
 #include "util/stopwatch.h"
 
 namespace amdgcnn::models {
@@ -123,7 +124,7 @@ double Trainer::train_epoch_parallel_impl(
             ag::detail::new_zeroed_t<T>(static_cast<std::size_t>(p.numel())));
     }
     std::vector<double> losses(bs, 0.0);
-    std::exception_ptr error;
+    util::WorkerErrorCollector error;
 
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic) num_threads(nt)
@@ -146,15 +147,10 @@ double Trainer::train_epoch_parallel_impl(
         scaled.backward();
         ag::release_graph(scaled);
       } catch (...) {
-#ifdef _OPENMP
-#pragma omp critical
-#endif
-        {
-          if (!error) error = std::current_exception();
-        }
+        error.capture(b);
       }
     }
-    if (error) std::rethrow_exception(error);
+    error.rethrow("train_epoch");
 
     // Reduce in sample order — deterministic for any worker count, since
     // each sink's contents depend only on its sample.

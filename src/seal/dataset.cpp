@@ -1,7 +1,8 @@
 #include "seal/dataset.h"
 
-#include <exception>
 #include <stdexcept>
+
+#include "util/parallel_error.h"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -53,10 +54,11 @@ std::vector<SubgraphSample> build_samples(
   // slot and depends only on its link, so the result is bit-identical for any
   // worker count.  Per-worker BFS scratch lives in thread-local pools inside
   // extract_enclosing_subgraph; feature tensors allocate from each worker's
-  // own tensor pool.  Exceptions cannot cross the OpenMP region, so the
-  // first one is captured and rethrown after the join.
+  // own tensor pool.  Exceptions cannot cross the OpenMP region; the failure
+  // of the lowest link index is rethrown after the join with stage context
+  // (util::WorkerError), deterministically for any worker count.
   [[maybe_unused]] const int nt = static_cast<int>(options.num_threads);
-  std::exception_ptr error;
+  util::WorkerErrorCollector error;
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic) num_threads(nt)
 #endif
@@ -64,15 +66,10 @@ std::vector<SubgraphSample> build_samples(
     try {
       out[i] = make_sample(g, links[i], options);
     } catch (...) {
-#ifdef _OPENMP
-#pragma omp critical
-#endif
-      {
-        if (!error) error = std::current_exception();
-      }
+      error.capture(i);
     }
   }
-  if (error) std::rethrow_exception(error);
+  error.rethrow("build_samples");
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "seal/sampling.h"
 
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 namespace amdgcnn::seal {
@@ -12,6 +13,15 @@ std::pair<std::vector<LinkExample>, std::vector<LinkExample>> train_test_split(
   rng.shuffle(examples);
   const auto n_test = static_cast<std::size_t>(
       static_cast<double>(examples.size()) * test_fraction + 0.5);
+  // The + 0.5 rounding can claim every example at small sizes (e.g. 3
+  // examples at fraction 0.9 round to 3); an empty train split is never
+  // usable downstream, so fail loudly instead.  This also bounds the
+  // `examples.end() - n_test` iterator arithmetic below.
+  if (n_test >= examples.size() && !examples.empty())
+    throw std::invalid_argument(
+        "train_test_split: test_fraction " + std::to_string(test_fraction) +
+        " rounds to all " + std::to_string(examples.size()) +
+        " examples, leaving an empty train split");
   std::vector<LinkExample> test(examples.end() - n_test, examples.end());
   examples.resize(examples.size() - n_test);
   return {std::move(examples), std::move(test)};

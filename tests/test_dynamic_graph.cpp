@@ -38,6 +38,7 @@
 #include "seal/dataset.h"
 #include "seal/drnl.h"
 #include "test_util.h"
+#include "util/parallel_error.h"
 
 namespace amdgcnn {
 namespace {
@@ -434,6 +435,34 @@ TEST(DynamicGraphCache, SwitchingServingGraphResetsEntries) {
   // A different graph instance may have diverged: nothing cached applies.
   cached.predict_links(g2, links);
   EXPECT_EQ(cached.cache_stats().hits, 0);
+}
+
+// A poisoned link in a parallel serving batch surfaces as util::WorkerError
+// carrying the stage name and the lowest failing batch index — on both the
+// cold and the cached scoring path (a fresh predictor makes every link a
+// miss, so the cached path's item index equals the link index here).
+TEST(DynamicGraphCache, PredictLinksWorkerFailureIsWorkerError) {
+  ServingFixture fx;
+  const auto& g = fx.data.graph;
+  auto links = random_links(g, 8, fx.data.num_classes, 31);
+  links[2].b = static_cast<graph::NodeId>(g.num_nodes() + 7);
+
+  for (const bool cache : {false, true}) {
+    const auto p = fx.predictor(cache, /*threads=*/4);
+    try {
+      p.predict_links(g, links);
+      FAIL() << "expected util::WorkerError (cache=" << cache << ")";
+    } catch (const util::WorkerError& e) {
+      EXPECT_EQ(e.item(), 2);
+      EXPECT_NE(std::string(e.what()).find("worker failed at item 2"),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(cache ? "predict_links(cached)"
+                                                 : "predict_links"),
+                std::string::npos)
+          << e.what();
+    }
+  }
 }
 
 // ---- Thread invariance over overlay graphs ---------------------------------

@@ -181,6 +181,53 @@ TEST(Multiclass, OneVsRestMatchesManualBinaryReduction) {
   EXPECT_THROW(one_vs_rest_auc(probs, 3, labels, 5), std::invalid_argument);
 }
 
+TEST(Multiclass, NeverPredictedClassCountsZeroTowardMacroPrecision) {
+  // Class 2 appears in the truth but argmax never picks it: its precision is
+  // undefined (NaN in per_class_precision) and counts 0 toward the macro
+  // mean (sklearn zero_division=0) — never NaN-poisoning the aggregate.
+  const std::vector<double> probs = {0.8, 0.1, 0.1,   // truth 0 -> pred 0
+                                     0.7, 0.2, 0.1,   // truth 0 -> pred 0
+                                     0.2, 0.7, 0.1,   // truth 1 -> pred 1
+                                     0.6, 0.3, 0.1,   // truth 1 -> pred 0
+                                     0.3, 0.6, 0.1};  // truth 2 -> pred 1
+  const std::vector<std::int32_t> labels = {0, 0, 1, 1, 2};
+  const auto ev = evaluate_multiclass(probs, 3, labels);
+  EXPECT_TRUE(std::isnan(ev.per_class_precision[2]));
+  EXPECT_DOUBLE_EQ(ev.per_class_precision[0], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ev.per_class_precision[1], 0.5);
+  EXPECT_DOUBLE_EQ(ev.macro_precision, (2.0 / 3.0 + 0.5 + 0.0) / 3.0);
+  EXPECT_DOUBLE_EQ(ev.macro_recall, (1.0 + 0.5 + 0.0) / 3.0);
+  EXPECT_DOUBLE_EQ(ev.accuracy, 0.6);
+  EXPECT_FALSE(std::isnan(ev.macro_f1));
+  // Confusion stays consistent: row c sums to the truth count of c, the
+  // never-predicted class has an all-zero column, total is n.
+  std::int64_t total = 0;
+  const std::int64_t truth_counts[3] = {2, 2, 1};
+  for (int c = 0; c < 3; ++c) {
+    std::int64_t row = 0;
+    for (int o = 0; o < 3; ++o) row += ev.confusion[c * 3 + o];
+    EXPECT_EQ(row, truth_counts[c]);
+    total += row;
+    EXPECT_EQ(ev.confusion[c * 3 + 2], 0);  // column of class 2
+  }
+  EXPECT_EQ(total, 5);
+}
+
+TEST(Multiclass, AllIdenticalScoresAreChanceAuc) {
+  // Fully uninformative scores: every one-vs-rest ranking is all ties, so
+  // per-class and macro AUC are exactly 0.5; argmax resolves ties to class
+  // 0, so class 1 is never predicted (NaN precision, 0 toward the macro).
+  const std::vector<double> probs(8, 0.5);  // 4 rows x 2 classes
+  const std::vector<std::int32_t> labels = {0, 1, 0, 1};
+  const auto ev = evaluate_multiclass(probs, 2, labels);
+  EXPECT_DOUBLE_EQ(ev.per_class_auc[0], 0.5);
+  EXPECT_DOUBLE_EQ(ev.per_class_auc[1], 0.5);
+  EXPECT_DOUBLE_EQ(ev.macro_auc, 0.5);
+  EXPECT_DOUBLE_EQ(ev.accuracy, 0.5);
+  EXPECT_TRUE(std::isnan(ev.per_class_precision[1]));
+  EXPECT_DOUBLE_EQ(ev.macro_precision, 0.25);
+}
+
 TEST(Multiclass, SingleClassLabelsRejected) {
   std::vector<std::int32_t> labels = {1, 1};
   std::vector<double> probs = {0.5, 0.5, 0.5, 0.5};

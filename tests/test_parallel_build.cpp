@@ -14,8 +14,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <exception>
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "datasets/kg_generator.h"
@@ -24,6 +26,7 @@
 #include "seal/dataset.h"
 #include "seal/drnl.h"
 #include "test_util.h"
+#include "util/parallel_error.h"
 
 namespace amdgcnn {
 namespace {
@@ -109,6 +112,48 @@ TEST(ParallelDatasetBuild, RejectsNegativeThreadCount) {
 
 TEST(ParallelDatasetBuild, DefaultBuildThreadsIsPositive) {
   EXPECT_GE(seal::default_build_threads(), 1);
+}
+
+// A poisoned link (endpoint past num_nodes) inside the parallel build must
+// not tear down the process — exceptions cannot cross the OpenMP join — and
+// must not race: the join rethrows util::WorkerError naming the stage and
+// the LOWEST failing link index with the original exception nested, the
+// same report for every worker count and schedule.
+TEST(ParallelDatasetBuild, WorkerFailureIsDeterministicWorkerError) {
+  const auto g = datasets::make_random_kg(random_kg_options(7));
+  auto links = random_links(g, 24, /*num_classes=*/3, /*seed=*/17);
+  const auto bad = static_cast<graph::NodeId>(g.num_nodes() + 100);
+  links[5].b = bad;   // first poisoned item: the one that must be reported
+  links[19].a = bad;  // later failure must lose to item 5 under any schedule
+
+  seal::SealDatasetOptions options;
+  options.extract.num_hops = 2;
+  options.extract.max_nodes = 24;
+  for (std::int64_t nt : {1, 2, 8}) {
+    options.num_threads = nt;
+    try {
+      seal::build_samples(g, links, options);
+      FAIL() << "expected util::WorkerError (threads=" << nt << ")";
+    } catch (const util::WorkerError& e) {
+      EXPECT_EQ(e.item(), 5);
+      EXPECT_NE(std::string(e.what()).find(
+                    "build_samples: worker failed at item 5"),
+                std::string::npos)
+          << e.what();
+      bool nested_is_original = false;
+      try {
+        std::rethrow_if_nested(e);
+      } catch (const std::invalid_argument&) {
+        nested_is_original = true;  // find_edge: node out of range
+      }
+      EXPECT_TRUE(nested_is_original);
+    }
+  }
+
+  // The serial path (num_threads == 0) has no join to cross, so the raw
+  // exception propagates unwrapped.
+  options.num_threads = 0;
+  EXPECT_THROW(seal::build_samples(g, links, options), std::invalid_argument);
 }
 
 // ---- DrnlProperty -----------------------------------------------------------

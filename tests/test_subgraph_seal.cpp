@@ -301,6 +301,25 @@ TEST(Sampling, TrainTestSplitSizes) {
                std::invalid_argument);
 }
 
+TEST(Sampling, TrainTestSplitRejectsEmptyTrainSplit) {
+  util::Rng rng(3);
+  // 3 examples at fraction 0.9: n_test rounds to 3, which would leave the
+  // train side empty — must throw instead of returning a useless split.
+  std::vector<seal::LinkExample> links(3);
+  for (int i = 0; i < 3; ++i) links[i] = {0, 1, i};
+  EXPECT_THROW(seal::train_test_split(links, 0.9, rng),
+               std::invalid_argument);
+  EXPECT_THROW(seal::train_test_split(links, 1.0, rng),
+               std::invalid_argument);
+  // Fraction 0 is fine (empty TEST side is legal), as is the empty input.
+  auto [all_train, no_test] = seal::train_test_split(links, 0.0, rng);
+  EXPECT_EQ(all_train.size(), 3u);
+  EXPECT_TRUE(no_test.empty());
+  auto [et, es] = seal::train_test_split({}, 0.5, rng);
+  EXPECT_TRUE(et.empty());
+  EXPECT_TRUE(es.empty());
+}
+
 TEST(Sampling, NegativeLinksAreNonEdges) {
   auto g = testing::triangle_with_tail();
   util::Rng rng(4);
