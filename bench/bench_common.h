@@ -64,12 +64,13 @@ inline datasets::LinkDataset make_cora(BenchScale scale) {
 /// calibration runs recorded in EXPERIMENTS.md.  The benches build with all
 /// hardware workers — safe because the parallel build is bit-identical to
 /// the serial path for any worker count.
-inline seal::SealDataset prepare(const datasets::LinkDataset& data) {
+inline seal::SealDataset prepare(const datasets::LinkDataset& data,
+                                 ag::Dtype dtype = ag::Dtype::f64) {
   std::int64_t cap = 48;  // cora
   if (data.name == "primekg_sim" || data.name == "wordnet_sim") cap = 32;
   else if (data.name == "biokg_sim") cap = 40;
   return core::prepare_seal_dataset(data, cap, /*max_drnl_label=*/24,
-                                    seal::default_build_threads());
+                                    seal::default_build_threads(), dtype);
 }
 
 /// Per-dataset auto-tuned hyperparameters (paper experiment set (ii)).

@@ -11,7 +11,9 @@
 #include "seal/drnl.h"
 #include "seal/feature_builder.h"
 #include "tensor/conv_ops.h"
+#include "tensor/fwd_kernels.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 
 namespace {
 
@@ -153,6 +155,98 @@ void BM_ConvReadoutHead(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConvReadoutHead);
+
+// ---- Quantized-inference primitives (DESIGN.md §2.7) ----------------------
+// The decode kernels and the decode+matmul composite the q8 arena forward is
+// built from, timed at the MP-layer weight shape (hidden 64).
+
+void BM_F16DecodeRow(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  util::Rng rng(6);
+  auto t = ag::Tensor::randn({n}, rng, ag::Dtype::f32);
+  const auto qt = ag::quant::quantize_tensor(t, ag::quant::Scheme::kF16);
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    qt.decode(out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * sizeof(float));
+}
+BENCHMARK(BM_F16DecodeRow)->Arg(4096)->Arg(65536);
+
+void BM_Q8DecodeRow(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  util::Rng rng(7);
+  auto t = ag::Tensor::randn({n}, rng, ag::Dtype::f32);
+  const auto qt = ag::quant::quantize_tensor(t, ag::quant::Scheme::kQ8);
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    qt.decode(out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * sizeof(float));
+}
+BENCHMARK(BM_Q8DecodeRow)->Arg(4096)->Arg(65536);
+
+void BM_Q8DecodeMatmul(benchmark::State& state) {
+  // decode(q8 weight) + mm_add at the quant forward's MP shape:
+  // x(n x 64) · W(64 x 64), weight decoded into scratch per call exactly as
+  // FrozenModel::forward_quant does.
+  const std::int64_t n = state.range(0), kDim = 64, m = 64;
+  util::Rng rng(8);
+  auto w = ag::Tensor::randn({kDim, m}, rng, ag::Dtype::f32);
+  const auto qw = ag::quant::quantize_tensor(w, ag::quant::Scheme::kQ8);
+  auto x = ag::Tensor::randn({n, kDim}, rng, ag::Dtype::f32);
+  std::vector<float> wdec(static_cast<std::size_t>(kDim * m));
+  std::vector<float> out(static_cast<std::size_t>(n * m));
+  const float* xd = x.data_as<float>().data();
+  for (auto _ : state) {
+    qw.decode(wdec.data());
+    std::fill(out.begin(), out.end(), 0.0f);
+    ag::kern::mm_add(xd, wdec.data(), out.data(), n, kDim, m);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * kDim * m);
+}
+BENCHMARK(BM_Q8DecodeMatmul)->Arg(16)->Arg(48)->Arg(128);
+
+void BM_F32Matmul(benchmark::State& state) {
+  // The exact-path counterpart of BM_Q8DecodeMatmul (no decode step).
+  const std::int64_t n = state.range(0), kDim = 64, m = 64;
+  util::Rng rng(9);
+  auto w = ag::Tensor::randn({kDim, m}, rng, ag::Dtype::f32);
+  auto x = ag::Tensor::randn({n, kDim}, rng, ag::Dtype::f32);
+  const float* xd = x.data_as<float>().data();
+  const float* wd = w.data_as<float>().data();
+  std::vector<float> out(static_cast<std::size_t>(n * m));
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), 0.0f);
+    ag::kern::mm_add(xd, wd, out.data(), n, kDim, m);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * kDim * m);
+}
+BENCHMARK(BM_F32Matmul)->Arg(16)->Arg(48)->Arg(128);
+
+void BM_FastTanhRow(benchmark::State& state) {
+  // The relaxed rational tanh vs libm, at the per-query activation volume
+  // of the tuned model (3 layers x 48 x 64).
+  const std::int64_t n = 9216;
+  std::vector<float> x(static_cast<std::size_t>(n)), y(x.size());
+  for (std::int64_t i = 0; i < n; ++i)
+    x[i] = -4.0f + 8.0f * static_cast<float>(i) / static_cast<float>(n);
+  const bool relaxed = state.range(0) != 0;
+  for (auto _ : state) {
+    if (relaxed)
+      for (std::int64_t i = 0; i < n; ++i) y[i] = ag::fwd::fast_tanh(x[i]);
+    else
+      for (std::int64_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(relaxed ? "fast_tanh" : "std::tanh");
+}
+BENCHMARK(BM_FastTanhRow)->Arg(0)->Arg(1);
 
 }  // namespace
 

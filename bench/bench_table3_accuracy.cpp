@@ -7,7 +7,44 @@
 //   OGBL-BioKG   AM 0.80 / 75%   vanilla 0.66 / 40%
 //   WordNet-18   AM 0.85 / 89%   vanilla 0.52 / 38%
 //   Cora         AM 0.91 / 92%   vanilla 0.84 / 88%
+//
+// Each dataset is additionally trained end-to-end at f32 (the f32-vs-f64
+// parity sweep: storage precision must not move the headline metrics), and
+// the f32 AM-DGCNN model is re-evaluated through the quantized inference
+// engine (f16 and q8 LinkPredictor) on the identical test samples.  Gate:
+// the quantized AUC may differ from the exact-f32 AUC by at most
+// kQuantAucTolerance — quantization must be accuracy-neutral, not just
+// fast (DESIGN.md §2.7).
 #include "bench_common.h"
+
+#include "core/link_predictor.h"
+#include "metrics/classification.h"
+
+namespace {
+
+/// Exact or quantized forward-only evaluation of a trained f32 model over
+/// prebuilt samples, through the same LinkPredictor the serving driver
+/// uses.
+amdgcnn::metrics::MulticlassEval eval_frozen(
+    const amdgcnn::models::LinkGNN& model,
+    const std::vector<amdgcnn::seal::SubgraphSample>& samples,
+    amdgcnn::ag::quant::Scheme scheme) {
+  using namespace amdgcnn;
+  core::LinkPredictor::Options opts;
+  opts.quantize = scheme;
+  core::LinkPredictor predictor(model, opts);
+  const std::int64_t c = model.config().num_classes;
+  std::vector<double> probs(samples.size() * static_cast<std::size_t>(c));
+  std::vector<std::int32_t> labels(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    predictor.predict_proba_sample(samples[i],
+                                   probs.data() + i * static_cast<std::size_t>(c));
+    labels[i] = samples[i].label;
+  }
+  return metrics::evaluate_multiclass(probs, c, labels);
+}
+
+}  // namespace
 
 int main() {
   using namespace amdgcnn;
@@ -15,7 +52,11 @@ int main() {
   bench::print_header(
       "Table III: prediction accuracy of different GNNs (AUC / AP)", scale);
 
-  util::Table table({"Dataset", "Model", "AUC", "AP", "Accuracy",
+  // Quantized inference is lossy storage, exact accumulation: its AUC must
+  // sit within run-to-run noise of the exact f32 evaluation.
+  constexpr double kQuantAucTolerance = 0.02;
+
+  util::Table table({"Dataset", "Model", "dtype", "AUC", "AP", "Accuracy",
                      "train-s", "params"});
 
   struct Entry {
@@ -28,24 +69,77 @@ int main() {
   entries.push_back({"WordNet-18", bench::make_wordnet(scale)});
   entries.push_back({"Cora in Planetoid", bench::make_cora(scale)});
 
+  double worst_parity_delta = 0.0;   // |AUC_f32 - AUC_f64|, reported only
+  double worst_quant_delta = 0.0;    // |AUC_quant - AUC_f32|, gated
+  bool gate_failed = false;
+
   for (const auto& entry : entries) {
-    const auto seal_ds = bench::prepare(entry.data);
     const auto hp = bench::tuned_params(entry.data.name);
-    for (auto kind :
-         {models::GnnKind::kAMDGCNN, models::GnnKind::kVanillaDGCNN}) {
-      const auto run = core::run_model(seal_ds, kind, hp, /*epochs=*/12);
-      table.add_row({entry.name, run.model_name,
-                     util::Table::fmt(run.final_eval.metrics.macro_auc, 2),
-                     util::Table::fmt(run.final_eval.metrics.macro_precision, 2),
-                     util::Table::fmt(run.final_eval.metrics.accuracy, 2),
-                     util::Table::fmt(run.train_seconds, 1),
-                     std::to_string(run.num_parameters)});
-      std::cerr << "[table3] " << entry.name << " / " << run.model_name
-                << " done\n";
+
+    // f64 reference rows (the long-standing Table III protocol) and the
+    // f32 parity rows train on *identically generated* samples — only the
+    // feature/parameter storage width differs.
+    double auc_f64_am = 0.0;
+    for (auto dtype : {ag::Dtype::f64, ag::Dtype::f32}) {
+      const auto seal_ds = bench::prepare(entry.data, dtype);
+      const char* dname = dtype == ag::Dtype::f64 ? "f64" : "f32";
+      for (auto kind :
+           {models::GnnKind::kAMDGCNN, models::GnnKind::kVanillaDGCNN}) {
+        const auto run = core::run_model(seal_ds, kind, hp, /*epochs=*/12);
+        table.add_row({entry.name, run.model_name, dname,
+                       util::Table::fmt(run.final_eval.metrics.macro_auc, 2),
+                       util::Table::fmt(run.final_eval.metrics.macro_precision, 2),
+                       util::Table::fmt(run.final_eval.metrics.accuracy, 2),
+                       util::Table::fmt(run.train_seconds, 1),
+                       std::to_string(run.num_parameters)});
+        std::cerr << "[table3] " << entry.name << " / " << run.model_name
+                  << " (" << dname << ") done\n";
+
+        const bool am = kind == models::GnnKind::kAMDGCNN;
+        if (am && dtype == ag::Dtype::f64)
+          auc_f64_am = run.final_eval.metrics.macro_auc;
+        if (dtype != ag::Dtype::f32) continue;
+
+        if (am)
+          worst_parity_delta =
+              std::max(worst_parity_delta,
+                       std::abs(run.final_eval.metrics.macro_auc - auc_f64_am));
+
+        // Quantized rows: the SAME trained f32 model evaluated through the
+        // f16 / q8 frozen engine on the SAME test samples, so any metric
+        // movement is attributable to quantization alone.
+        if (!am) continue;
+        const double auc_f32 = run.final_eval.metrics.macro_auc;
+        for (auto scheme :
+             {ag::quant::Scheme::kF16, ag::quant::Scheme::kQ8}) {
+          const char* qname = scheme == ag::quant::Scheme::kF16 ? "f16" : "q8";
+          const auto ev = eval_frozen(*run.model, seal_ds.test, scheme);
+          table.add_row({entry.name, run.model_name, qname,
+                         util::Table::fmt(ev.macro_auc, 2),
+                         util::Table::fmt(ev.macro_precision, 2),
+                         util::Table::fmt(ev.accuracy, 2), "-",
+                         std::to_string(run.num_parameters)});
+          const double delta = std::abs(ev.macro_auc - auc_f32);
+          worst_quant_delta = std::max(worst_quant_delta, delta);
+          if (delta > kQuantAucTolerance) {
+            std::fprintf(stderr,
+                         "FATAL: %s %s AUC %.4f deviates from exact-f32 AUC "
+                         "%.4f by %.4f (tolerance %.2f)\n",
+                         entry.name, qname, ev.macro_auc, auc_f32, delta,
+                         kQuantAucTolerance);
+            gate_failed = true;
+          }
+          std::cerr << "[table3] " << entry.name << " / quantized " << qname
+                    << " done\n";
+        }
+      }
     }
   }
   table.print(std::cout);
   std::cout << "\nCSV:\n";
   table.print_csv(std::cout);
-  return 0;
+  std::printf("\nworst f32-vs-f64 AM AUC delta: %.4f\n", worst_parity_delta);
+  std::printf("worst quantized-vs-f32 AM AUC delta: %.4f (gate: <= %.2f)\n",
+              worst_quant_delta, kQuantAucTolerance);
+  return gate_failed ? 1 : 0;
 }

@@ -6,9 +6,11 @@
 # and f32 rows plus per-dtype determinism / bit-identity checks; the dynamic
 # bench gates the overlay-vs-rebuild speedup and score-cache coherence),
 # then re-run the parallel-build determinism/property tests, the dtype
-# suite, the forward-only inference suite, the dynamic-graph suite AND the
+# suite, the forward-only inference suite, the dynamic-graph suite, the
 # scale-tier suite (snapshot round-trips, epoch extraction, id-capacity
-# guards) under ASan+UBSan (AMDGCNN_SANITIZE=ON) in a separate build tree.
+# guards) AND the quantized-inference suite (f16 codec, q8 blocks, v3
+# checkpoint negative paths) under ASan+UBSan (AMDGCNN_SANITIZE=ON) in a
+# separate build tree.
 #
 # Usage: scripts/run_benches.sh [--smoke] [--skip-sanitize]
 #   --smoke           shrink datasets/iterations (seconds instead of minutes)
@@ -82,7 +84,7 @@ if [[ "${run_sanitize}" -eq 1 ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAMDGCNN_SANITIZE=ON
   cmake --build "${asan_dir}" -j \
     --target amdgcnn_tests amdgcnn_dtype_tests amdgcnn_infer_tests \
-             amdgcnn_dynamic_tests amdgcnn_scale_tests
+             amdgcnn_dynamic_tests amdgcnn_scale_tests amdgcnn_quant_tests
   require_tests "${asan_dir}" \
     -R 'ParallelDatasetBuild|DrnlProperty|ExtractionProperty|DynamicGraphProperty|BufferPool|SortPoolEquivalence'
   ctest --test-dir "${asan_dir}" --output-on-failure \
@@ -100,5 +102,11 @@ if [[ "${run_sanitize}" -eq 1 ]]; then
   # kernel-equivalence tests run under the sanitizers too.
   require_tests "${asan_dir}" -L scale
   ctest --test-dir "${asan_dir}" --output-on-failure -L scale
-  echo "sanitizer pass over the parallel-build, dtype, infer, dynamic and scale test layers: OK"
+  # The quant tier decodes packed payloads (u16 bit patterns, int8 blocks)
+  # into arena scratch and parses the v3 checkpoint byte stream — exactly
+  # the kind of code where a short read or an off-by-one block count hides
+  # until the sanitizers see it.
+  require_tests "${asan_dir}" -L quant
+  ctest --test-dir "${asan_dir}" --output-on-failure -L quant
+  echo "sanitizer pass over the parallel-build, dtype, infer, dynamic, scale and quant test layers: OK"
 fi

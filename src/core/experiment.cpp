@@ -98,6 +98,7 @@ RunResult run_model(const seal::SealDataset& dataset, models::GnnKind kind,
   result.curve = trainer.fit(*train_set, dataset.test, eval_every);
   result.train_seconds = watch.seconds();
   result.final_eval = trainer.evaluate(dataset.test);
+  result.model = std::move(model);
   return result;
 }
 

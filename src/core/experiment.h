@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,9 @@ struct RunResult {
   models::EvalResult final_eval;
   double train_seconds = 0.0;
   std::int64_t num_parameters = 0;
+  /// The trained model, for post-training consumers (quantized-inference
+  /// evaluation, checkpointing).  Shared so RunResult stays copyable.
+  std::shared_ptr<models::LinkGNN> model;
 };
 
 /// Train one model on prepared samples and evaluate on the test split.

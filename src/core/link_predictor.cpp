@@ -18,7 +18,7 @@ infer::Arena& tls_arena() {
 }  // namespace
 
 LinkPredictor::LinkPredictor(const models::LinkGNN& model, Options options)
-    : frozen_(model), options_(std::move(options)) {
+    : frozen_(model, options.quantize), options_(std::move(options)) {
   if (options_.dataset.num_threads < 0)
     throw std::invalid_argument("LinkPredictor: num_threads must be >= 0");
   options_.dataset.extract.reuse_frontiers = options_.reuse_frontiers;

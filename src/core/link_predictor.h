@@ -57,6 +57,11 @@ class LinkPredictor {
     /// source out against many destinations, exactly the cache's hit shape.
     /// On by default — extraction bytes are unchanged, only time.
     bool reuse_frontiers = true;
+    /// Quantize-on-freeze scheme (DESIGN.md §2.7).  kNone keeps the exact
+    /// bit-identical forward; kF16 / kQ8 shrink the resident weights and run
+    /// the relaxed-numerics f32 forward — still deterministic for any worker
+    /// count, but not bit-identical to the exact path.
+    ag::quant::Scheme quantize = ag::quant::Scheme::kNone;
   };
 
   struct CacheStats {
@@ -83,6 +88,10 @@ class LinkPredictor {
   /// High-water mark of the serial/single-sample arena (worker arenas are
   /// thread-local and not aggregated here).
   std::size_t arena_peak_bytes() const { return arena_.peak_bytes(); }
+
+  /// Resident weight bytes of the frozen model (quantized payload when
+  /// Options::quantize is active).
+  std::size_t weight_bytes() const { return frozen_.weight_bytes(); }
 
   const models::ModelConfig& config() const { return frozen_.config(); }
   const Options& options() const { return options_; }

@@ -1,5 +1,6 @@
 #include "models/serialize.h"
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
@@ -10,6 +11,10 @@ namespace amdgcnn::models {
 namespace {
 constexpr char kMagic[4] = {'A', 'M', 'D', 'G'};
 constexpr std::uint32_t kVersion = 2;
+// v3 adds the quantized storage codes (f16, q8); save_weights keeps writing
+// v2 so exact checkpoints stay readable by older builds, and only
+// save_weights_quantized emits v3.
+constexpr std::uint32_t kVersionQuant = 3;
 // v1 files predate dtype-generic storage: no per-tensor dtype byte, data is
 // always f64.  They remain loadable into f64 parameters.
 constexpr std::uint32_t kVersionLegacyF64 = 1;
@@ -27,11 +32,13 @@ T read_pod(std::ifstream& in) {
   return value;
 }
 
-// On-disk dtype codes.  Deliberately decoupled from the ag::Dtype enum
+// On-disk storage codes.  Deliberately decoupled from the ag::Dtype enum
 // values so the in-memory enum can be reordered without silently changing
-// the file format.
+// the file format.  Codes 2/3 are v3-only (quantized payloads).
 constexpr std::uint8_t kDtypeF32 = 0;
 constexpr std::uint8_t kDtypeF64 = 1;
+constexpr std::uint8_t kStorageF16 = 2;
+constexpr std::uint8_t kStorageQ8 = 3;
 
 std::uint8_t dtype_code(ag::Dtype d) {
   return d == ag::Dtype::f32 ? kDtypeF32 : kDtypeF64;
@@ -74,6 +81,42 @@ void save_weights(const nn::Module& module, const std::string& path) {
   if (!out) throw std::runtime_error("save_weights: write failed to " + path);
 }
 
+void save_weights_quantized(const nn::Module& module, const std::string& path,
+                            ag::quant::Scheme scheme) {
+  namespace q = ag::quant;
+  if (scheme == q::Scheme::kNone)
+    throw std::runtime_error(
+        "save_weights_quantized: scheme is 'none' (use save_weights for "
+        "exact checkpoints)");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("save_weights_quantized: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersionQuant);
+  const auto params = module.parameters();
+  write_pod(out, static_cast<std::uint64_t>(params.size()));
+  for (const auto& p : params) {
+    const q::QuantizedTensor qt = q::quantize_tensor(p, scheme);
+    write_pod(out, scheme == q::Scheme::kF16 ? kStorageF16 : kStorageQ8);
+    write_pod(out, static_cast<std::uint32_t>(p.shape().size()));
+    for (auto d : p.shape()) write_pod(out, d);
+    if (scheme == q::Scheme::kF16) {
+      out.write(reinterpret_cast<const char*>(qt.h.data()),
+                static_cast<std::streamsize>(qt.h.size() * sizeof(ag::f16_t)));
+    } else {
+      write_pod(out, static_cast<std::uint32_t>(q::kQ8Block));
+      write_pod(out, static_cast<std::uint64_t>(qt.scales.size()));
+      out.write(reinterpret_cast<const char*>(qt.scales.data()),
+                static_cast<std::streamsize>(qt.scales.size() * sizeof(float)));
+      out.write(reinterpret_cast<const char*>(qt.q.data()),
+                static_cast<std::streamsize>(qt.q.size()));
+    }
+  }
+  if (!out)
+    throw std::runtime_error("save_weights_quantized: write failed to " +
+                             path);
+}
+
 void load_weights(nn::Module& module, const std::string& path,
                   const std::string& context) {
   // Every error leads with "load_weights[context]" so a caller juggling
@@ -89,7 +132,8 @@ void load_weights(nn::Module& module, const std::string& path,
   if (!in || std::string(magic, 4) != std::string(kMagic, 4))
     throw std::runtime_error(who + ": bad magic in " + path);
   const auto version = read_pod<std::uint32_t>(in);
-  if (version != kVersion && version != kVersionLegacyF64)
+  if (version != kVersion && version != kVersionLegacyF64 &&
+      version != kVersionQuant)
     throw std::runtime_error(who + ": unsupported version " +
                              std::to_string(version));
   const auto count = read_pod<std::uint64_t>(in);
@@ -104,16 +148,35 @@ void load_weights(nn::Module& module, const std::string& path,
     auto& p = params[i];
     const std::string where = " at parameter " + std::to_string(i) + " of " +
                               std::to_string(params.size());
-    const ag::Dtype stored = version == kVersionLegacyF64
-                                 ? ag::Dtype::f64
-                                 : dtype_from_code(read_pod<std::uint8_t>(in));
-    if (stored != p.dtype())
+    const std::uint8_t code = version == kVersionLegacyF64
+                                  ? kDtypeF64
+                                  : read_pod<std::uint8_t>(in);
+    const bool quantized = code == kStorageF16 || code == kStorageQ8;
+    if (quantized && version != kVersionQuant)
       throw std::runtime_error(
-          who + ": dtype mismatch" + where + ", file stores " +
-          ag::dtype_name(stored) + " but the model parameter is " +
-          ag::dtype_name(p.dtype()) +
-          " (re-save the checkpoint or rebuild the model with a matching "
-          "ModelConfig::dtype)");
+          who + ": storage code " + std::to_string(static_cast<int>(code)) +
+          where + " requires a v3 checkpoint (file is v" +
+          std::to_string(version) + ")");
+    if (quantized) {
+      // Quantized payloads dequantize into f32 parameters only: the encode
+      // was a lossy f32 transform, widening to f64 would fake precision.
+      if (p.dtype() != ag::Dtype::f32)
+        throw std::runtime_error(
+            who + ": quantized storage (" +
+            (code == kStorageF16 ? "f16" : "q8") + ")" + where +
+            " loads into f32 model parameters, but the model parameter is " +
+            ag::dtype_name(p.dtype()) +
+            " (rebuild the model with ModelConfig::dtype = f32)");
+    } else {
+      const ag::Dtype stored = dtype_from_code(code);
+      if (stored != p.dtype())
+        throw std::runtime_error(
+            who + ": dtype mismatch" + where + ", file stores " +
+            ag::dtype_name(stored) + " but the model parameter is " +
+            ag::dtype_name(p.dtype()) +
+            " (re-save the checkpoint or rebuild the model with a matching "
+            "ModelConfig::dtype)");
+    }
     const auto rank = read_pod<std::uint32_t>(in);
     ag::Shape shape(rank);
     for (auto& d : shape) d = read_pod<std::int64_t>(in);
@@ -123,14 +186,58 @@ void load_weights(nn::Module& module, const std::string& path,
                                ag::shape_str(p.shape()) +
                                " (checkpoint written with different "
                                "architecture hyperparameters?)");
-    if (stored == ag::Dtype::f32) {
+    if (code == kDtypeF32) {
       auto& data = p.data_as<float>();
       in.read(reinterpret_cast<char*>(data.data()),
               static_cast<std::streamsize>(data.size() * sizeof(float)));
-    } else {
+    } else if (code == kDtypeF64) {
       auto& data = p.data_as<double>();
       in.read(reinterpret_cast<char*>(data.data()),
               static_cast<std::streamsize>(data.size() * sizeof(double)));
+    } else if (code == kStorageF16) {
+      auto& data = p.data_as<float>();
+      std::vector<ag::f16_t> h(data.size());
+      in.read(reinterpret_cast<char*>(h.data()),
+              static_cast<std::streamsize>(h.size() * sizeof(ag::f16_t)));
+      if (!in)
+        throw std::runtime_error(who + ": truncated tensor data" + where);
+      ag::f16_decode_row(h.data(), data.data(),
+                         static_cast<std::int64_t>(data.size()));
+    } else {  // kStorageQ8 — fail closed on every malformed field
+      namespace q = ag::quant;
+      auto& data = p.data_as<float>();
+      const auto n = static_cast<std::int64_t>(data.size());
+      const auto block = read_pod<std::uint32_t>(in);
+      if (block != static_cast<std::uint32_t>(q::kQ8Block))
+        throw std::runtime_error(
+            who + ": unsupported q8 block size " + std::to_string(block) +
+            where + " (this build reads block size " +
+            std::to_string(q::kQ8Block) + ")");
+      const auto nblocks = read_pod<std::uint64_t>(in);
+      if (nblocks != static_cast<std::uint64_t>(q::q8_num_blocks(n)))
+        throw std::runtime_error(
+            who + ": q8 block count " + std::to_string(nblocks) + where +
+            " does not cover " + std::to_string(n) + " elements of shape " +
+            ag::shape_str(shape) + " (expected " +
+            std::to_string(q::q8_num_blocks(n)) + ")");
+      std::vector<float> scales(nblocks);
+      in.read(reinterpret_cast<char*>(scales.data()),
+              static_cast<std::streamsize>(scales.size() * sizeof(float)));
+      std::vector<std::int8_t> qv(data.size());
+      in.read(reinterpret_cast<char*>(qv.data()),
+              static_cast<std::streamsize>(qv.size()));
+      if (!in)
+        throw std::runtime_error(who + ": truncated tensor data" + where);
+      for (const float s : scales)
+        if (!std::isfinite(s) || s < 0.0f)
+          throw std::runtime_error(who + ": corrupt q8 scale" + where +
+                                   " (non-finite or negative)");
+      for (const std::int8_t v : qv)
+        if (v == std::int8_t{-128})
+          throw std::runtime_error(
+              who + ": corrupt q8 value -128" + where +
+              " (the encoder never produces it; file bytes are garbage)");
+      q::q8_dequantize(qv.data(), scales.data(), data.data(), n);
     }
     if (!in)
       throw std::runtime_error(who + ": truncated tensor data" + where);

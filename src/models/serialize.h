@@ -5,6 +5,18 @@
 //   per tensor: u8 dtype (0 = f32, 1 = f64) | u32 rank | i64 dims... |
 //               raw data at the dtype's width.
 //
+// Format v3 extends the per-tensor storage codes with quantized payloads
+// (DESIGN.md §2.7); header and tensor framing are unchanged:
+//   code 2 = f16: raw bit-cast u16 values.
+//   code 3 = q8:  u32 block-size (must be 32) | u64 block-count |
+//                 f32 scales[block-count] | i8 values[numel], each in
+//                 [-127, 127] (-128 never occurs, so it doubles as a
+//                 garbage detector on load).
+// v3 loading DEQUANTIZES into f32 model parameters (loading a quantized
+// checkpoint into an f64 model is rejected — quantization is a lossy f32
+// transform, widening it would fake precision).  save_weights still writes
+// v2 so exact checkpoints stay readable by older builds.
+//
 // Version 1 files (written before dtype-generic storage existed) carry no
 // dtype byte and always store f64 data; they are still readable, into f64
 // parameters only.  Loading never reinterprets bytes across dtypes: a
@@ -20,6 +32,7 @@
 #include <string>
 
 #include "nn/module.h"
+#include "tensor/quant.h"
 
 namespace amdgcnn::models {
 
@@ -27,13 +40,20 @@ namespace amdgcnn::models {
 /// std::runtime_error on I/O failure.
 void save_weights(const nn::Module& module, const std::string& path);
 
-/// Load parameters saved by save_weights into `module` (in place).  Accepts
-/// v1 (implicit f64) and v2 files.  Throws std::runtime_error on I/O
-/// failure, format error, trailing bytes after the last tensor, or any
-/// count/shape/dtype mismatch with the module's current parameters.
-/// Mismatch errors name the offending parameter index and state expected vs
-/// found; `context` (e.g. the model name) prefixes every error so callers
-/// loading several checkpoints can tell them apart.
+/// Write all parameters quantized under `scheme` (kF16 or kQ8; kNone is
+/// rejected — use save_weights) to `path` in format v3.  Lossy: loading
+/// reproduces the dequantized values exactly, not the original weights.
+void save_weights_quantized(const nn::Module& module, const std::string& path,
+                            ag::quant::Scheme scheme);
+
+/// Load parameters saved by save_weights / save_weights_quantized into
+/// `module` (in place).  Accepts v1 (implicit f64), v2 and v3 files;
+/// quantized v3 tensors are dequantized into f32 parameters.  Throws
+/// std::runtime_error on I/O failure, format error, trailing bytes after
+/// the last tensor, or any count/shape/dtype mismatch with the module's
+/// current parameters.  Mismatch errors name the offending parameter index
+/// and state expected vs found; `context` (e.g. the model name) prefixes
+/// every error so callers loading several checkpoints can tell them apart.
 void load_weights(nn::Module& module, const std::string& path,
                   const std::string& context);
 void load_weights(nn::Module& module, const std::string& path);

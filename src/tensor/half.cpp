@@ -1,0 +1,115 @@
+#include "tensor/half.h"
+
+#include <cstring>
+
+namespace amdgcnn::ag {
+
+namespace detail {
+
+namespace {
+
+inline float bits_to_float(std::uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+inline std::uint32_t float_to_bits(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+}  // namespace
+
+float f16_decode_bits(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h >> 15) << 31;
+  const std::uint32_t exp = (h >> 10) & 0x1F;
+  std::uint32_t mant = h & 0x3FF;
+  if (exp == 0) {
+    if (mant == 0) return bits_to_float(sign);  // ±0
+    // Subnormal: value = mant * 2^-24.  Normalise by shifting the mantissa
+    // up until its leading bit reaches the implicit-1 position.
+    std::uint32_t e = 127 - 15 + 1;  // exponent of 2^-14 before the shifts
+    while ((mant & 0x400) == 0) {
+      mant <<= 1;
+      --e;
+    }
+    mant &= 0x3FF;
+    return bits_to_float(sign | (e << 23) | (mant << 13));
+  }
+  if (exp == 0x1F) {  // inf / NaN: payload bits keep their top positions
+    return bits_to_float(sign | 0x7F800000u | (mant << 13));
+  }
+  return bits_to_float(sign | ((exp + (127 - 15)) << 23) | (mant << 13));
+}
+
+const float* f16_table() {
+  // Built once, 256 KiB, immutable afterwards.  A function-local static
+  // keeps initialisation thread-safe without an init call in main().
+  static const float* table = [] {
+    float* t = new float[1 << 16];
+    for (std::uint32_t i = 0; i < (1u << 16); ++i)
+      t[i] = f16_decode_bits(static_cast<std::uint16_t>(i));
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+f16_t f32_to_f16(float f) {
+  const std::uint32_t u = detail::float_to_bits(f);
+  const std::uint16_t sign = static_cast<std::uint16_t>((u >> 16) & 0x8000);
+  const std::uint32_t exp = (u >> 23) & 0xFF;
+  const std::uint32_t mant = u & 0x7FFFFF;
+
+  if (exp == 0xFF) {  // inf / NaN
+    if (mant == 0) return {static_cast<std::uint16_t>(sign | 0x7C00)};
+    // NaN: keep the top 10 payload bits; only when the payload lives
+    // entirely in the dropped low bits force the quiet bit, so the
+    // significand cannot collapse to zero and decay into inf.  (An
+    // unconditional force would quieten f16-origin signalling NaNs and
+    // break the all-65536-patterns round-trip.)
+    std::uint16_t m = static_cast<std::uint16_t>(mant >> 13);
+    if (m == 0) m = 0x200;
+    return {static_cast<std::uint16_t>(sign | 0x7C00 | m)};
+  }
+
+  // Unbiased exponent; f16 normals cover [-14, 15].
+  const std::int32_t e = static_cast<std::int32_t>(exp) - 127;
+  if (e >= 16) {  // too large even after rounding: ±inf
+    return {static_cast<std::uint16_t>(sign | 0x7C00)};
+  }
+  if (e >= -14) {
+    // Normal range: round the 23-bit mantissa to 10 bits (RNE).  The
+    // carry-out of an all-ones mantissa rounds up into the exponent field —
+    // including 65520 -> 2^16, which lands exactly on the inf encoding.
+    std::uint32_t out = (static_cast<std::uint32_t>(e + 15) << 10) |
+                        (mant >> 13);
+    const std::uint32_t rest = mant & 0x1FFF;
+    if (rest > 0x1000 || (rest == 0x1000 && (out & 1))) ++out;
+    if (out >= 0x7C00) return {static_cast<std::uint16_t>(sign | 0x7C00)};
+    return {static_cast<std::uint16_t>(sign | out)};
+  }
+  if (e >= -25) {
+    // Subnormal range: shift the implicit-1 significand right so the result
+    // is an integer count of 2^-24 ulps, then RNE on the dropped bits.
+    const std::uint32_t sig = mant | 0x800000;
+    const std::uint32_t shift = static_cast<std::uint32_t>(-14 - e) + 13;
+    std::uint32_t out = sig >> shift;
+    const std::uint32_t rest = sig & ((1u << shift) - 1);
+    const std::uint32_t half = 1u << (shift - 1);
+    if (rest > half || (rest == half && (out & 1))) ++out;
+    // out can carry into the smallest normal (exp field 1) — correct encoding.
+    return {static_cast<std::uint16_t>(sign | out)};
+  }
+  return {sign};  // underflow to ±0
+}
+
+void f16_decode_row(const f16_t* src, float* dst, std::int64_t n) {
+  const float* table = detail::f16_table();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = table[src[i].bits];
+}
+
+}  // namespace amdgcnn::ag

@@ -1,0 +1,46 @@
+// IEEE 754 half-precision (binary16) storage codec (DESIGN.md §2.7).
+//
+// f16 is a STORAGE format, not a compute format: weights are held as
+// bit-cast std::uint16_t and decoded to f32 before any arithmetic, so every
+// kernel keeps running at f32/f64 and the dtype determinism contract is
+// untouched.  Decode goes through a process-wide 65536-entry f32 table
+// (the ggml `wsp_ggml_table_f32_f16` idiom, SNIPPETS.md §1): one L1/L2 load
+// per element, branch-free, and trivially exact — the table IS the decode
+// function, enumerated.  Encode is round-to-nearest-even with subnormal,
+// overflow-to-inf and NaN-payload handling; round-tripping any f16 bit
+// pattern through decode→encode reproduces the original bits (asserted for
+// all 65536 patterns by tests/test_quant.cpp).
+#pragma once
+
+#include <cstdint>
+
+namespace amdgcnn::ag {
+
+/// Bit-cast half-precision storage scalar.
+struct f16_t {
+  std::uint16_t bits = 0;
+};
+
+namespace detail {
+/// The 65536-entry decode table; built once on first use (thread-safe
+/// function-local static).  Index with the raw f16 bit pattern.
+const float* f16_table();
+
+/// Pure bit-manipulation decode — used to BUILD the table and by tests to
+/// cross-check it; runtime decode should go through the table.
+float f16_decode_bits(std::uint16_t h);
+}  // namespace detail
+
+/// Decode through the lookup table.
+inline float f16_to_f32(f16_t h) { return detail::f16_table()[h.bits]; }
+
+/// Round-to-nearest-even f32 -> f16 encode.  Values beyond the f16 range
+/// become ±inf; NaNs stay NaN (top payload bits kept, quiet bit forced so
+/// the significand can never collapse to zero/inf).
+f16_t f32_to_f16(float f);
+
+/// Bulk table decode (dst[i] = table[src[i].bits]); the frozen-inference
+/// per-layer weight decode.
+void f16_decode_row(const f16_t* src, float* dst, std::int64_t n);
+
+}  // namespace amdgcnn::ag

@@ -1,0 +1,91 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amdgcnn::ag::quant {
+
+void q8_quantize(const float* x, std::int64_t n, std::int8_t* q,
+                 float* scales) {
+  for (std::int64_t b = 0; b * kQ8Block < n; ++b) {
+    const std::int64_t lo = b * kQ8Block;
+    const std::int64_t hi = std::min(n, lo + kQ8Block);
+    float amax = 0.0f;
+    for (std::int64_t i = lo; i < hi; ++i)
+      amax = std::max(amax, std::fabs(x[i]));
+    if (amax == 0.0f) {
+      scales[b] = 0.0f;
+      std::fill(q + lo, q + hi, std::int8_t{0});
+      continue;
+    }
+    const float scale = amax / 127.0f;
+    const float inv = 127.0f / amax;
+    scales[b] = scale;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      // round-half-away (nearbyint would tie-to-even; either is within the
+      // scale/2 bound — lrintf keeps the loop vectorizable-free of errno).
+      const float v = x[i] * inv;
+      int iv = static_cast<int>(v >= 0.0f ? v + 0.5f : v - 0.5f);
+      iv = std::clamp(iv, -127, 127);
+      q[i] = static_cast<std::int8_t>(iv);
+    }
+  }
+}
+
+void q8_dequantize(const std::int8_t* q, const float* scales, float* dst,
+                   std::int64_t n) {
+  const std::int64_t full = (n / kQ8Block) * kQ8Block;
+  for (std::int64_t b = 0; b * kQ8Block < full; ++b) {
+    const float s = scales[b];
+    const std::int8_t* qb = q + b * kQ8Block;
+    float* db = dst + b * kQ8Block;
+    for (std::int64_t i = 0; i < kQ8Block; ++i)
+      db[i] = static_cast<float>(qb[i]) * s;
+  }
+  if (full < n) {
+    const float s = scales[full / kQ8Block];
+    for (std::int64_t i = full; i < n; ++i)
+      dst[i] = static_cast<float>(q[i]) * s;
+  }
+}
+
+void QuantizedTensor::decode(float* dst) const {
+  if (mode == Scheme::kF16)
+    f16_decode_row(h.data(), dst, n);
+  else if (mode == Scheme::kQ8)
+    q8_dequantize(q.data(), scales.data(), dst, n);
+  else
+    ag::fail("QuantizedTensor::decode: tensor holds no quantized payload");
+}
+
+QuantizedTensor quantize_tensor(const Tensor& t, Scheme scheme) {
+  ag::check(t.defined(), "quantize_tensor: undefined tensor");
+  ag::check(scheme != Scheme::kNone, "quantize_tensor: scheme is kNone");
+  const auto n = t.numel();
+  std::vector<float> f32;
+  const float* src = nullptr;
+  if (t.dtype() == Dtype::f32) {
+    src = t.data_as<float>().data();
+  } else {
+    const auto& d = t.data_as<double>();
+    f32.resize(d.size());
+    for (std::size_t i = 0; i < d.size(); ++i)
+      f32[i] = static_cast<float>(d[i]);
+    src = f32.data();
+  }
+
+  QuantizedTensor out;
+  out.mode = scheme;
+  out.n = n;
+  if (scheme == Scheme::kF16) {
+    out.h.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) out.h[i] = f32_to_f16(src[i]);
+  } else {
+    out.q.resize(static_cast<std::size_t>(n));
+    out.scales.resize(static_cast<std::size_t>(q8_num_blocks(n)));
+    q8_quantize(src, n, out.q.data(), out.scales.data());
+  }
+  return out;
+}
+
+}  // namespace amdgcnn::ag::quant

@@ -95,7 +95,20 @@ GradSinkScope::~GradSinkScope() { detail::tls_grad_sink = prev_; }
 
 // ---- Constructors ----------------------------------------------------------
 
+namespace {
+// f16 is a storage-only tag for checkpoints and frozen inference weights
+// (DESIGN.md §2.7); no Tensor ever carries it, which keeps every
+// f32-or-else-f64 dispatch in the ops layer exhaustive.  All dtype-taking
+// constructors funnel through zeros() or full(), so two checks cover them.
+inline void check_tensor_dtype(Dtype d) {
+  check(d != Dtype::f16,
+        "Tensor: f16 is a storage-only dtype (checkpoints / frozen "
+        "inference weights); tensors compute at f32 or f64");
+}
+}  // namespace
+
 Tensor Tensor::zeros(Shape shape, Dtype dtype) {
+  check_tensor_dtype(dtype);
   auto impl = std::make_shared<detail::TensorImpl>();
   const auto n = static_cast<std::size_t>(ag::numel(shape));
   impl->dtype = dtype;
@@ -112,6 +125,7 @@ Tensor Tensor::ones(Shape shape, Dtype dtype) {
 }
 
 Tensor Tensor::full(Shape shape, double value, Dtype dtype) {
+  check_tensor_dtype(dtype);
   auto impl = std::make_shared<detail::TensorImpl>();
   const auto n = static_cast<std::size_t>(ag::numel(shape));
   impl->dtype = dtype;

@@ -48,14 +48,21 @@ using Shape = std::vector<std::int64_t>;
 /// memory bandwidth on the matmul-bound hot path without giving up the
 /// bit-determinism contract (any fixed dtype is deterministic for any
 /// worker count — the contract is per-dtype, not across dtypes).
-enum class Dtype : std::uint8_t { f32 = 0, f64 = 1 };
+///
+/// f16 is a STORAGE-ONLY tag (DESIGN.md §2.7): checkpoints and frozen
+/// inference weights may hold bit-cast half-precision values (tensor/half.h
+/// decodes them through a 65536-entry f32 table), but no Tensor ever
+/// carries f16 storage — Tensor construction rejects the tag, so the many
+/// two-way f32/f64 dispatch sites in the ops layer stay exhaustive.
+enum class Dtype : std::uint8_t { f32 = 0, f64 = 1, f16 = 2 };
 
 inline constexpr std::size_t dtype_size(Dtype d) {
-  return d == Dtype::f32 ? sizeof(float) : sizeof(double);
+  return d == Dtype::f16 ? 2
+                         : (d == Dtype::f32 ? sizeof(float) : sizeof(double));
 }
 
 inline constexpr const char* dtype_name(Dtype d) {
-  return d == Dtype::f32 ? "f32" : "f64";
+  return d == Dtype::f16 ? "f16" : (d == Dtype::f32 ? "f32" : "f64");
 }
 
 /// Dtype tag of a C++ scalar type (only float and double participate).

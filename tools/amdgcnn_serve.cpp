@@ -3,6 +3,7 @@
 //   amdgcnn_serve --dataset primekg|biokg|wordnet|cora --weights FILE
 //                 [--model am|vanilla]   (default am; must match the save)
 //                 [--hidden N] [--sort-k N] [--dtype f32|f64]
+//                 [--quantize none|f16|q8]  (default none = exact forward)
 //                 [--queries FILE]       (default: read stdin)
 //                 [--threads N]          (0 = serial batch, default)
 //                 [--proba]              (print per-class probabilities)
@@ -47,6 +48,7 @@ struct ServeOptions {
   std::int64_t sort_k = 0;
   std::int64_t threads = 0;
   std::string dtype = "f32";
+  std::string quantize = "none";
   bool proba = false;
 };
 
@@ -54,7 +56,8 @@ void usage() {
   std::cerr << "usage: amdgcnn_serve --dataset primekg|biokg|wordnet|cora "
                "--weights FILE\n"
                "  [--model am|vanilla] [--hidden N] [--sort-k N]\n"
-               "  [--dtype f32|f64] [--queries FILE] [--threads N] [--proba]\n";
+               "  [--dtype f32|f64] [--quantize none|f16|q8]\n"
+               "  [--queries FILE] [--threads N] [--proba]\n";
 }
 
 bool parse(int argc, char** argv, ServeOptions& opts) {
@@ -72,6 +75,7 @@ bool parse(int argc, char** argv, ServeOptions& opts) {
     else if (arg == "--sort-k") opts.sort_k = std::atoll(next());
     else if (arg == "--threads") opts.threads = std::atoll(next());
     else if (arg == "--dtype") opts.dtype = next();
+    else if (arg == "--quantize") opts.quantize = next();
     else if (arg == "--proba") opts.proba = true;
     else if (arg == "--help" || arg == "-h") return false;
     else throw std::runtime_error("unknown flag: " + arg);
@@ -84,6 +88,13 @@ ag::Dtype parse_dtype(const std::string& name) {
   if (name == "f32") return ag::Dtype::f32;
   if (name == "f64") return ag::Dtype::f64;
   throw std::runtime_error("--dtype must be f32 or f64, got: " + name);
+}
+
+ag::quant::Scheme parse_quantize(const std::string& name) {
+  if (name == "none") return ag::quant::Scheme::kNone;
+  if (name == "f16") return ag::quant::Scheme::kF16;
+  if (name == "q8") return ag::quant::Scheme::kQ8;
+  throw std::runtime_error("--quantize must be none, f16 or q8, got: " + name);
 }
 
 // The simulated datasets are deterministic generators, so rebuilding with the
@@ -182,6 +193,7 @@ int main(int argc, char** argv) {
     ds.num_threads = opts.threads;
     predictor_options.warm_nodes = ds.extract.max_nodes;
     predictor_options.warm_edges = ds.extract.max_nodes * 8;
+    predictor_options.quantize = parse_quantize(opts.quantize);
 
     models::ModelConfig mc;
     mc.kind = opts.model == "vanilla" ? models::GnnKind::kVanillaDGCNN
@@ -202,8 +214,12 @@ int main(int argc, char** argv) {
     model.reset();  // the frozen engine shares the parameter storage
     std::cerr << "amdgcnn_serve: " << opts.dataset << " graph ("
               << data.graph.num_nodes() << " nodes), "
-              << models::gnn_kind_name(mc.kind) << " " << opts.dtype
-              << " checkpoint loaded in " << watch.seconds() << " s\n";
+              << models::gnn_kind_name(mc.kind) << " " << opts.dtype;
+    if (predictor_options.quantize != ag::quant::Scheme::kNone)
+      std::cerr << " (quantized " << ag::quant::scheme_name(
+                       predictor_options.quantize)
+                << ", " << predictor.weight_bytes() << " B resident)";
+    std::cerr << " checkpoint loaded in " << watch.seconds() << " s\n";
 
     std::vector<seal::LinkExample> links;
     if (opts.queries_path.empty()) {
