@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
 # Build the Release tree and run the throughput benchmarks, leaving
-# BENCH_training.json, BENCH_extraction.json, BENCH_inference.json and
-# BENCH_dynamic.json at the repository root (the training and inference
-# benches cover both storage precisions: every dataset/model pair gets f64
-# and f32 rows plus per-dtype determinism / bit-identity checks; the dynamic
-# bench gates the overlay-vs-rebuild speedup and score-cache coherence),
-# then re-run the parallel-build determinism/property tests, the dtype
-# suite, the forward-only inference suite, the dynamic-graph suite, the
-# scale-tier suite (snapshot round-trips, epoch extraction, id-capacity
-# guards) AND the quantized-inference suite (f16 codec, q8 blocks, v3
-# checkpoint negative paths) under ASan+UBSan (AMDGCNN_SANITIZE=ON) in a
-# separate build tree.
+# BENCH_training.json, BENCH_extraction.json, BENCH_inference.json,
+# BENCH_dynamic.json and BENCH_serving.json at the repository root (the
+# training and inference benches cover both storage precisions: every
+# dataset/model pair gets f64 and f32 rows plus per-dtype determinism /
+# bit-identity checks; the dynamic bench gates the overlay-vs-rebuild
+# speedup and score-cache coherence; the serving bench gates the >= 2x
+# batched warm-pool speedup and the Server bit-identity contracts), then
+# re-run the parallel-build determinism/property tests, the dtype suite,
+# the forward-only inference suite, the dynamic-graph suite, the scale-tier
+# suite (snapshot round-trips, epoch extraction, id-capacity guards), the
+# quantized-inference suite (f16 codec, q8 blocks, v3 checkpoint negative
+# paths) AND the serving suite (worker pool, batched Server, cache layers)
+# under ASan+UBSan (AMDGCNN_SANITIZE=ON) in a separate build tree, plus a
+# ThreadSanitizer spot-check (AMDGCNN_SANITIZE=thread) over the pool/queue
+# synchronisation in a third tree.
 #
 # Usage: scripts/run_benches.sh [--smoke] [--skip-sanitize]
 #   --smoke           shrink datasets/iterations (seconds instead of minutes)
-#   --skip-sanitize   skip the sanitizer re-run of the new test layer
+#   --skip-sanitize   skip the sanitizer re-runs of the new test layers
 #
 # AMDGCNN_BENCH_SCALE=full additionally scales the figure benches when run
 # by hand; this script only drives the throughput benches.
@@ -23,6 +27,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build"
 asan_dir="${repo_root}/build-asan"
+tsan_dir="${repo_root}/build-tsan"
 
 bench_args=()
 run_sanitize=1
@@ -41,7 +46,8 @@ done
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j \
   --target bench_training_throughput bench_extraction_throughput \
-           bench_inference_throughput bench_dynamic_graph
+           bench_inference_throughput bench_dynamic_graph \
+           bench_serving_throughput
 
 "${build_dir}/bench/bench_training_throughput" \
   --out "${repo_root}/BENCH_training.json" ${bench_args[@]+"${bench_args[@]}"}
@@ -58,6 +64,10 @@ echo "wrote ${repo_root}/BENCH_inference.json"
 "${build_dir}/bench/bench_dynamic_graph" \
   --out "${repo_root}/BENCH_dynamic.json" ${bench_args[@]+"${bench_args[@]}"}
 echo "wrote ${repo_root}/BENCH_dynamic.json"
+
+"${build_dir}/bench/bench_serving_throughput" \
+  --out "${repo_root}/BENCH_serving.json" ${bench_args[@]+"${bench_args[@]}"}
+echo "wrote ${repo_root}/BENCH_serving.json"
 
 # A labeled ctest invocation that matches nothing "passes" vacuously (ctest
 # exits 0 on zero tests), which would let a renamed suite or a broken label
@@ -84,7 +94,8 @@ if [[ "${run_sanitize}" -eq 1 ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAMDGCNN_SANITIZE=ON
   cmake --build "${asan_dir}" -j \
     --target amdgcnn_tests amdgcnn_dtype_tests amdgcnn_infer_tests \
-             amdgcnn_dynamic_tests amdgcnn_scale_tests amdgcnn_quant_tests
+             amdgcnn_dynamic_tests amdgcnn_scale_tests amdgcnn_quant_tests \
+             amdgcnn_serve_tests
   require_tests "${asan_dir}" \
     -R 'ParallelDatasetBuild|DrnlProperty|ExtractionProperty|DynamicGraphProperty|BufferPool|SortPoolEquivalence'
   ctest --test-dir "${asan_dir}" --output-on-failure \
@@ -108,5 +119,25 @@ if [[ "${run_sanitize}" -eq 1 ]]; then
   # until the sanitizers see it.
   require_tests "${asan_dir}" -L quant
   ctest --test-dir "${asan_dir}" --output-on-failure -L quant
-  echo "sanitizer pass over the parallel-build, dtype, infer, dynamic, scale and quant test layers: OK"
+  # The serving runtime hands raw pointers (job function, error collector,
+  # result rows) across threads and recycles per-worker arenas between
+  # requests — ASan/UBSan over the whole suite catches lifetime misuse.
+  # -E: the serving bench smoke also carries the `serve` label, but its 2x
+  # speedup floor is calibrated for an uninstrumented Release build.
+  require_tests "${asan_dir}" -L serve -E bench_
+  ctest --test-dir "${asan_dir}" --output-on-failure -L serve -E bench_
+  echo "sanitizer pass over the parallel-build, dtype, infer, dynamic, scale, quant and serve test layers: OK"
+
+  # ThreadSanitizer spot-check of the pool/queue synchronisation: condvar
+  # parking, job hand-off, error capture, graceful shutdown.  Restricted to
+  # the WorkerPool lifecycle/fork-join cases — they never enter an OpenMP
+  # region, which TSan cannot instrument (libgomp's internal barriers would
+  # drown the report in false positives).
+  cmake -B "${tsan_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAMDGCNN_SANITIZE=thread
+  cmake --build "${tsan_dir}" -j --target amdgcnn_serve_tests
+  require_tests "${tsan_dir}" -R 'WorkerPoolRun|WorkerPoolLifecycle'
+  ctest --test-dir "${tsan_dir}" --output-on-failure \
+    -R 'WorkerPoolRun|WorkerPoolLifecycle'
+  echo "ThreadSanitizer pass over the worker-pool lifecycle tests: OK"
 fi

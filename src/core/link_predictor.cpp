@@ -170,7 +170,10 @@ void LinkPredictor::predict_links_cached(
   // predict_links call — single-writer contract).
   const std::uint64_t gen = g.generation();
   for (std::int64_t k = 0; k < m; ++k) {
-    if (cache_.size() >= options_.cache_capacity) cache_.clear();
+    if (cache_.size() >= options_.cache_capacity) {
+      cache_stats_.evictions += static_cast<std::int64_t>(cache_.size());
+      cache_.clear();
+    }
     const auto& link = links[static_cast<std::size_t>(miss[k])];
     CacheEntry entry;
     entry.proba.assign(result.proba.begin() + miss[k] * c,
@@ -179,6 +182,16 @@ void LinkPredictor::predict_links_cached(
     entry.generation = gen;
     cache_[cache_key(link.a, link.b)] = std::move(entry);
   }
+}
+
+LinkPredictor::Stats LinkPredictor::stats() const {
+  Stats s;
+  s.score = cache_stats_;
+  const auto f = graph::frontier_cache_stats();
+  s.frontier_hits = f.hits;
+  s.frontier_misses = f.misses;
+  s.frontier_evictions = f.evictions;
+  return s;
 }
 
 void LinkPredictor::clear_cache() const {

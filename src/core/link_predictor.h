@@ -68,6 +68,20 @@ class LinkPredictor {
     std::int64_t hits = 0;
     std::int64_t misses = 0;        // cold entries (includes invalidations)
     std::int64_t invalidated = 0;   // evicted because a hull node went dirty
+    std::int64_t evictions = 0;     // entries dropped by a capacity wipe
+  };
+
+  /// One plain snapshot of every cache the predictor's pipeline touches
+  /// (serving dashboards and the benches read this instead of instrumenting
+  /// call sites).  The score-cache rows are per-predictor; the frontier rows
+  /// mirror graph::frontier_cache_stats(), which aggregates the per-thread
+  /// extraction caches process-wide — with several live predictors they
+  /// count all of them.
+  struct Stats {
+    CacheStats score;
+    std::int64_t frontier_hits = 0;
+    std::int64_t frontier_misses = 0;
+    std::int64_t frontier_evictions = 0;
   };
 
   /// Snapshots `model`'s parameters (shared storage; the model may be
@@ -97,8 +111,15 @@ class LinkPredictor {
   const Options& options() const { return options_; }
 
   const CacheStats& cache_stats() const { return cache_stats_; }
+  Stats stats() const;
   std::size_t cache_size() const { return cache_.size(); }
   void clear_cache() const;
+
+  /// The frozen forward engine, for callers that manage their own arenas
+  /// (the serving runtime gives every pool worker a warm one).  Logits /
+  /// probabilities through this handle are exactly the ones predict_links
+  /// produces — same kernels, same accumulation order.
+  const infer::FrozenModel& frozen() const { return frozen_; }
 
  private:
   struct CacheEntry {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <limits>
 #include <stdexcept>
 
@@ -50,6 +51,15 @@ void local_bfs_csr(const std::int32_t* off, const std::int32_t* adj,
 
 // ---- Epoch-kernel per-thread state ------------------------------------------
 
+/// Process-wide frontier-cache counters.  The caches themselves are
+/// per-thread, so aggregate accounting lives here: two relaxed increments
+/// per cached BFS are noise next to the traversal they replace, and every
+/// consumer (LinkPredictor::stats, the serving runtime, the benches) wants
+/// the cross-thread total anyway.
+std::atomic<std::int64_t> g_frontier_hits{0};
+std::atomic<std::int64_t> g_frontier_misses{0};
+std::atomic<std::int64_t> g_frontier_evictions{0};
+
 /// One cached hop-bounded BFS result: the reached nodes in discovery order
 /// plus their distances.  Keyed on everything that determines the BFS bytes.
 struct FrontierEntry {
@@ -86,6 +96,8 @@ class FrontierCache {
     FrontierEntry* victim = &entries_[0];
     for (auto& e : entries_)
       if (e.last_use < victim->last_use) victim = &e;
+    if (victim->masked_edge != -2)  // a filled slot is being overwritten
+      g_frontier_evictions.fetch_add(1, std::memory_order_relaxed);
     victim->last_use = ++tick_;
     return *victim;
   }
@@ -291,11 +303,13 @@ void bfs_frontier(const KnowledgeGraph& g, NodeId source, EdgeId masked_edge,
   visit.begin(g.num_nodes());
   if (use_cache) {
     if (FrontierEntry* hit = cache.find(g, source, masked_edge, depth)) {
+      g_frontier_hits.fetch_add(1, std::memory_order_relaxed);
       visited.assign(hit->nodes.begin(), hit->nodes.end());
       for (std::size_t i = 0; i < visited.size(); ++i)
         visit.set(visited[i], hit->dist[i]);
       return;
     }
+    g_frontier_misses.fetch_add(1, std::memory_order_relaxed);
   }
   BfsOptions opts;
   opts.max_depth = depth;
@@ -376,6 +390,52 @@ EnclosingSubgraph extract_enclosing_subgraph(const KnowledgeGraph& g, NodeId a,
   return options.clear_per_link
              ? extract_clear_per_link(g, a, b, options, masked_edge)
              : extract_epoch(g, a, b, options, masked_edge);
+}
+
+bool export_cached_frontier(const KnowledgeGraph& g, NodeId source,
+                            EdgeId masked_edge, std::int32_t depth,
+                            std::vector<NodeId>& nodes,
+                            std::vector<std::int32_t>& dist) {
+  FrontierEntry* e = tls_scratch().cache.find(g, source, masked_edge, depth);
+  if (e == nullptr) return false;
+  nodes = e->nodes;
+  dist = e->dist;
+  return true;
+}
+
+void seed_frontier_cache(const KnowledgeGraph& g, NodeId source,
+                         EdgeId masked_edge, std::int32_t depth,
+                         const std::vector<NodeId>& nodes,
+                         const std::vector<std::int32_t>& dist) {
+  if (nodes.size() != dist.size())
+    throw std::invalid_argument(
+        "seed_frontier_cache: nodes/dist length mismatch");
+  auto& cache = tls_scratch().cache;
+  if (cache.find(g, source, masked_edge, depth) != nullptr)
+    return;  // already resident (find refreshed its LRU stamp)
+  FrontierEntry& slot = cache.evict_lru();
+  slot.g = &g;
+  slot.uid = g.uid();
+  slot.generation = g.generation();
+  slot.source = source;
+  slot.masked_edge = masked_edge;
+  slot.depth = depth;
+  slot.nodes = nodes;
+  slot.dist = dist;
+}
+
+FrontierCacheStats frontier_cache_stats() {
+  FrontierCacheStats s;
+  s.hits = g_frontier_hits.load(std::memory_order_relaxed);
+  s.misses = g_frontier_misses.load(std::memory_order_relaxed);
+  s.evictions = g_frontier_evictions.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_frontier_cache_stats() {
+  g_frontier_hits.store(0, std::memory_order_relaxed);
+  g_frontier_misses.store(0, std::memory_order_relaxed);
+  g_frontier_evictions.store(0, std::memory_order_relaxed);
 }
 
 KnowledgeGraph materialize_subgraph(const KnowledgeGraph& g,

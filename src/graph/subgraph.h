@@ -83,6 +83,47 @@ EnclosingSubgraph extract_enclosing_subgraph(const KnowledgeGraph& g, NodeId a,
                                              NodeId b,
                                              const ExtractOptions& options);
 
+// ---- Frontier-cache hooks (serving runtime, DESIGN.md §2.8) -----------------
+//
+// The per-thread frontier cache behind ExtractOptions::reuse_frontiers keeps
+// only eight slots — enough for one candidate batch fanned out from a shared
+// source, but not for endpoints recurring across requests.  The serving
+// layer maintains a larger cross-query LRU (serve::Server) and moves entries
+// in and out of the calling thread's cache through these two hooks.  Both
+// sides of the transfer carry the exact BFS bytes (node list in discovery
+// order plus parallel distances), so a seeded hit replays the same subgraph
+// a fresh traversal would produce, bit for bit.
+
+/// Copy this thread's cached hop-bounded frontier for (source, masked_edge,
+/// depth) on `g` (current generation) into `nodes`/`dist`.  Returns false —
+/// leaving the outputs untouched — when the slot is absent or stale.  Does
+/// not count toward FrontierCacheStats (it is an export, not a query).
+bool export_cached_frontier(const KnowledgeGraph& g, NodeId source,
+                            EdgeId masked_edge, std::int32_t depth,
+                            std::vector<NodeId>& nodes,
+                            std::vector<std::int32_t>& dist);
+
+/// Install a frontier into this thread's cache (evicting LRU) so the next
+/// extraction of a link touching `source` replays it instead of traversing.
+/// `nodes`/`dist` must be a frontier previously produced for the same
+/// (graph uid, generation, source, masked_edge, depth) key — the hook trusts
+/// the caller, exactly like a cache slot trusts its own fill.
+void seed_frontier_cache(const KnowledgeGraph& g, NodeId source,
+                         EdgeId masked_edge, std::int32_t depth,
+                         const std::vector<NodeId>& nodes,
+                         const std::vector<std::int32_t>& dist);
+
+/// Process-wide frontier-cache counters (relaxed atomics summed over every
+/// thread's cache; reset with reset_frontier_cache_stats).  `evictions`
+/// counts filled slots that were overwritten, seeds included.
+struct FrontierCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+};
+FrontierCacheStats frontier_cache_stats();
+void reset_frontier_cache_stats();
+
 /// Materialise an enclosing subgraph as a standalone KnowledgeGraph with
 /// local node ids (types, relation types and attribute tables preserved).
 /// Used by the γ-decay reproduction (bench_gamma_decay) to evaluate

@@ -1,0 +1,93 @@
+#include "serve/worker_pool.h"
+
+namespace amdgcnn::serve {
+
+WorkerPool::WorkerPool(int num_workers) : num_workers_(num_workers) {
+  if (num_workers < 1)
+    throw ServeError("WorkerPool: num_workers must be >= 1");
+  threads_.reserve(static_cast<std::size_t>(num_workers));
+  for (int id = 0; id < num_workers; ++id)
+    threads_.emplace_back([this, id] { worker_loop(id); });
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+bool WorkerPool::closed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stop_;
+}
+
+void WorkerPool::run(const char* stage, std::int64_t n, const WorkFn& fn) {
+  util::WorkerErrorCollector errors;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) throw ServeError("WorkerPool::run: pool is shut down");
+    if (running_)
+      throw ServeError("WorkerPool::run: a job is already in flight");
+    if (n <= 0) return;
+    ++job_seq_;
+    job_n_ = n;
+    job_fn_ = &fn;
+    job_errors_ = &errors;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = num_workers_;
+    running_ = true;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    running_ = false;
+    job_fn_ = nullptr;
+    job_errors_ = nullptr;
+  }
+  done_cv_.notify_all();  // unblock a shutdown() waiting for the join
+  errors.rethrow(stage);
+}
+
+void WorkerPool::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) return;
+    // Let an in-flight run() complete first: the caller resets running_
+    // after the last worker leaves the job, then notifies done_cv_.
+    done_cv_.wait(lock, [&] { return !running_; });
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+void WorkerPool::worker_loop(int id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const WorkFn* fn;
+    util::WorkerErrorCollector* errors;
+    std::int64_t n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || job_seq_ != seen; });
+      if (job_seq_ == seen) return;  // stop_ with no new job
+      seen = job_seq_;
+      fn = job_fn_;
+      errors = job_errors_;
+      n = job_n_;
+    }
+    for (;;) {
+      const std::int64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        (*fn)(i, id);
+      } catch (...) {
+        errors->capture(i);
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace amdgcnn::serve

@@ -1,0 +1,94 @@
+// Persistent fork-join worker pool for the serving runtime (DESIGN.md §2.8).
+//
+// The OpenMP loops in predict_links spin a team up and down per call, which
+// a request-at-a-time server pays on every query.  This pool keeps its
+// threads alive for the process lifetime instead: workers park on a
+// condition variable between jobs (ggml-threading style), so dispatching a
+// request costs one notify instead of a team launch, and everything a worker
+// owns — its inference arena, its extraction scratch, its thread-local
+// frontier cache — stays warm from one request to the next.
+//
+// run() is a blocking fork-join over [0, n): items are claimed from a shared
+// atomic counter (the same dynamic schedule as the OpenMP paths), each item
+// writes only its own outputs, and failures funnel through
+// util::WorkerErrorCollector — after the join the lowest failing item is
+// rethrown as util::WorkerError with stage context, deterministically for
+// any worker count.  One job runs at a time; the pool is a building block
+// for serve::Server, whose dispatcher is the only run() caller.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parallel_error.h"
+
+namespace amdgcnn::serve {
+
+/// Misuse of the serving runtime itself (submit after shutdown, invalid
+/// options) — distinct from util::WorkerError, which wraps failures raised
+/// by the work *inside* a request.
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class WorkerPool {
+ public:
+  /// Worker function: invoked once per item with the claiming worker's index
+  /// in [0, num_workers).  The worker index selects per-worker scratch; it
+  /// must never influence output bytes (that is what keeps results identical
+  /// for any worker count).
+  using WorkFn = std::function<void(std::int64_t item, int worker)>;
+
+  /// Spawns `num_workers` (>= 1) threads, parked until the first run().
+  explicit WorkerPool(int num_workers);
+  ~WorkerPool();  // implies shutdown()
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  /// Blocking fork-join: run fn(item, worker) for every item in [0, n).
+  /// Exceptions thrown by fn are collected per item; after the join the
+  /// failure with the LOWEST item index is rethrown as util::WorkerError
+  /// ("<stage>: worker failed at item N: ...") with the original nested.
+  /// Throws ServeError if the pool is shut down.  Not reentrant: one run()
+  /// at a time (the serving dispatcher is the single caller).
+  void run(const char* stage, std::int64_t n, const WorkFn& fn);
+
+  /// Park the threads permanently and join them.  Waits for an in-flight
+  /// run() to finish first (graceful); idempotent — a second call returns
+  /// immediately.  After shutdown, run() throws ServeError.
+  void shutdown();
+  bool closed() const;
+
+ private:
+  void worker_loop(int id);
+
+  const int num_workers_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: new job available / stop
+  std::condition_variable done_cv_;  // caller: all workers left the job
+  std::vector<std::thread> threads_;
+
+  // Current job, valid while active_ > 0.  Workers detect a new job by the
+  // sequence number changing, claim items from next_, and the last one out
+  // signals done_cv_.
+  std::uint64_t job_seq_ = 0;
+  std::int64_t job_n_ = 0;
+  const WorkFn* job_fn_ = nullptr;
+  util::WorkerErrorCollector* job_errors_ = nullptr;
+  std::atomic<std::int64_t> next_{0};
+  int active_ = 0;        // workers still inside the current job
+  bool running_ = false;  // a run() is in flight
+  bool stop_ = false;
+};
+
+}  // namespace amdgcnn::serve

@@ -6,6 +6,10 @@
 //                 [--quantize none|f16|q8]  (default none = exact forward)
 //                 [--queries FILE]       (default: read stdin)
 //                 [--threads N]          (0 = serial batch, default)
+//                 [--workers N]          (0 = one-shot predict_links, default;
+//                                         N>0 = persistent serve::Server)
+//                 [--batch N]            (links per request; 0 = all in one)
+//                 [--repeat N]           (replay the query stream N times)
 //                 [--proba]              (print per-class probabilities)
 //
 // Loads the checkpoint ONCE into a frozen inference engine
@@ -15,19 +19,29 @@
 //
 //   <node-a> <node-b> <predicted-class> [p0 p1 ...]
 //
+// With --workers N the queries flow through the persistent serving runtime
+// (serve::Server, DESIGN.md §2.8): warm pooled workers, batched
+// endpoint-grouped scoring and the cross-query score/frontier caches.  Both
+// paths produce bit-identical predictions; --repeat replays the stream so
+// cache-hit steady state is visible in the counters.  The stderr summary
+// reports per-request p50/p99 latency and cache hit rates.
+//
 // The model flags must reproduce the configuration the checkpoint was saved
 // with (amdgcnn_cli --save); mismatches are rejected at load time with the
 // offending parameter spelled out.  Summary statistics go to stderr so the
 // classification stream stays pipeable.
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
 #include "core/link_predictor.h"
+#include "serve/server.h"
 #include "datasets/biokg_sim.h"
 #include "datasets/cora_sim.h"
 #include "datasets/primekg_sim.h"
@@ -47,6 +61,9 @@ struct ServeOptions {
   std::int64_t hidden = 0;   // 0 = dataset default (matches amdgcnn_cli)
   std::int64_t sort_k = 0;
   std::int64_t threads = 0;
+  std::int64_t workers = 0;  // 0 = one-shot predict_links path
+  std::int64_t batch = 0;    // links per request; 0 = whole stream at once
+  std::int64_t repeat = 1;
   std::string dtype = "f32";
   std::string quantize = "none";
   bool proba = false;
@@ -57,7 +74,8 @@ void usage() {
                "--weights FILE\n"
                "  [--model am|vanilla] [--hidden N] [--sort-k N]\n"
                "  [--dtype f32|f64] [--quantize none|f16|q8]\n"
-               "  [--queries FILE] [--threads N] [--proba]\n";
+               "  [--queries FILE] [--threads N] [--workers N] [--batch N]\n"
+               "  [--repeat N] [--proba]\n";
 }
 
 bool parse(int argc, char** argv, ServeOptions& opts) {
@@ -74,6 +92,9 @@ bool parse(int argc, char** argv, ServeOptions& opts) {
     else if (arg == "--hidden") opts.hidden = std::atoll(next());
     else if (arg == "--sort-k") opts.sort_k = std::atoll(next());
     else if (arg == "--threads") opts.threads = std::atoll(next());
+    else if (arg == "--workers") opts.workers = std::atoll(next());
+    else if (arg == "--batch") opts.batch = std::atoll(next());
+    else if (arg == "--repeat") opts.repeat = std::atoll(next());
     else if (arg == "--dtype") opts.dtype = next();
     else if (arg == "--quantize") opts.quantize = next();
     else if (arg == "--proba") opts.proba = true;
@@ -81,7 +102,24 @@ bool parse(int argc, char** argv, ServeOptions& opts) {
     else throw std::runtime_error("unknown flag: " + arg);
   }
   if (opts.weights.empty()) throw std::runtime_error("--weights is required");
+  if (opts.workers < 0) throw std::runtime_error("--workers must be >= 0");
+  if (opts.batch < 0) throw std::runtime_error("--batch must be >= 0");
+  if (opts.repeat < 1) throw std::runtime_error("--repeat must be >= 1");
   return true;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+double rate(std::int64_t hits, std::int64_t misses) {
+  const auto total = hits + misses;
+  return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
 }
 
 ag::Dtype parse_dtype(const std::string& name) {
@@ -236,11 +274,47 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // Chunk the stream into requests of --batch links (0 = one request) and
+    // replay it --repeat times.  Every pass scores every link; later passes
+    // show the caches at steady state.  Predictions are taken from the last
+    // pass — bit-identical to the first by the §2.8 cache contract.
+    const std::size_t batch =
+        opts.batch > 0 ? static_cast<std::size_t>(opts.batch) : links.size();
+    std::unique_ptr<serve::Server> server;
+    if (opts.workers > 0) {
+      serve::ServerOptions so;
+      so.num_workers = static_cast<int>(opts.workers);
+      server = std::make_unique<serve::Server>(predictor, data.graph, so);
+    }
+
+    const std::int64_t c = predictor.config().num_classes;
+    core::LinkPredictions predictions;
+    predictions.num_classes = c;
+    predictions.labels.resize(links.size());
+    predictions.proba.resize(links.size() * static_cast<std::size_t>(c));
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(static_cast<std::size_t>(opts.repeat) *
+                         ((links.size() + batch - 1) / batch));
+
     watch = util::Stopwatch();
-    const auto predictions = predictor.predict_links(data.graph, links);
+    for (std::int64_t pass = 0; pass < opts.repeat; ++pass) {
+      for (std::size_t begin = 0; begin < links.size(); begin += batch) {
+        const auto end = std::min(begin + batch, links.size());
+        const std::vector<seal::LinkExample> request(links.begin() + begin,
+                                                     links.begin() + end);
+        util::Stopwatch request_watch;
+        const auto part = server
+                              ? server->score_batch(request)
+                              : predictor.predict_links(data.graph, request);
+        latencies_ms.push_back(request_watch.seconds() * 1e3);
+        std::copy(part.labels.begin(), part.labels.end(),
+                  predictions.labels.begin() + begin);
+        std::copy(part.proba.begin(), part.proba.end(),
+                  predictions.proba.begin() + begin * c);
+      }
+    }
     const double seconds = watch.seconds();
 
-    const std::int64_t c = predictions.num_classes;
     for (std::size_t i = 0; i < links.size(); ++i) {
       std::cout << links[i].a << " " << links[i].b << " "
                 << predictions.labels[i];
@@ -249,10 +323,31 @@ int main(int argc, char** argv) {
           std::cout << " " << predictions.proba[i * c + j];
       std::cout << "\n";
     }
-    std::cerr << "amdgcnn_serve: " << links.size() << " links in " << seconds
-              << " s (" << static_cast<double>(links.size()) / seconds
-              << " links/s, arena peak " << predictor.arena_peak_bytes()
-              << " B)\n";
+
+    const auto total_links = links.size() * static_cast<std::size_t>(opts.repeat);
+    std::cerr << "amdgcnn_serve: " << total_links << " links ("
+              << links.size() << " x" << opts.repeat << ") in "
+              << seconds << " s ("
+              << static_cast<double>(total_links) / seconds << " links/s, "
+              << latencies_ms.size() << " requests, p50 "
+              << percentile(latencies_ms, 0.50) << " ms, p99 "
+              << percentile(latencies_ms, 0.99) << " ms)\n";
+    if (server) {
+      const auto s = server->stats();
+      std::cerr << "amdgcnn_serve: server workers=" << server->num_workers()
+                << " scored=" << s.scored << "/" << s.links
+                << " deduped=" << s.deduped
+                << " score-hit=" << rate(s.score_hits, s.score_misses)
+                << " endpoint-hit=" << rate(s.endpoint_hits, s.endpoint_misses)
+                << " row-hit=" << rate(s.row_hits, s.row_misses) << "\n";
+      server->shutdown();
+    } else {
+      const auto s = predictor.stats();
+      std::cerr << "amdgcnn_serve: predictor score-hit="
+                << rate(s.score.hits, s.score.misses) << " frontier-hit="
+                << rate(s.frontier_hits, s.frontier_misses)
+                << " arena peak " << predictor.arena_peak_bytes() << " B\n";
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
